@@ -1,0 +1,103 @@
+"""E18 — ablations over the design choices DESIGN.md calls out.
+
+1. **Staircase variant inside the generic C**: the paper chooses
+   `opt_rescan` for K and `opt_bitonic` for L; this ablation builds the
+   same factorizations under all four variants and quantifies the depth
+   and size cost of the non-optimized repairs.
+2. **Base network inside the generic C**: single balancer (K) vs R(p, q)
+   (L) — the depth/width trade the paper's §5 is about.
+3. **Factor order**: depth is order-invariant (paper §1) but *size* is
+   not; the ablation measures the spread so users can pick cheap orders.
+"""
+
+from __future__ import annotations
+
+import itertools
+from math import prod
+
+import pytest
+
+from repro.networks import STAIRCASE_VARIANTS, counting_network, k_network, l_network
+from repro.networks.counting import single_balancer_base
+from repro.networks.r_network import r_base
+from repro.verify import find_counting_violation
+
+
+def test_ablation_staircase_variant(save_table):
+    rows = []
+    factors = [2, 2, 2, 2]
+    for variant in STAIRCASE_VARIANTS:
+        net = counting_network(factors, variant=variant)
+        assert find_counting_violation(net) is None, variant
+        rows.append(
+            {
+                "variant": variant,
+                "factors": "x".join(map(str, factors)),
+                "depth": net.depth,
+                "size": net.size,
+                "max_balancer": net.max_balancer_width,
+            }
+        )
+    save_table("E18_ablation_staircase_variant", rows)
+    by = {r["variant"]: r for r in rows}
+    # opt_rescan minimizes depth with the 1-balancer base (2d+1 = 3 per S).
+    assert by["opt_rescan"]["depth"] <= min(r["depth"] for r in rows)
+    # The small variant pays size for its narrow balancers.
+    assert by["small"]["size"] >= by["basic"]["size"]
+
+
+def test_ablation_base_network(save_table):
+    """K's base (one balancer) vs L's base (R) at fixed factors."""
+    rows = []
+    for factors in ([3, 3], [2, 3, 4], [3, 3, 3]):
+        for base_name, base, variant in (
+            ("single-balancer (K)", single_balancer_base, "opt_rescan"),
+            ("R(p,q) (L)", r_base, "opt_bitonic"),
+        ):
+            net = counting_network(factors, base=base, variant=variant)
+            rows.append(
+                {
+                    "factors": "x".join(map(str, factors)),
+                    "base": base_name,
+                    "depth": net.depth,
+                    "size": net.size,
+                    "max_balancer": net.max_balancer_width,
+                }
+            )
+    save_table("E18_ablation_base", rows)
+    # The R base always trades depth/size for narrow balancers.
+    for factors in ("3x3", "2x3x4", "3x3x3"):
+        k_row = next(r for r in rows if r["factors"] == factors and "K" in r["base"])
+        l_row = next(r for r in rows if r["factors"] == factors and "L" in r["base"])
+        assert l_row["max_balancer"] <= k_row["max_balancer"]
+        assert l_row["depth"] >= k_row["depth"]
+
+
+def test_ablation_factor_order(save_table):
+    """Depth is invariant under factor permutation; size varies —
+    measure the spread."""
+    factors = [2, 3, 4]
+    rows = []
+    sizes = []
+    for perm in sorted(set(itertools.permutations(factors))):
+        net = k_network(list(perm))
+        assert net.width == prod(factors)
+        sizes.append(net.size)
+        rows.append(
+            {
+                "order": "x".join(map(str, perm)),
+                "depth": net.depth,
+                "size": net.size,
+                "total_fanin": sum(b.width for b in net.balancers),
+            }
+        )
+    save_table("E18_ablation_factor_order", rows)
+    assert len({r["depth"] for r in rows}) == 1  # paper §1: depth identical
+    assert max(sizes) > min(sizes)  # but cost is not
+
+
+def test_bench_build_all_variants(benchmark):
+    def build_all():
+        return [counting_network([2, 2, 2, 2], variant=v) for v in STAIRCASE_VARIANTS]
+
+    benchmark(build_all)

@@ -1,0 +1,113 @@
+"""E15 — construction cost: network size and build/evaluation scaling.
+
+The paper's practicality claim rests on small constants; this harness
+records how balancer count, depth, and wall-clock build/evaluate costs grow
+with width for the K and L families.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import balanced_factorization, prime_factors
+from repro.networks import k_network, l_network
+from repro.sim import propagate_counts
+
+
+def test_scaling_table(save_table):
+    rows = []
+    for w in (16, 64, 256, 1024, 2048):
+        factors = list(prime_factors(w))
+        t0 = time.perf_counter()
+        net = k_network(factors)
+        build = time.perf_counter() - t0
+        x = np.random.default_rng(0).integers(0, 100, size=(64, w))
+        t0 = time.perf_counter()
+        out = propagate_counts(net, x)
+        evaluate = time.perf_counter() - t0
+        assert bool(np.all(out[:, :-1] >= out[:, 1:]))
+        rows.append(
+            {
+                "width": w,
+                "factors": "x".join(map(str, factors)),
+                "depth": net.depth,
+                "size": net.size,
+                "build_ms": round(build * 1e3, 1),
+                "eval64_ms": round(evaluate * 1e3, 1),
+            }
+        )
+    save_table("E15_build_scale_k", rows)
+    # Size grows roughly like w * depth / mean-balancer-width: superlinear
+    # in w but far from quadratic blow-up.
+    sizes = {r["width"]: r["size"] for r in rows}
+    assert sizes[2048] < 2048 * k_network(prime_factors(2048)).depth
+
+
+def test_l_scaling_table(save_table):
+    rows = []
+    for w, cap in ((24, 4), (60, 5), (128, 4), (360, 6)):
+        factors = list(balanced_factorization(w, cap))
+        t0 = time.perf_counter()
+        net = l_network(factors)
+        build = time.perf_counter() - t0
+        rows.append(
+            {
+                "width": w,
+                "factors": "x".join(map(str, factors)),
+                "depth": net.depth,
+                "size": net.size,
+                "max_balancer": net.max_balancer_width,
+                "build_ms": round(build * 1e3, 1),
+            }
+        )
+        assert net.max_balancer_width <= cap
+    save_table("E15b_build_scale_l", rows)
+
+
+@pytest.mark.parametrize("w", [64, 256, 1024])
+def test_bench_build_k_width(benchmark, w):
+    factors = list(prime_factors(w))
+    benchmark(lambda: k_network(factors))
+
+
+def test_bench_eval_wide(benchmark):
+    net = k_network(prime_factors(1024))
+    x = np.random.default_rng(0).integers(0, 100, size=(32, 1024))
+    benchmark(lambda: propagate_counts(net, x))
+
+
+def test_eval_rate_vs_numpy(save_table):
+    """Honesty table: values/second through the vectorized network
+    evaluator vs np.sort.  The network is software-slower (it does more
+    comparisons and they are oblivious); its value is the data-independent
+    schedule, not software speed."""
+    import numpy as np
+
+    from repro.sim import evaluate_comparators
+
+    rows = []
+    rng = np.random.default_rng(0)
+    for factors in ([4, 4], [4, 4, 4], [2, 2, 2, 2, 2, 2]):
+        net = k_network(factors)
+        batch = rng.integers(0, 10_000, size=(2000, net.width))
+        t0 = time.perf_counter()
+        out = evaluate_comparators(net, batch)
+        t_net = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        ref = np.sort(batch, axis=1)[:, ::-1]
+        t_np = time.perf_counter() - t0
+        assert np.array_equal(out, ref)
+        values = batch.size
+        rows.append(
+            {
+                "network": net.name,
+                "width": net.width,
+                "net_Mvals_per_s": round(values / t_net / 1e6, 2),
+                "numpy_Mvals_per_s": round(values / t_np / 1e6, 2),
+                "overhead_x": round(t_net / t_np, 1),
+            }
+        )
+    save_table("E15c_eval_rate_vs_numpy", rows)

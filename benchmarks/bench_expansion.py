@@ -1,0 +1,68 @@
+"""E19 — ablation: what the family trade-off costs on binary hardware.
+
+The paper's wide balancers are one shared-memory operation each, so depth
+in *balancer layers* is the right metric there.  On binary comparator
+hardware every p-comparator must itself be built from 2-comparators; this
+bench expands each family member of width 64 and measures the resulting
+2-comparator depth.  Finding: expansion collapses the trade-off — the
+coarsest factorization (whose expansion *is* Batcher's network) is
+shallowest, and expanded depth grows monotonically with n.  The family's
+value is therefore tied to the cost model: native wide balancers
+(shared-memory words, crossbar stages) yes; binary gates no.  This is the
+quantified version of why the paper targets counting networks rather than
+VLSI sorters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import build_family
+from repro.baselines import batcher_any_network
+from repro.networks import expand_comparators, k_network
+from repro.verify import find_sorting_violation
+
+
+def test_expanded_family_table(save_table):
+    rows = []
+    entries = build_family(64, "K")
+    expanded = {}
+    for e in entries:
+        net = k_network(list(e.factors))
+        exp = expand_comparators(net)
+        expanded[e.factors] = exp
+        rows.append(
+            {
+                "factors": "x".join(map(str, e.factors)),
+                "n": e.n,
+                "balancer_layers": net.depth,
+                "expanded_2comp_depth": exp.depth,
+                "expanded_size": exp.size,
+            }
+        )
+    save_table("E19_expanded_family_w64", rows)
+
+    # Monotone collapse: expanded depth increases with n.
+    by_n: dict[int, list[int]] = {}
+    for r in rows:
+        by_n.setdefault(r["n"], []).append(r["expanded_2comp_depth"])
+    ns = sorted(by_n)
+    for a, b in zip(ns, ns[1:]):
+        assert max(by_n[a]) <= min(by_n[b]) or a == 1
+
+    # The 1-factor member expands to exactly Batcher's network.
+    one = expanded[(64,)]
+    ref = batcher_any_network(64)
+    assert one.depth == ref.depth
+    assert one.size == ref.size
+
+
+def test_expanded_networks_still_sort():
+    for factors in ([8, 8], [4, 4, 4]):
+        exp = expand_comparators(k_network(factors))
+        assert find_sorting_violation(exp) is None
+
+
+def test_bench_expansion(benchmark):
+    net = k_network([4, 4, 4])
+    benchmark(lambda: expand_comparators(net))

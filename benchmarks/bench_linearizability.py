@@ -1,0 +1,98 @@
+"""E16 — §6's open question: counting networks vs. linearizability.
+
+The paper closes by asking what timing constraints make its networks
+linearizable.  The known answer (Herlihy–Shavit–Waarts, the paper's refs
+[13-15]) is that counting networks are NOT linearizable under free
+asynchrony: a stalled token lets a later, non-overlapping operation
+undercut an earlier one.  The harness (a) confirms sequential executions
+are linearizable on every construction, (b) constructs an explicit
+violating schedule for each, and (c) times the schedule search.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import check_history, find_nonlinearizable_execution, run_sequential_history
+from repro.baselines import bitonic_network
+from repro.core import single_balancer_network
+from repro.networks import k_network, l_network
+
+CASES = [
+    ("balancer(2)", lambda: single_balancer_network(2)),
+    ("balancer(8)", lambda: single_balancer_network(8)),
+    ("K(2,2,2)", lambda: k_network([2, 2, 2])),
+    ("K(4,4)", lambda: k_network([4, 4])),
+    ("K(5,3,2)", lambda: k_network([5, 3, 2])),
+    ("L(2,2)", lambda: l_network([2, 2])),
+    ("L(3,2)", lambda: l_network([3, 2])),
+    ("Bitonic[8]", lambda: bitonic_network(8)),
+]
+
+
+def test_linearizability_table(save_table):
+    rows = []
+    for name, make in CASES:
+        net = make()
+        seq_ok = check_history(run_sequential_history(net, 2 * net.width)) is None
+        found = find_nonlinearizable_execution(net)
+        assert seq_ok, name
+        assert found is not None, name
+        v, ops = found
+        rows.append(
+            {
+                "network": name,
+                "width": net.width,
+                "depth": net.depth,
+                "sequential_linearizable": seq_ok,
+                "async_linearizable": False,
+                "witness": f"v{v.first.value}@{v.first.end} before v{v.second.value}@{v.second.start}",
+            }
+        )
+    save_table("E16_linearizability", rows)
+
+
+def test_violations_preserve_counting():
+    """Non-linearizable executions still hand out an exact value range —
+    the failure is real-time ordering only."""
+    for name, make in CASES[:4]:
+        found = find_nonlinearizable_execution(make())
+        assert found is not None
+        _, ops = found
+        assert sorted(o.value for o in ops) == list(range(len(ops))), name
+
+
+def test_waiting_discipline_restores_linearizability(save_table):
+    """The positive side of §6: add waiting (Herlihy-Shavit-Waarts) and
+    every previously violating execution becomes linearizable."""
+    from repro.sim import linearize_history
+
+    rows = []
+    for name, make in CASES:
+        net = make()
+        found = find_nonlinearizable_execution(net)
+        assert found is not None
+        _, ops = found
+        fixed = linearize_history(ops)
+        ok = check_history(fixed) is None
+        extra_wait = max(f.end - o.end for f, o in zip(
+            sorted(fixed, key=lambda x: x.token_id), sorted(ops, key=lambda x: x.token_id)))
+        rows.append(
+            {
+                "network": name,
+                "violating_schedule_fixed": ok,
+                "max_extra_wait_steps": int(extra_wait),
+            }
+        )
+        assert ok, name
+    save_table("E16b_waiting_fix", rows)
+
+
+def test_bench_violation_search(benchmark):
+    net = k_network([2, 2, 2])
+    benchmark(lambda: find_nonlinearizable_execution(net))
+
+
+def test_bench_sequential_history(benchmark):
+    net = k_network([4, 4])
+    benchmark(lambda: run_sequential_history(net, 64))

@@ -1,0 +1,56 @@
+"""E1 — Proposition 1: depth(C(p0..pn-1)) = (n-1)d + (n²/2 - 3n/2 + 1)·depth(S).
+
+Reproduces the proposition's depth accounting for the generic construction
+with the single-balancer base (d = 1) under both optimized staircase
+variants, sweeping the factorization length n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.networks import counting_network
+from repro.networks.depth_formulas import counting_depth, staircase_depth
+
+SWEEP = [
+    [2, 2],
+    [3, 2],
+    [2, 2, 2],
+    [3, 2, 2],
+    [2, 2, 2, 2],
+    [3, 2, 2, 2],
+    [2, 2, 2, 2, 2],
+    [2, 2, 2, 2, 2, 2],
+]
+
+
+def test_proposition_1_table(save_table):
+    rows = []
+    for variant in ("opt_rescan", "opt_bitonic"):
+        ds = staircase_depth(variant, d=1)
+        for factors in SWEEP:
+            n = len(factors)
+            net = counting_network(factors, variant=variant)
+            predicted = counting_depth(n, d=1, depth_s=ds)
+            rows.append(
+                {
+                    "variant": variant,
+                    "factors": "x".join(map(str, factors)),
+                    "n": n,
+                    "width": net.width,
+                    "measured_depth": net.depth,
+                    "prop1_predicted": predicted,
+                    "match": "exact" if net.depth == predicted else ("under" if net.depth < predicted else "OVER"),
+                }
+            )
+            # The formula is exact for opt_rescan and an upper bound in
+            # general (degenerate blocks can shave layers).
+            assert net.depth <= predicted, (variant, factors)
+            if variant == "opt_rescan":
+                assert net.depth == predicted, (variant, factors)
+    save_table("E1_proposition1_depth_c", rows)
+
+
+@pytest.mark.parametrize("factors", [[2, 2, 2, 2], [3, 2, 2, 2]])
+def test_bench_build_counting(benchmark, factors):
+    benchmark(lambda: counting_network(factors))

@@ -1,0 +1,63 @@
+"""E2 — Proposition 3: depth(M(p0..pn-1)) = d + (n-2)·depth(S).
+
+Sweeps merger factorizations, comparing measured depth against the
+proposition with d = 1 and depth(S) = 3 (opt_rescan) / 4 (opt_bitonic with
+a 1-balancer base).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from math import prod
+
+from repro.networks import merger_network
+from repro.networks.depth_formulas import merger_depth, staircase_depth
+from repro.verify import verify_merger
+
+SWEEP = [
+    [2, 2],
+    [2, 3],
+    [2, 2, 2],
+    [3, 2, 2],
+    [2, 3, 2],
+    [2, 2, 2, 2],
+    [2, 2, 2, 2, 2],
+    [3, 2, 2, 2, 2],
+]
+
+
+def test_proposition_3_table(save_table):
+    rows = []
+    for variant in ("opt_rescan", "opt_bitonic"):
+        ds = staircase_depth(variant, d=1)
+        for factors in SWEEP:
+            n = len(factors)
+            net = merger_network(factors, variant=variant)
+            predicted = merger_depth(n, d=1, depth_s=ds)
+            rows.append(
+                {
+                    "variant": variant,
+                    "factors": "x".join(map(str, factors)),
+                    "n": n,
+                    "measured_depth": net.depth,
+                    "prop3_predicted": predicted,
+                }
+            )
+            assert net.depth <= predicted, (variant, factors)
+            if variant == "opt_rescan":
+                assert net.depth == predicted, (variant, factors)
+            # And the merger contract holds.
+            lengths = [prod(factors[:-1])] * factors[-1]
+            assert verify_merger(net, lengths, trials=64) is None
+    save_table("E2_proposition3_depth_m", rows)
+
+
+def test_bench_merge_step_inputs(benchmark, rng=np.random.default_rng(0)):
+    from repro.sim import propagate_counts
+    from repro.verify import merger_inputs
+
+    net = merger_network([2, 2, 2, 2])
+    batch = merger_inputs([8, 8], 512, rng)
+    benchmark(lambda: propagate_counts(net, batch))

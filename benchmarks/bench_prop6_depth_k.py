@@ -1,0 +1,66 @@
+"""E3 — Proposition 6: depth(K(p0..pn-1)) = 1.5n² - 3.5n + 2.
+
+The K family's depth depends only on n, never on the factor values — the
+table sweeps both n and the factors at fixed n to demonstrate it, and the
+timed kernel is count propagation through K networks of growing width.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.networks import k_network
+from repro.networks.depth_formulas import k_depth
+from repro.sim import propagate_counts
+
+SWEEP = [
+    [2, 2],
+    [7, 5],
+    [2, 2, 2],
+    [5, 3, 2],
+    [4, 4, 4],
+    [2, 2, 2, 2],
+    [3, 3, 2, 2],
+    [5, 2, 2, 2],
+    [2, 2, 2, 2, 2],
+    [3, 2, 2, 2, 2],
+    [2, 2, 2, 2, 2, 2],
+]
+
+
+def test_proposition_6_table(save_table):
+    rows = []
+    for factors in SWEEP:
+        n = len(factors)
+        net = k_network(factors)
+        max_pair = max(a * b for a, b in itertools.combinations_with_replacement(factors, 2))
+        rows.append(
+            {
+                "factors": "x".join(map(str, factors)),
+                "n": n,
+                "width": net.width,
+                "measured_depth": net.depth,
+                "prop6_formula": k_depth(n),
+                "max_balancer": net.max_balancer_width,
+                "max_pi_pj": max_pair,
+            }
+        )
+        assert net.depth == k_depth(n), factors
+        assert net.max_balancer_width <= max_pair, factors
+    save_table("E3_proposition6_depth_k", rows)
+
+
+def test_depth_depends_only_on_n():
+    depths = {k_network(list(f)).depth for f in [(2, 3, 4), (5, 5, 5), (2, 2, 7)]}
+    assert len(depths) == 1
+
+
+@pytest.mark.parametrize("factors", [[4, 4, 4], [2, 2, 2, 2, 2, 2]])
+def test_bench_propagate_k(benchmark, factors):
+    net = k_network(factors)
+    rng = np.random.default_rng(0)
+    batch = rng.integers(0, 50, size=(1024, net.width))
+    benchmark(lambda: propagate_counts(net, batch))

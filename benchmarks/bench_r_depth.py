@@ -1,0 +1,41 @@
+"""E5 — §5.3: depth(R(p, q)) <= 16 and balancer width <= max(p, q).
+
+Sweeps every 2 <= p, q <= 24 (529 networks), reporting the depth
+distribution and asserting both §5.3 guarantees; also spot-verifies the
+counting property across the diagonal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.networks import r_network
+from repro.networks.depth_formulas import R_DEPTH_BOUND
+from repro.verify import find_counting_violation
+
+
+def test_r_bounds_full_sweep(save_table):
+    depth_hist: dict[int, int] = {}
+    worst = []
+    for p in range(2, 25):
+        for q in range(2, 25):
+            net = r_network(p, q)
+            assert net.depth <= R_DEPTH_BOUND, (p, q)
+            assert net.max_balancer_width <= max(p, q), (p, q)
+            depth_hist[net.depth] = depth_hist.get(net.depth, 0) + 1
+            if net.depth == R_DEPTH_BOUND:
+                worst.append((p, q))
+    rows = [{"depth": d, "count_of_(p,q)_pairs": c} for d, c in sorted(depth_hist.items())]
+    save_table("E5_r_depth_distribution", rows)
+    # The bound is attained (it is tight somewhere) but never exceeded.
+    assert worst, "expected some (p,q) to reach the depth-16 bound"
+
+
+@pytest.mark.parametrize("p,q", [(5, 5), (7, 7), (11, 11), (13, 12)])
+def test_r_counts(p, q):
+    assert find_counting_violation(r_network(p, q)) is None
+
+
+@pytest.mark.parametrize("p,q", [(8, 8), (16, 16), (24, 24)])
+def test_bench_build_r(benchmark, p, q):
+    benchmark(lambda: r_network(p, q))

@@ -1,0 +1,73 @@
+"""E12 — the related-work comparison (paper §2).
+
+Programmatic version of the paper's discussion: at power-of-two widths the
+classic 2-balancer networks (bitonic, periodic) exist and bitonic is
+shallower than binary-factored K by a constant factor; at arbitrary widths
+only K/L apply.  Also quantifies the constant-factor gap the paper concedes
+in §6.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import comparison_table, prime_factors
+from repro.baselines import bitonic_depth, bitonic_network, periodic_network
+from repro.networks import k_network, l_network
+from repro.networks.depth_formulas import k_depth
+
+
+def test_comparison_table(save_table):
+    rows = comparison_table([16, 30, 60, 64, 128, 210, 256])
+    save_table("E12_related_work", rows)
+    # Arbitrary widths covered only by the paper's constructions.
+    w30 = [r for r in rows if r["width"] == 30]
+    assert w30 and all("Bitonic" not in r["construction"] for r in w30)
+
+
+def test_bitonic_shallower_by_constant_factor(save_table):
+    """§6: 'The bitonic network, however, has smaller depth by a constant
+    factor.'  Measure the ratio K(2^k binary) / Bitonic(2^k)."""
+    rows = []
+    for k in range(2, 10):
+        w = 2 ** k
+        kd = k_depth(k)  # K with binary factorization: n = k
+        bd = bitonic_depth(w)  # k(k+1)/2
+        rows.append({"width": w, "K_binary_depth": kd, "bitonic_depth": bd, "ratio": round(kd / bd, 3)})
+        if k >= 4:
+            # 1.5n² vs n²/2: bitonic wins by a constant factor approaching 3.
+            # (At k <= 3, K's width-4 base balancers actually make it
+            # shallower — the gap is a 2-balancer-regime statement.)
+            assert kd > bd
+            assert kd / bd < 3.0
+    save_table("E12b_constant_factor_gap", rows)
+
+
+def test_periodic_deeper_than_bitonic():
+    for w in (8, 16, 32):
+        assert periodic_network(w).depth > bitonic_network(w).depth
+
+
+def test_size_comparison(save_table):
+    """Balancer-count comparison at width 64."""
+    rows = []
+    for net in (
+        k_network(prime_factors(64)),
+        k_network([4, 4, 4]),
+        l_network(prime_factors(64)),
+        bitonic_network(64),
+        periodic_network(64),
+    ):
+        rows.append(
+            {
+                "construction": net.name,
+                "depth": net.depth,
+                "size": net.size,
+                "max_balancer": net.max_balancer_width,
+            }
+        )
+    save_table("E12c_size_at_64", rows)
+
+
+def test_bench_comparison_table(benchmark):
+    benchmark(lambda: comparison_table([16, 60]))

@@ -1,0 +1,70 @@
+"""E17 — smoothing spectrum: counting is the 1-smooth extreme of a
+hierarchy.
+
+The paper's §3.1 machinery (k-smoothness) suggests a natural ablation:
+how smooth are the outputs of networks that do *not* count?  This bench
+measures the observed smoothing constant of the constructions, the
+baselines, and truncated networks, demonstrating the hierarchy
+counting (step) ⊂ 1-smooth ⊂ k-smooth and quantifying how quickly the
+periodic network converges block by block.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    batcher_any_network,
+    bitonic_network,
+    bubble_network,
+    odd_even_network,
+    periodic_network,
+)
+from repro.core import identity_network
+from repro.networks import k_network, l_network
+from repro.verify import is_smoother, observed_smoothness
+
+
+def test_smoothing_spectrum(save_table):
+    cases = [
+        ("identity[8]", identity_network(8)),
+        ("Bubble[8]", bubble_network(8)),
+        ("OddEven[8]", odd_even_network(8)),
+        ("BatcherAny[12]", batcher_any_network(12)),
+        ("Periodic[8] 1 block", periodic_network(8, blocks=1)),
+        ("Periodic[8] 2 blocks", periodic_network(8, blocks=2)),
+        ("Periodic[8] 3 blocks", periodic_network(8, blocks=3)),
+        ("Bitonic[8]", bitonic_network(8)),
+        ("K(2,2,2)", k_network([2, 2, 2])),
+        ("L(2,2,2)", l_network([2, 2, 2])),
+    ]
+    rows = []
+    for name, net in cases:
+        sm = observed_smoothness(net)
+        rows.append({"network": name, "width": net.width, "depth": net.depth, "observed_smoothness": sm})
+    save_table("E17_smoothing_spectrum", rows)
+
+    by_name = {r["network"]: r["observed_smoothness"] for r in rows}
+    # Counting networks sit at the 1-smooth extreme.
+    assert by_name["Bitonic[8]"] <= 1
+    assert by_name["K(2,2,2)"] <= 1
+    assert by_name["L(2,2,2)"] <= 1
+    # The periodic network converges monotonically block by block.
+    assert (
+        by_name["Periodic[8] 1 block"]
+        >= by_name["Periodic[8] 2 blocks"]
+        >= by_name["Periodic[8] 3 blocks"]
+    )
+    assert by_name["Periodic[8] 3 blocks"] <= 1
+    # Non-counting sorters still smooth far better than nothing.
+    assert by_name["OddEven[8]"] < by_name["identity[8]"]
+
+
+def test_constructions_are_1_smoothers():
+    for net in (k_network([3, 2, 2]), l_network([3, 2]), bitonic_network(16)):
+        assert is_smoother(net, 1)
+
+
+def test_bench_observed_smoothness(benchmark):
+    net = odd_even_network(16)
+    benchmark(lambda: observed_smoothness(net, batches=2, batch_size=256))

@@ -1,0 +1,100 @@
+"""E20 — the arbitrary-width *sorting* landscape around the paper.
+
+The paper's K/L families sort any factored width; so do several classic
+wide-comparator schemes.  This bench lines them all up at matching widths
+(depth, size, widest comparator, does-it-count) — the sorting-side
+companion to the E12 counting comparison.  Expected shape: columnsort is
+unbeatable on depth where its tall-matrix condition applies; K matches or
+beats shearsort while also counting; binary-comparator schemes pay
+O(log² w) depth but the narrowest hardware.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    batcher_any_network,
+    columnsort_network,
+    columnsort_valid,
+    multiway_network,
+    shearsort_network,
+)
+from repro.networks import k_network, r_network
+from repro.verify import find_counting_violation, find_sorting_violation
+
+
+def _row(name, net):
+    return {
+        "network": name,
+        "width": net.width,
+        "depth": net.depth,
+        "size": net.size,
+        "max_comparator": net.max_balancer_width,
+        "counts": find_counting_violation(net) is None,
+    }
+
+
+def test_sorting_landscape_table(save_table):
+    rows = []
+    # Width 24 = 8 x 3 mesh = 4*3*2 factors.
+    rows.append(_row("K(4,3,2)", k_network([4, 3, 2])))
+    rows.append(_row("R(4,6)", r_network(4, 6)))
+    rows.append(_row("Shearsort[8x3]", shearsort_network(8, 3)))
+    rows.append(_row("Columnsort[8x3]", columnsort_network(8, 3)))
+    rows.append(_row("Multiway(4,3,2)", multiway_network([4, 3, 2])))
+    rows.append(_row("BatcherAny[24]", batcher_any_network(24)))
+    # Width 30 — not a power of two, no bitonic exists.
+    rows.append(_row("K(5,3,2)", k_network([5, 3, 2])))
+    rows.append(_row("R(5,6)", r_network(5, 6)))
+    rows.append(_row("Shearsort[10x3]", shearsort_network(10, 3)))
+    rows.append(_row("Columnsort[10x3]", columnsort_network(10, 3)))
+    rows.append(_row("BatcherAny[30]", batcher_any_network(30)))
+    save_table("E20_sorting_landscape", rows)
+
+    by = {r["network"]: r for r in rows}
+    # Columnsort is the depth champion where it applies...
+    assert by["Columnsort[8x3]"]["depth"] <= by["Shearsort[8x3]"]["depth"]
+    assert by["Columnsort[8x3]"]["depth"] <= by["BatcherAny[24]"]["depth"]
+    # ...but only the paper's constructions also count.
+    assert by["K(4,3,2)"]["counts"] and by["R(4,6)"]["counts"]
+    assert not by["Columnsort[8x3]"]["counts"]
+    assert not by["BatcherAny[24]"]["counts"]
+    # Binary comparators cost depth.
+    assert by["BatcherAny[30]"]["depth"] > by["K(5,3,2)"]["depth"]
+
+
+def test_all_landscape_networks_sort():
+    nets = [
+        k_network([4, 3, 2]),
+        r_network(4, 6),
+        shearsort_network(8, 3),
+        columnsort_network(8, 3),
+        multiway_network([4, 3, 2]),
+    ]
+    for net in nets:
+        assert find_sorting_violation(net) is None, net.name
+
+
+def test_columnsort_condition_boundary(save_table):
+    rows = []
+    for r, s in [(2, 2), (8, 3), (18, 4), (32, 5)]:
+        ok = columnsort_valid(r, s)
+        rows.append({"r": r, "s": s, "width": r * s, "condition_r>=2(s-1)^2": ok})
+        if ok:
+            assert find_sorting_violation(columnsort_network(r, s)) is None
+    save_table("E20b_columnsort_domain", rows)
+
+
+def test_bench_shearsort_eval(benchmark):
+    import numpy as np
+
+    from repro.sim import evaluate_comparators
+
+    net = shearsort_network(8, 8)
+    batch = np.random.default_rng(0).integers(0, 1000, size=(1024, 64))
+    benchmark(lambda: evaluate_comparators(net, batch))
+
+
+def test_bench_columnsort_build(benchmark):
+    benchmark(lambda: columnsort_network(32, 5))

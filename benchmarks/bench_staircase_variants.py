@@ -1,0 +1,68 @@
+"""E8 — Figures 9/10, §4.3/§4.3.1: the four staircase-merger variants.
+
+Reproduces the depth accounting (d+6 / d+9 / 2d+1 / d+3 with d = 1) and the
+balancer-width consequences of each variant, verifying the contract for
+every variant on the same (r, p, q) sweep.  The timed kernel is batch
+propagation through each variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.networks import STAIRCASE_VARIANTS, staircase_merger
+from repro.networks.depth_formulas import staircase_depth
+from repro.verify import staircase_inputs, verify_staircase_merger
+from repro.sim import propagate_counts
+
+SHAPES = [(2, 2, 2), (3, 2, 3), (4, 3, 2), (4, 3, 3), (6, 2, 2)]
+
+
+def test_staircase_variant_table(save_table):
+    rows = []
+    for variant in STAIRCASE_VARIANTS:
+        for r, p, q in SHAPES:
+            net = staircase_merger(r, p, q, variant=variant)
+            bound = staircase_depth(variant, d=1)
+            assert net.depth <= bound, (variant, r, p, q)
+            assert verify_staircase_merger(net, r, p, q, trials=64) is None
+            rows.append(
+                {
+                    "variant": variant,
+                    "r,p,q": f"{r},{p},{q}",
+                    "measured_depth": net.depth,
+                    "formula_bound": bound,
+                    "size": net.size,
+                    "max_balancer": net.max_balancer_width,
+                }
+            )
+    save_table("E8_staircase_variants", rows)
+
+
+def test_optimized_variants_are_shallower():
+    """§4.3.1's point: the optimizations beat the basic two-merger repair."""
+    for r, p, q in SHAPES:
+        basic = staircase_merger(r, p, q, variant="basic").depth
+        rescan = staircase_merger(r, p, q, variant="opt_rescan").depth
+        bitonic = staircase_merger(r, p, q, variant="opt_bitonic").depth
+        assert rescan <= basic and bitonic <= basic, (r, p, q)
+
+
+def test_small_variant_shrinks_balancers():
+    """'small' trades +3 depth for balancers capped at max(2, p, q)."""
+    r, p, q = 4, 3, 3
+    basic = staircase_merger(r, p, q, variant="basic")
+    small = staircase_merger(r, p, q, variant="small")
+    assert small.max_balancer_width < basic.max_balancer_width or basic.max_balancer_width <= max(p, q, p * q)
+    non_base = [b.width for b in small.balancers if b.width != p * q]
+    assert max(non_base) <= max(2, p, q)
+
+
+@pytest.mark.parametrize("variant", STAIRCASE_VARIANTS)
+def test_bench_staircase_propagation(benchmark, variant):
+    r, p, q = 4, 3, 3
+    net = staircase_merger(r, p, q, variant=variant)
+    rng = np.random.default_rng(0)
+    batch = staircase_inputs(r, p, q, 512, rng)
+    benchmark(lambda: propagate_counts(net, batch))

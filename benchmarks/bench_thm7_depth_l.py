@@ -1,0 +1,59 @@
+"""E4 — Theorem 7: depth(L(p0..pn-1)) <= 9.5n² - 12.5n + 3 with balancers of
+width at most max(p_i) — the paper's headline construction.
+
+The table reports both guarantees next to the measured values; the timed
+kernel is L construction (the recursive build is the expensive part, since
+every base becomes a full R(p, q)).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.networks import l_network
+from repro.networks.depth_formulas import l_depth_bound
+from repro.verify import find_counting_violation
+
+SWEEP = [
+    [2, 2],
+    [3, 3],
+    [5, 4],
+    [2, 2, 2],
+    [3, 3, 3],
+    [5, 3, 2],
+    [4, 4, 4],
+    [2, 2, 2, 2],
+    [3, 2, 2, 2],
+    [5, 3, 2, 2],
+]
+
+
+def test_theorem_7_table(save_table):
+    rows = []
+    for factors in SWEEP:
+        n = len(factors)
+        net = l_network(factors)
+        rows.append(
+            {
+                "factors": "x".join(map(str, factors)),
+                "n": n,
+                "width": net.width,
+                "measured_depth": net.depth,
+                "thm7_bound": l_depth_bound(n),
+                "max_balancer": net.max_balancer_width,
+                "max_pi": max(factors),
+                "size": net.size,
+            }
+        )
+        assert net.depth <= l_depth_bound(n), factors
+        assert net.max_balancer_width <= max(factors), factors
+    save_table("E4_theorem7_depth_l", rows)
+
+
+def test_l_counts_on_sample():
+    assert find_counting_violation(l_network([5, 3, 2])) is None
+
+
+@pytest.mark.parametrize("factors", [[3, 3, 3], [2, 2, 2, 2]])
+def test_bench_build_l(benchmark, factors):
+    benchmark(lambda: l_network(factors))

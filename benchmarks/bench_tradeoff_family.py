@@ -1,0 +1,65 @@
+"""E11 — the factorization family (paper §1, §6): one network per
+factorization of w, trading depth against balancer width.
+
+Builds the complete K family for several widths (including non-powers of
+two), saves the trade-off tables and Pareto frontiers, and asserts the
+paper's qualitative claims: depth grows with the factor count n while the
+maximum balancer width shrinks, and depth depends only on n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import build_family, pareto_frontier
+from repro.networks.depth_formulas import k_depth
+
+WIDTHS = [60, 64, 210, 720]
+
+
+@pytest.mark.parametrize("w", WIDTHS)
+def test_family_table(save_table, w):
+    fam = build_family(w, "K", max_members=40)
+    rows = [e.as_dict() for e in fam]
+    save_table(f"E11_family_w{w}", rows)
+
+    by_n: dict[int, list] = {}
+    for e in fam:
+        by_n.setdefault(e.n, []).append(e)
+        # Depth depends only on n (paper §1 parenthetical).
+        assert e.stats.depth == (k_depth(e.n) if e.n >= 2 else 1)
+    ns = sorted(by_n)
+    # Depth increases with n (n = 1 and n = 2 are both a single balancer,
+    # so the first step is non-strict; beyond that it is strict).
+    for a, b in zip(ns, ns[1:]):
+        hi_a = max(x.stats.depth for x in by_n[a])
+        lo_b = min(x.stats.depth for x in by_n[b])
+        assert hi_a < lo_b if b >= 3 else hi_a <= lo_b
+    # ... while the best-available balancer width shrinks.
+    min_bal = [min(x.stats.max_balancer_width for x in by_n[n]) for n in ns]
+    assert all(a >= b for a, b in zip(min_bal, min_bal[1:]))
+
+
+def test_pareto_frontier_nontrivial(save_table):
+    fam = build_family(64, "K")
+    front = pareto_frontier(fam)
+    rows = [e.as_dict() for e in front]
+    save_table("E11_frontier_w64", rows)
+    # The frontier contains both extremes and something in between.
+    ns = {e.n for e in front}
+    assert min(ns) <= 2 and max(ns) == 6
+    assert any(2 < n < 6 for n in ns)
+
+
+def test_l_family_width_bound(save_table):
+    """The L family realizes the extreme end: balancers no wider than the
+    largest factor, at every factorization."""
+    rows = []
+    for e in build_family(60, "L", max_factors=4):
+        assert e.stats.max_balancer_width <= max(e.factors)
+        rows.append(e.as_dict())
+    save_table("E11_l_family_w60", rows)
+
+
+def test_bench_build_family(benchmark):
+    benchmark(lambda: build_family(64, "K"))

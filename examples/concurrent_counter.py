@@ -1,0 +1,74 @@
+"""A shared Fetch&Increment counter built on a counting network.
+
+Counting networks exist to spread counter contention across many small
+balancers instead of one hot compare-and-swap word.  This example runs the
+same workload three ways:
+
+1. asynchronous token simulation under a hostile (straggler) schedule,
+2. a genuinely threaded counter (per-balancer locks),
+3. the discrete-event contention model used by the throughput bench,
+
+and shows that the network hands out exactly the values 0..T-1 every time.
+
+Run:  python examples/concurrent_counter.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import (
+    ContentionSimulator,
+    ThreadedCounter,
+    fetch_and_increment_values,
+    l_network,
+    run_tokens,
+)
+
+
+def main() -> None:
+    net = l_network([3, 2, 2])  # width 12, balancers of width <= 3
+    print(f"network: {net.name}, width={net.width}, depth={net.depth}, widest balancer={net.max_balancer_width}")
+    print()
+
+    # --- 1. Token simulation under an adversarial schedule -----------------
+    rng = np.random.default_rng(0)
+    arrivals = list(rng.integers(0, 6, size=net.width))
+    total = sum(arrivals)
+    result = run_tokens(net, arrivals, scheduler="straggler", seed=42)
+    values = sorted(fetch_and_increment_values(result).values())
+    print(f"token sim: {total} tokens under a straggler schedule")
+    print(f"  values handed out: {values[:10]}... (exact range 0..{total-1}: {values == list(range(total))})")
+    print()
+
+    # --- 2. Real threads ----------------------------------------------------
+    counter = ThreadedCounter(net)
+    t0 = time.perf_counter()
+    stats = counter.run_threads(n_threads=8, ops_per_thread=250)
+    elapsed = time.perf_counter() - t0
+    vals = sorted(stats.all_values())
+    print(f"threads: 8 x 250 ops in {elapsed*1e3:.1f} ms")
+    print(f"  every value 0..{stats.total_ops-1} issued exactly once: {vals == list(range(stats.total_ops))}")
+    print()
+
+    # --- 3. Contention model: why balancer width matters --------------------
+    print("contention model (32 procs, 8 ops each):")
+    print(f"  {'network':<16} {'depth':>5} {'max_bal':>7} {'latency':>9} {'throughput':>11}")
+    for factors in ([12], [4, 3], [3, 2, 2], [2, 2, 3]):
+        from repro import k_network
+
+        candidate = k_network(factors)
+        s = ContentionSimulator(candidate).run(n_procs=32, ops_per_proc=8)
+        label = "x".join(map(str, factors))
+        print(
+            f"  K({label:<12}) {candidate.depth:>5} {candidate.max_balancer_width:>7} "
+            f"{s.mean_latency:>9.2f} {s.throughput:>11.3f}"
+        )
+    print("\n  -> one wide balancer serializes everything; deep 2-balancer nets")
+    print("     pay depth; intermediate factorizations balance the two costs.")
+
+
+if __name__ == "__main__":
+    main()

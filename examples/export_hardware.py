@@ -1,0 +1,56 @@
+"""Exporting networks for external tooling.
+
+A counting/sorting network is ultimately a wiring diagram; this demo
+plans a network for a hardware-ish constraint (comparators no wider than
+4 ports), then exports it three ways:
+
+* Graphviz DOT (render with ``dot -Tsvg network.dot``),
+* layered JSON (the evaluator's layer/width-group structure — the natural
+  input for an HDL generator or a port to another language),
+* the plain JSON structural dump (``Network.save`` / ``Network.load``).
+
+Run:  python examples/export_hardware.py [outdir]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro.analysis import layer_profile, plan_network
+from repro.core import Network
+from repro.viz import to_dot, to_layered_json
+
+
+def main(outdir: str = "build_artifacts") -> None:
+    out = pathlib.Path(outdir)
+    out.mkdir(exist_ok=True)
+
+    plan = plan_network(width=24, max_balancer=4, family="L")
+    net = plan.build()
+    print(f"planned {net.name}: width={net.width}, depth={net.depth}, "
+          f"balancers={net.size} (all <= {net.max_balancer_width} ports)\n")
+
+    dot_path = out / "network.dot"
+    dot_path.write_text(to_dot(net))
+    json_path = out / "network.layers.json"
+    json_path.write_text(to_layered_json(net, indent=2))
+    save_path = out / "network.json"
+    net.save(save_path)
+    assert Network.load(save_path) == net
+
+    print(f"wrote {dot_path}   ({dot_path.stat().st_size} bytes)")
+    print(f"wrote {json_path}  ({json_path.stat().st_size} bytes)")
+    print(f"wrote {save_path}  (round-trips through Network.load)")
+
+    print("\nper-layer resource usage (what an HDL floorplan would see):")
+    print(f"  {'layer':>5} {'balancers':>10} {'widths':>12}")
+    for p in layer_profile(net)[:12]:
+        widths = ",".join(f"{w}x{c}" for w, c in p.widths.items())
+        print(f"  {p.layer:>5} {p.balancers:>10} {widths:>12}")
+    if net.depth > 12:
+        print(f"  ... ({net.depth - 12} more layers)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "build_artifacts")

@@ -1,0 +1,57 @@
+"""A balancing network as a work distributor.
+
+Counting networks were born as counters, but the same structure is a
+decentralized *load balancer*: jobs enter on any wire, traverse a few
+small balancers, and land on a server wire — no central queue, no global
+lock, and the step property guarantees servers differ by at most one job
+at quiescence no matter how skewed the arrivals were.
+
+This demo slams all jobs onto one ingress wire (the worst case) and
+compares three distributors on how even the server loads stay over time:
+
+* no network at all (jobs stay where they land),
+* one block of the periodic network (a cheap smoother),
+* a full counting network (the paper's L family).
+
+Run:  python examples/load_balancer.py
+"""
+
+from __future__ import annotations
+
+from repro import l_network
+from repro.analysis import measure_prefix_quality
+from repro.baselines import periodic_network
+from repro.core import identity_network
+from repro.verify import observed_smoothness
+
+
+def main() -> None:
+    servers = 8
+    jobs = 256
+    candidates = [
+        ("no balancing", identity_network(servers)),
+        ("1 periodic block (smoother)", periodic_network(servers, blocks=1)),
+        ("full periodic network", periodic_network(servers)),
+        ("L(2,2,2) counting network", l_network([2, 2, 2])),
+    ]
+
+    print(f"{jobs} jobs arriving on ONE ingress wire, {servers} servers\n")
+    print(f"{'distributor':<30} {'depth':>5} {'final spread':>13} {'worst spread':>13}")
+    for name, net in candidates:
+        q = measure_prefix_quality(net, jobs, skew="single", seed=1)
+        print(f"{name:<30} {net.depth:>5} {q.final_smoothness:>13} {q.max_smoothness:>13}")
+
+    print("\n'spread' = busiest server minus idlest server (lower is better);")
+    print("'worst' is measured after every single job, not just at the end.")
+    print("\nStatic smoothing guarantees (searched, lower bound):")
+    for name, net in candidates[1:]:
+        print(f"  {name:<30} observed smoothness {observed_smoothness(net)}")
+
+    print("\nThe counting network keeps servers within 1 job of each other at")
+    print("quiescence from ANY arrival pattern — that's the step property —")
+    print("while a truncated smoother trades a small bounded spread for less")
+    print("hardware, the practical dial the paper's family exposes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Analysis: factorization families, trade-off frontiers, comparisons."""
+
+from .factorizations import balanced_factorization, canonical, divisors, factorizations, prime_factors
+from .stats import NetworkStats, format_table, network_stats
+from .tradeoff import FamilyEntry, build_family, pareto_frontier
+from .comparison import comparison_row, comparison_table, power_of_two
+from .audit import LayerProfile, critical_path, layer_profile, occupancy
+from .planner import Plan, best_factorization, next_factorable_width, plan_network
+from .quality import (
+    PrefixQuality,
+    measure_prefix_quality,
+    prefix_counts,
+    prefix_quality,
+    worst_case_prefix,
+)
+from .linearizability import (
+    LinearizabilityViolation,
+    Operation,
+    check_history,
+    find_nonlinearizable_execution,
+    run_sequential_history,
+)
+
+__all__ = [
+    "balanced_factorization",
+    "canonical",
+    "divisors",
+    "factorizations",
+    "prime_factors",
+    "NetworkStats",
+    "format_table",
+    "network_stats",
+    "FamilyEntry",
+    "build_family",
+    "pareto_frontier",
+    "comparison_row",
+    "comparison_table",
+    "power_of_two",
+    "LinearizabilityViolation",
+    "Operation",
+    "check_history",
+    "find_nonlinearizable_execution",
+    "run_sequential_history",
+    "LayerProfile",
+    "critical_path",
+    "layer_profile",
+    "occupancy",
+    "Plan",
+    "best_factorization",
+    "next_factorable_width",
+    "plan_network",
+    "PrefixQuality",
+    "measure_prefix_quality",
+    "prefix_counts",
+    "prefix_quality",
+    "worst_case_prefix",
+]

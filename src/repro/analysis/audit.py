@@ -1,0 +1,84 @@
+"""Structural audits: layer occupancy and critical paths.
+
+Helps users see *where* a network's depth and hardware cost come from —
+e.g. that the generic construction's staircase layers are sparsely
+occupied (few balancers per layer) while the base layers are dense, or
+which component chain forms the critical path of an `L` network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.network import Balancer, Network
+
+__all__ = ["LayerProfile", "layer_profile", "critical_path", "occupancy"]
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """Per-layer structure: balancer count, width histogram, wire
+    coverage."""
+
+    layer: int
+    balancers: int
+    total_fanin: int
+    widths: dict[int, int]
+    coverage: float  # fraction of network width touched by this layer
+
+
+def layer_profile(net: Network) -> list[LayerProfile]:
+    """One :class:`LayerProfile` per layer of the ASAP schedule."""
+    out = []
+    for i, layer in enumerate(net.layers()):
+        widths: dict[int, int] = {}
+        fanin = 0
+        for b in layer:
+            widths[b.width] = widths.get(b.width, 0) + 1
+            fanin += b.width
+        out.append(
+            LayerProfile(
+                layer=i,
+                balancers=len(layer),
+                total_fanin=fanin,
+                widths=dict(sorted(widths.items())),
+                coverage=fanin / net.width,
+            )
+        )
+    return out
+
+
+def occupancy(net: Network) -> float:
+    """Mean fraction of wires touched per layer (1.0 = every layer is a
+    full permutation layer, as in bitonic; the paper's staircase repairs
+    are much sparser)."""
+    profiles = layer_profile(net)
+    if not profiles:
+        return 0.0
+    return float(np.mean([p.coverage for p in profiles]))
+
+
+def critical_path(net: Network) -> list[Balancer]:
+    """One deepest balancer chain (input wire to output wire).
+
+    Returns the balancers along a maximum-depth path in order; empty for
+    the identity network.
+    """
+    if net.size == 0:
+        return []
+    depths = net.wire_depths()
+    # Find the deepest output wire, then walk producers backwards.
+    producer: dict[int, Balancer] = {}
+    for b in net.balancers:
+        for w in b.outputs:
+            producer[w] = b
+    wire = max(net.outputs, key=lambda w: int(depths[w]))
+    path: list[Balancer] = []
+    while wire in producer:
+        b = producer[wire]
+        path.append(b)
+        # Continue from the deepest input wire of this balancer.
+        wire = max(b.inputs, key=lambda w: int(depths[w]))
+    return list(reversed(path))

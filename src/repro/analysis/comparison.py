@@ -1,0 +1,67 @@
+"""Related-work comparison (paper §2, experiment E12).
+
+Builds the paper's constructions next to the implementable baselines and
+tabulates width, depth, size, and maximum balancer width — the programmatic
+version of the related-work discussion: bitonic/periodic exist only at
+power-of-two widths from 2-balancers; ``K``/``L`` cover *arbitrary* widths,
+trading balancer width against depth.
+"""
+
+from __future__ import annotations
+
+from ..baselines.bitonic import bitonic_network
+from ..baselines.odd_even import odd_even_network
+from ..baselines.periodic import periodic_network
+from ..core.network import Network
+from ..networks.k_network import k_network
+from ..networks.l_network import l_network
+from .factorizations import balanced_factorization, prime_factors
+from .stats import network_stats
+
+__all__ = ["comparison_row", "comparison_table", "power_of_two"]
+
+
+def power_of_two(w: int) -> bool:
+    """True iff ``w`` is a positive power of two."""
+    return w >= 1 and (w & (w - 1)) == 0
+
+
+def comparison_row(net: Network, construction: str, counts: bool | None = None) -> dict:
+    """One table row for ``net``."""
+    s = network_stats(net)
+    row = {
+        "construction": construction,
+        "width": s.width,
+        "depth": s.depth,
+        "size": s.size,
+        "max_balancer": s.max_balancer_width,
+    }
+    if counts is not None:
+        row["counting"] = counts
+    return row
+
+
+def comparison_table(widths: list[int], max_l_width: int = 5000) -> list[dict]:
+    """Rows comparing K (prime factorization), L (prime factorization),
+    K/L with a balanced coarse factorization, and the power-of-two
+    baselines where they exist."""
+    rows: list[dict] = []
+    for w in widths:
+        primes = prime_factors(w)
+        rows.append(comparison_row(k_network(primes), f"K(primes of {w})"))
+        if w <= max_l_width:
+            rows.append(comparison_row(l_network(primes), f"L(primes of {w})"))
+        # A coarse two/three-factor split, trading wide balancers for depth.
+        if len(primes) > 1:
+            coarse = balanced_factorization(w, max(2, int(round(w ** 0.5)) + 1)) if not _has_big_prime(w) else tuple(primes)
+            if coarse != tuple(sorted(primes, reverse=True)):
+                rows.append(comparison_row(k_network(list(coarse)), f"K{coarse}"))
+        if power_of_two(w) and w >= 2:
+            rows.append(comparison_row(bitonic_network(w), f"Bitonic[{w}]"))
+            rows.append(comparison_row(periodic_network(w), f"Periodic[{w}]"))
+            rows.append(comparison_row(odd_even_network(w), f"OddEven[{w}] (sort only)"))
+    return rows
+
+
+def _has_big_prime(w: int) -> bool:
+    return max(prime_factors(w)) ** 2 > w

@@ -1,0 +1,95 @@
+"""Factorization utilities for exploring the paper's network *family*.
+
+Every multiplicative factorization ``w = p0 * ... * p(n-1)`` (factors >= 2,
+not necessarily prime) yields a distinct counting network of width ``w``
+(paper §1); factor *order* changes the wiring but not the depth, so the
+family is indexed by multisets of factors.  These helpers enumerate them.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import prod
+
+__all__ = ["prime_factors", "divisors", "factorizations", "canonical", "balanced_factorization"]
+
+
+def prime_factors(w: int) -> list[int]:
+    """Prime factorization of ``w`` with multiplicity, ascending."""
+    if w < 1:
+        raise ValueError("w must be positive")
+    out: list[int] = []
+    d = 2
+    while d * d <= w:
+        while w % d == 0:
+            out.append(d)
+            w //= d
+        d += 1 if d == 2 else 2
+    if w > 1:
+        out.append(w)
+    return out
+
+
+def divisors(w: int) -> list[int]:
+    """All positive divisors of ``w``, ascending."""
+    if w < 1:
+        raise ValueError("w must be positive")
+    small, large = [], []
+    d = 1
+    while d * d <= w:
+        if w % d == 0:
+            small.append(d)
+            if d != w // d:
+                large.append(w // d)
+        d += 1
+    return small + large[::-1]
+
+
+@lru_cache(maxsize=None)
+def _factorizations_at_most(w: int, cap: int) -> tuple[tuple[int, ...], ...]:
+    """Multiplicative partitions of ``w`` with every factor in ``[2, cap]``,
+    each partition non-increasing."""
+    if w == 1:
+        return ((),)
+    out: list[tuple[int, ...]] = []
+    for d in divisors(w):
+        if 2 <= d <= cap:
+            for rest in _factorizations_at_most(w // d, d):
+                out.append((d, *rest))
+    return tuple(out)
+
+
+def factorizations(w: int) -> list[tuple[int, ...]]:
+    """All multiplicative partitions of ``w`` into factors >= 2
+    (non-increasing order, one representative per multiset).
+
+    ``factorizations(12) == [(12,), (4,3), (6,2), (3,2,2)]`` (sorted by factor count, then lexicographically).
+    """
+    if w < 2:
+        raise ValueError("w must be >= 2")
+    return sorted(_factorizations_at_most(w, w), key=lambda f: (len(f), f))
+
+
+def canonical(factors: list[int] | tuple[int, ...]) -> tuple[int, ...]:
+    """Canonical (non-increasing) representative of a factor multiset."""
+    return tuple(sorted((f for f in factors if f != 1), reverse=True))
+
+
+def balanced_factorization(w: int, max_factor: int) -> tuple[int, ...]:
+    """A factorization of ``w`` with every factor ``<= max_factor``, greedily
+    built from the largest divisors first; raises if none exists (i.e. if a
+    prime factor of ``w`` exceeds ``max_factor``)."""
+    if max_factor < 2:
+        raise ValueError("max_factor must be >= 2")
+    if max(prime_factors(w)) > max_factor:
+        raise ValueError(f"{w} has a prime factor above {max_factor}")
+    out: list[int] = []
+    rest = w
+    while rest > 1:
+        for d in range(min(max_factor, rest), 1, -1):
+            if rest % d == 0:
+                out.append(d)
+                rest //= d
+                break
+    assert prod(out) == w
+    return canonical(out)

@@ -1,0 +1,147 @@
+"""Linearizability of counting-network counters (paper §6).
+
+The paper closes with: *"An interesting open question concerns the timing
+constraints necessary for counting networks built in this way to be
+linearizable (c.f. [13, 14, 15])."*  The referenced results (Herlihy,
+Shavit & Waarts) show that counting networks of depth < width are **not**
+linearizable in general: a Fetch&Increment counter built on one can hand a
+*later, non-overlapping* operation a *smaller* value when a slow token is
+parked inside the network.  This module makes that concrete:
+
+* :func:`check_history` — linearizability checker for a set of completed
+  operations (interval + value): whenever ``a`` finishes before ``b``
+  starts, ``a``'s value must be smaller.
+* :func:`sequential_history` / its check — one-at-a-time executions are
+  always linearizable (the values come out in order).
+* :func:`find_nonlinearizable_execution` — constructs the classic
+  three-token schedule (stall A inside the network, run B to completion,
+  then run C to completion) and searches entry wires / stall depths until
+  it exhibits ``value(B) > value(C)`` with ``B`` finishing before ``C``
+  starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.network import Network
+from ..sim.token_sim import TokenSimulator
+
+__all__ = [
+    "Operation",
+    "LinearizabilityViolation",
+    "check_history",
+    "run_sequential_history",
+    "find_nonlinearizable_execution",
+]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A completed Fetch&Increment operation: real-time interval + value."""
+
+    token_id: int
+    start: int
+    end: int
+    value: int
+
+
+@dataclass(frozen=True)
+class LinearizabilityViolation:
+    """Witness: ``first`` finished before ``second`` started, yet received
+    the larger value."""
+
+    first: Operation
+    second: Operation
+
+    def __str__(self) -> str:
+        return (
+            f"non-linearizable: op {self.first.token_id} ended at step "
+            f"{self.first.end} with value {self.first.value}, but op "
+            f"{self.second.token_id} started later (step {self.second.start}) "
+            f"and got the smaller value {self.second.value}"
+        )
+
+
+def check_history(ops: list[Operation]) -> LinearizabilityViolation | None:
+    """First violation of real-time order, or None if linearizable.
+
+    For a counter, linearizability reduces to: if ``a.end < b.start`` then
+    ``a.value < b.value`` (values are unique).
+    """
+    by_end = sorted(ops, key=lambda o: o.end)
+    for i, a in enumerate(by_end):
+        for b in by_end[i + 1 :]:
+            if a.end < b.start and a.value > b.value:
+                return LinearizabilityViolation(a, b)
+    return None
+
+
+def _operations(sim: TokenSimulator) -> list[Operation]:
+    values = sim.values_so_far()
+    return [
+        Operation(t.token_id, t.entry_step, t.exit_step, values[t.token_id])
+        for t in sim.tokens
+        if t.done
+    ]
+
+
+def run_sequential_history(net: Network, n_ops: int, seed: int = 0) -> list[Operation]:
+    """Run ``n_ops`` Fetch&Increment operations strictly one at a time
+    (each token fully drains before the next is injected) and return the
+    history.  Sequential executions of any balancing network are
+    linearizable — the test suite checks this invariant."""
+    sim = TokenSimulator(net, seed=seed)
+    for k in range(n_ops):
+        tid = sim.inject_one(k % net.width)
+        sim.drain_token(tid)
+    return _operations(sim)
+
+
+def find_nonlinearizable_execution(
+    net: Network, max_stall_depth: int | None = None
+) -> tuple[LinearizabilityViolation, list[Operation]] | None:
+    """Search for the classic stalled-token violation.
+
+    Schedule template: token A enters and advances ``k`` hops, then stalls
+    (in the non-FIFO shared-memory wire model a process may be preempted
+    anywhere, even between its last balancer and the output counter); token
+    B enters and drains, getting ``value(B)``; then a train of tokens
+    ``C_1, C_2, ...`` each enters *after B exited* and drains.  B and every
+    C are non-overlapping, so linearizability demands
+    ``value(B) < value(C_i)``; but A's parked token reserves an early slot
+    that some ``C_i`` eventually claims, undercutting B.  Returns the
+    violation and the full history, or ``None`` if no instance was found
+    (e.g. depth-0 networks).
+    """
+    width = net.width
+    depths = range(1, (max_stall_depth or net.depth) + 1)
+    for a_pos in range(width):
+        for stall in depths:
+            for b_pos in range(width):
+                sim = TokenSimulator(net, seed=0, fifo_wires=False)
+                a = sim.inject_one(a_pos)
+                moved = 0
+                while moved < stall and sim.advance(a):
+                    moved += 1
+                if sim.tokens[a].done:
+                    continue  # the stall must leave a live token inside
+                try:
+                    b = sim.inject_one(b_pos)
+                    sim.drain_token(b)
+                    # Later, non-overlapping operations: one of them will
+                    # land on A's parked output wire and take its slot.
+                    for j in range(width + 1):
+                        c = sim.inject_one((b_pos + 1 + j) % width)
+                        sim.drain_token(c)
+                        v = check_history(_operations(sim))
+                        if v is not None:
+                            sim.drain_token(a)
+                            return v, _operations(sim)
+                    sim.drain_token(a)
+                except RuntimeError:
+                    continue  # a token got blocked; try another schedule
+                v = check_history(_operations(sim))
+                if v is not None:
+                    return v, _operations(sim)
+    return None

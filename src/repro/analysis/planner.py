@@ -1,0 +1,121 @@
+"""Deployment planner: pick the right family member for your constraints.
+
+The paper offers one network per factorization; a user typically has a
+*width* (how many wires/counters) and a *balancer budget* (the widest
+atomic primitive their platform supports — a CAS word, a crossbar port
+count, ...).  The planner searches the family for the shallowest member
+within budget, optionally considering padded widths when ``w`` itself has
+a prime factor above the budget (e.g. counting on 34 = 2·17 wires with
+balancers ≤ 8 is impossible; 36 = 2²·3² works).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+
+from ..core.network import Network
+from ..networks.k_network import k_network
+from ..networks.l_network import l_network
+from .factorizations import factorizations, prime_factors
+
+__all__ = ["Plan", "plan_network", "next_factorable_width", "best_factorization"]
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A planner recommendation."""
+
+    width: int
+    requested_width: int
+    factors: tuple[int, ...]
+    family: str
+    depth: int
+    size: int
+    max_balancer_width: int
+
+    @property
+    def padded(self) -> bool:
+        return self.width != self.requested_width
+
+    def build(self) -> Network:
+        make = k_network if self.family == "K" else l_network
+        return make(list(self.factors))
+
+
+def best_factorization(w: int, max_balancer: int, family: str = "K") -> tuple[int, ...] | None:
+    """Shallowest-then-smallest family member of width exactly ``w`` whose
+    balancers fit the budget, or ``None`` if no factorization fits."""
+    if family not in ("K", "L"):
+        raise ValueError("family must be 'K' or 'L'")
+    make = k_network if family == "K" else l_network
+    best: tuple[tuple[int, int], tuple[int, ...]] | None = None
+    for factors in factorizations(w):
+        if family == "L":
+            fits = max(factors) <= max_balancer
+        else:
+            # K uses balancers up to products of factor pairs; bound by the
+            # actual built network (degenerate cases can be narrower).
+            fits = max(factors) <= max_balancer  # cheap pre-filter
+        if not fits:
+            continue
+        net = make(list(factors))
+        if net.max_balancer_width > max_balancer:
+            continue
+        key = (net.depth, net.size)
+        if best is None or key < best[0]:
+            best = (key, factors)
+    return best[1] if best else None
+
+
+def next_factorable_width(w: int, max_balancer: int, limit: int = 4096) -> int:
+    """Smallest width >= ``w`` whose prime factors all fit the budget."""
+    if max_balancer < 2:
+        raise ValueError("max_balancer must be >= 2")
+    for cand in range(max(w, 2), limit + 1):
+        if max(prime_factors(cand)) <= max_balancer:
+            return cand
+    raise ValueError(f"no factorable width in [{w}, {limit}] for budget {max_balancer}")
+
+
+def plan_network(
+    width: int,
+    max_balancer: int,
+    family: str = "K",
+    allow_padding: bool = True,
+) -> Plan:
+    """Recommend a network: exact width if some factorization fits the
+    budget, else (with ``allow_padding``) the nearest larger width that
+    does.  Padding is sound for counting networks — extra wires simply see
+    fewer tokens — and the caller can ignore surplus output wires for
+    sorting if fed with sentinel values."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    if family == "K" and max_balancer < 4 and width > max_balancer:
+        # Any multi-factor K uses balancers of width >= 2*2; only the
+        # single balancer (width == w) can be narrower, and that needs
+        # w <= budget.  The L family exists precisely for narrow budgets.
+        raise ValueError(
+            f"the K family cannot meet a balancer budget of {max_balancer} "
+            f"at width {width} (its balancers are pairwise factor products, "
+            f">= 4); use family='L'"
+        )
+    w = width
+    while True:
+        factors = best_factorization(w, max_balancer, family)
+        if factors is not None:
+            net = (k_network if family == "K" else l_network)(list(factors))
+            return Plan(
+                width=w,
+                requested_width=width,
+                factors=factors,
+                family=family,
+                depth=net.depth,
+                size=net.size,
+                max_balancer_width=net.max_balancer_width,
+            )
+        if not allow_padding:
+            raise ValueError(
+                f"width {width} has no {family}-factorization with balancers <= {max_balancer}"
+            )
+        w = next_factorable_width(w + 1, max_balancer)

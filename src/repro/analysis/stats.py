@@ -1,0 +1,49 @@
+"""Network statistics records shared by the analysis and bench layers."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from ..core.network import Network
+
+__all__ = ["NetworkStats", "network_stats", "format_table"]
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """Structural summary of one network."""
+
+    name: str
+    width: int
+    depth: int
+    size: int
+    max_balancer_width: int
+    total_fanin: int  # sum of balancer widths ("wiring cost")
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def network_stats(net: Network) -> NetworkStats:
+    """Collect the structural summary of ``net``."""
+    return NetworkStats(
+        name=net.name,
+        width=net.width,
+        depth=net.depth,
+        size=net.size,
+        max_balancer_width=net.max_balancer_width,
+        total_fanin=sum(b.width for b in net.balancers),
+    )
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    columns = columns or list(rows[0].keys())
+    cells = [[str(r.get(c, "")) for c in columns] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(columns)]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in cells)
+    return f"{header}\n{sep}\n{body}"

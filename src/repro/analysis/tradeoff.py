@@ -1,0 +1,84 @@
+"""The factorization family trade-off (paper §1 and §6, experiment E11).
+
+For a fixed width ``w``, every factorization ``w = p0 * ... * p(n-1)`` gives
+a network: few large factors -> shallow networks with wide balancers; many
+small factors -> deeper networks with narrow balancers.  This module builds
+the whole family and extracts the (max balancer width, depth) frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.network import Network
+from ..networks.k_network import k_network
+from ..networks.l_network import l_network
+from .factorizations import factorizations
+from .stats import NetworkStats, network_stats
+
+__all__ = ["FamilyEntry", "build_family", "pareto_frontier"]
+
+
+@dataclass(frozen=True)
+class FamilyEntry:
+    """One member of the width-``w`` family."""
+
+    factors: tuple[int, ...]
+    family: str  # "K" or "L"
+    stats: NetworkStats
+
+    @property
+    def n(self) -> int:
+        return len(self.factors)
+
+    def as_dict(self) -> dict:
+        d = {"factors": "x".join(map(str, self.factors)), "n": self.n, "family": self.family}
+        d.update(self.stats.as_dict())
+        d.pop("name")
+        return d
+
+
+def build_family(
+    w: int,
+    family: str = "K",
+    max_members: int | None = None,
+    max_factors: int | None = None,
+) -> list[FamilyEntry]:
+    """Build the counting-network family of width ``w``.
+
+    ``family`` selects ``K`` (balancers up to ``max(p_i * p_j)``) or ``L``
+    (balancers up to ``max(p_i)``).  ``max_members`` truncates enumeration
+    for widths with very many factorizations; ``max_factors`` bounds ``n``
+    (deep ``L`` networks get large quickly).
+    """
+    if family not in ("K", "L"):
+        raise ValueError("family must be 'K' or 'L'")
+    make = k_network if family == "K" else l_network
+    entries: list[FamilyEntry] = []
+    for factors in factorizations(w):
+        if max_factors is not None and len(factors) > max_factors:
+            continue
+        net: Network = make(list(factors))
+        entries.append(FamilyEntry(factors, family, network_stats(net)))
+        if max_members is not None and len(entries) >= max_members:
+            break
+    return entries
+
+
+def pareto_frontier(entries: list[FamilyEntry]) -> list[FamilyEntry]:
+    """Members not dominated in (depth, max balancer width): the menu of
+    genuinely distinct trade-offs for a fixed width."""
+    out: list[FamilyEntry] = []
+    for e in entries:
+        dominated = any(
+            (o.stats.depth <= e.stats.depth)
+            and (o.stats.max_balancer_width <= e.stats.max_balancer_width)
+            and (
+                o.stats.depth < e.stats.depth
+                or o.stats.max_balancer_width < e.stats.max_balancer_width
+            )
+            for o in entries
+        )
+        if not dominated:
+            out.append(e)
+    return sorted(out, key=lambda e: (e.stats.max_balancer_width, e.stats.depth))

@@ -1,0 +1,43 @@
+"""Baseline networks: bitonic, periodic, odd-even, bubble/brick."""
+
+from .bitonic import bitonic_depth, bitonic_network, build_bitonic_counting, build_bitonic_merger
+from .periodic import build_periodic_block, periodic_depth, periodic_network
+from .odd_even import build_odd_even_merge, build_odd_even_sort, odd_even_depth, odd_even_network
+from .bubble import brick_network, bubble_network
+from .multiway import build_multiway_sort, multiway_network
+from .shearsort import build_shearsort, shearsort_depth, shearsort_network
+from .columnsort import build_columnsort, columnsort_network, columnsort_valid
+from .batcher_general import (
+    batcher_any_depth,
+    batcher_any_network,
+    build_general_merge,
+    build_general_sort,
+)
+
+__all__ = [
+    "bitonic_depth",
+    "bitonic_network",
+    "build_bitonic_counting",
+    "build_bitonic_merger",
+    "build_periodic_block",
+    "periodic_depth",
+    "periodic_network",
+    "build_odd_even_merge",
+    "build_odd_even_sort",
+    "odd_even_depth",
+    "odd_even_network",
+    "brick_network",
+    "bubble_network",
+    "batcher_any_depth",
+    "batcher_any_network",
+    "build_general_merge",
+    "build_general_sort",
+    "build_multiway_sort",
+    "multiway_network",
+    "build_shearsort",
+    "shearsort_depth",
+    "shearsort_network",
+    "build_columnsort",
+    "columnsort_network",
+    "columnsort_valid",
+]

@@ -1,0 +1,69 @@
+"""Batcher odd-even mergesort generalized to **arbitrary width** (the
+Lee–Batcher line of related work, paper §2).
+
+The classic odd-even merge extends to inputs of unequal, non-power-of-two
+lengths: to merge sorted ``X`` (length a) and ``Y`` (length b), recursively
+merge the even-indexed and odd-indexed subsequences, then interleave with
+one layer of 2-comparators.  Sorting splits the input in half and merges.
+This yields a 2-comparator sorting network of any width ``w`` with depth
+``ceil(log2 w) * (ceil(log2 w) + 1) / 2`` — the same-depth arbitrary-width
+sorting baseline for the comparison benches (like plain odd-even, its
+balancing version does not count).
+"""
+
+from __future__ import annotations
+
+from ..core.network import Network, NetworkBuilder
+
+__all__ = ["build_general_merge", "build_general_sort", "batcher_any_network", "batcher_any_depth"]
+
+
+def build_general_merge(b: NetworkBuilder, x: list[int], y: list[int]) -> list[int]:
+    """Odd-even merge of two descending-sorted wire lists of *any*
+    lengths."""
+    if not x:
+        return list(y)
+    if not y:
+        return list(x)
+    if len(x) == 1 and len(y) == 1:
+        return b.balancer([x[0], y[0]])
+    even = build_general_merge(b, x[0::2], y[0::2])
+    odd = build_general_merge(b, x[1::2], y[1::2])
+    # Interleave: out[0] = even[0]; then compare odd[i] with even[i+1].
+    out: list[int] = [even[0]]
+    i = 0
+    while i < len(odd) and i + 1 < len(even):
+        top, bottom = b.balancer([odd[i], even[i + 1]])
+        out.extend([top, bottom])
+        i += 1
+    out.extend(odd[i:])
+    out.extend(even[i + 1 :])
+    return out
+
+
+def build_general_sort(b: NetworkBuilder, wires: list[int]) -> list[int]:
+    """Odd-even mergesort on any number of wires."""
+    if len(wires) <= 1:
+        return list(wires)
+    half = len(wires) // 2
+    x = build_general_sort(b, wires[:half])
+    y = build_general_sort(b, wires[half:])
+    return build_general_merge(b, x, y)
+
+
+def batcher_any_network(width: int) -> Network:
+    """Standalone arbitrary-width Batcher sorting network."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetworkBuilder(width)
+    out = build_general_sort(b, list(b.inputs))
+    return b.finish(out, name=f"BatcherAny[{width}]")
+
+
+def batcher_any_depth(width: int) -> int:
+    """Upper bound ``k(k+1)/2`` with ``k = ceil(log2 width)``; exact at
+    powers of two."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    k = (width - 1).bit_length()
+    return k * (k + 1) // 2

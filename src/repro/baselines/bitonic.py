@@ -1,0 +1,68 @@
+"""The bitonic counting network of Aspnes, Herlihy and Shavit (paper ref [3]).
+
+``Bitonic[w]`` for ``w = 2^k`` is the classic width-``2^k`` counting network
+from 2-balancers: two ``Bitonic[w/2]`` networks feed a ``Merger[w]``, where
+``Merger[w]`` sends the even-indexed wires of its first input and the
+odd-indexed wires of its second input to one ``Merger[w/2]`` (and the
+complementary wires to another), then joins corresponding outputs with a
+final layer of 2-balancers.  Depth is ``k(k+1)/2``.
+
+This is the main same-width baseline for the paper's ``K``/``L`` families:
+the paper notes (§6) its overall structure is similar to — and its depth a
+constant factor below — the new construction, at the cost of requiring
+``w`` to be a power of two and balancers to be width-2 only.
+"""
+
+from __future__ import annotations
+
+from ..core.network import Network, NetworkBuilder
+
+__all__ = ["build_bitonic_merger", "build_bitonic_counting", "bitonic_network", "bitonic_depth"]
+
+
+def _check_power_of_two(w: int) -> None:
+    if w < 1 or (w & (w - 1)) != 0:
+        raise ValueError(f"bitonic network requires a power-of-two width, got {w}")
+
+
+def build_bitonic_merger(b: NetworkBuilder, x: list[int], y: list[int]) -> list[int]:
+    """``Merger[2k]``: merges two step inputs of equal power-of-two length."""
+    if len(x) != len(y):
+        raise ValueError("merger inputs must have equal length")
+    _check_power_of_two(len(x) * 2)
+    if len(x) == 1:
+        return b.balancer([x[0], y[0]])
+    a_out = build_bitonic_merger(b, x[0::2], y[1::2])
+    b_out = build_bitonic_merger(b, x[1::2], y[0::2])
+    out: list[int] = [0] * (2 * len(x))
+    for i, (za, zb) in enumerate(zip(a_out, b_out)):
+        top, bottom = b.balancer([za, zb])
+        out[2 * i] = top
+        out[2 * i + 1] = bottom
+    return out
+
+
+def build_bitonic_counting(b: NetworkBuilder, wires: list[int]) -> list[int]:
+    """``Bitonic[w]`` on ``wires`` (power-of-two length)."""
+    _check_power_of_two(len(wires))
+    if len(wires) == 1:
+        return list(wires)
+    half = len(wires) // 2
+    x = build_bitonic_counting(b, wires[:half])
+    y = build_bitonic_counting(b, wires[half:])
+    return build_bitonic_merger(b, x, y)
+
+
+def bitonic_network(width: int) -> Network:
+    """Standalone ``Bitonic[width]`` counting network (width a power of 2)."""
+    _check_power_of_two(width)
+    b = NetworkBuilder(width)
+    out = build_bitonic_counting(b, list(b.inputs))
+    return b.finish(out, name=f"Bitonic[{width}]")
+
+
+def bitonic_depth(width: int) -> int:
+    """Analytical depth ``k(k+1)/2`` for ``width = 2^k``."""
+    _check_power_of_two(width)
+    k = width.bit_length() - 1
+    return k * (k + 1) // 2

@@ -1,0 +1,46 @@
+"""Bubble-sort and odd-even-transposition networks (paper Figure 3).
+
+The triangular bubble-sort network is the paper's counterexample: it *is* a
+sorting network, but replacing its comparators with balancers does **not**
+yield a counting network.  :mod:`repro.verify` finds violating count
+vectors for it, reproducing Figure 3's message programmatically.
+
+The brick-pattern odd-even transposition network (depth ``w``) is included
+as a second elementary sorting network for the comparison benches.
+"""
+
+from __future__ import annotations
+
+from ..core.network import Network, NetworkBuilder
+
+__all__ = ["bubble_network", "brick_network"]
+
+
+def bubble_network(width: int) -> Network:
+    """Triangular bubble-sort network: passes of adjacent comparators
+    ``(0,1)(1,2)...`` of decreasing length; depth ``2w - 3`` for width
+    ``w >= 2``."""
+    if width < 2:
+        raise ValueError("bubble network requires width >= 2")
+    b = NetworkBuilder(width)
+    wires = list(b.inputs)
+    for length in range(width - 1, 0, -1):
+        for i in range(length):
+            top, bottom = b.balancer([wires[i], wires[i + 1]])
+            wires[i], wires[i + 1] = top, bottom
+    return b.finish(wires, name=f"Bubble[{width}]")
+
+
+def brick_network(width: int) -> Network:
+    """Odd-even transposition ("brick wall") sorting network of depth
+    ``width``."""
+    if width < 2:
+        raise ValueError("brick network requires width >= 2")
+    b = NetworkBuilder(width)
+    wires = list(b.inputs)
+    for layer in range(width):
+        start = layer % 2
+        for i in range(start, width - 1, 2):
+            top, bottom = b.balancer([wires[i], wires[i + 1]])
+            wires[i], wires[i + 1] = top, bottom
+    return b.finish(wires, name=f"Brick[{width}]")

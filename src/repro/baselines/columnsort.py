@@ -1,0 +1,87 @@
+"""Leighton's columnsort as a comparator network of wide comparators.
+
+Columnsort sorts an ``r x s`` matrix (column-major order) whenever
+``r >= 2*(s-1)^2`` in eight steps, four of which sort columns:
+
+1. sort each column;          2. "transpose" (column-major -> row-major);
+3. sort each column;          4. untranspose (row-major -> column-major);
+5. sort each column;          6. shift down by floor(r/2) (±∞ padding);
+7. sort each (shifted) column; 8. unshift.
+
+Realizing each column sorter as one ``r``-comparator gives depth **4**
+from comparators of width ≤ ``r`` — even shallower than shearsort and
+``R(p, q)``, but valid only in the tall-matrix regime and, like all
+sorting-only networks here, *not* a counting network.  In the fixed-width
+realization, steps 6–8 reduce to sorting blocks of ``r`` consecutive
+positions at offset ``r/2`` in the flat column-major sequence (the ±∞
+pads make the two boundary half-windows plain ``r/2``-sorters).
+"""
+
+from __future__ import annotations
+
+from ..core.network import Network, NetworkBuilder
+
+__all__ = ["build_columnsort", "columnsort_network", "columnsort_valid"]
+
+
+def columnsort_valid(r: int, s: int) -> bool:
+    """Leighton's applicability condition ``r >= 2*(s-1)^2`` (plus
+    divisibility of the shift step)."""
+    return r >= 2 * (s - 1) ** 2 and r % 2 == 0 if s > 1 else r >= 1
+
+
+def build_columnsort(b: NetworkBuilder, wires: list[int], r: int, s: int) -> list[int]:
+    """Append columnsort for an ``r x s`` matrix, ``wires`` and the output
+    both in column-major (= flat descending) order."""
+    if r < 1 or s < 1:
+        raise ValueError("r, s must be >= 1")
+    if len(wires) != r * s:
+        raise ValueError(f"expected {r * s} wires, got {len(wires)}")
+    if not columnsort_valid(r, s):
+        raise ValueError(f"columnsort requires r >= 2(s-1)^2 and even r; got r={r}, s={s}")
+
+    flat = list(wires)  # column-major: column j occupies [j*r, (j+1)*r)
+
+    def sort_columns(seq: list[int]) -> list[int]:
+        out: list[int] = []
+        for j in range(s):
+            out.extend(b.maybe_balancer(seq[j * r : (j + 1) * r]))
+        return out
+
+    # Step 1.
+    flat = sort_columns(flat)
+    # Step 2: transpose — entry at column-major position k moves to the
+    # position whose column-major index corresponds to row-major pickup.
+    # Pick up in column-major order (flat as-is), lay down row-major:
+    # the element k goes to cell (k // s, k % s), i.e. column-major
+    # position (k % s) * r + (k // s).
+    t = [0] * (r * s)
+    for k in range(r * s):
+        t[(k % s) * r + (k // s)] = flat[k]
+    flat = t
+    # Step 3.
+    flat = sort_columns(flat)
+    # Step 4: untranspose (inverse permutation).
+    t = [0] * (r * s)
+    for k in range(r * s):
+        t[k] = flat[(k % s) * r + (k // s)]
+    flat = t
+    # Step 5.
+    flat = sort_columns(flat)
+    # Steps 6-8: shifted column sort = windows of r at offset r/2.
+    half = r // 2
+    out: list[int] = []
+    out.extend(b.maybe_balancer(flat[:half]))
+    pos = half
+    while pos + r <= r * s:
+        out.extend(b.maybe_balancer(flat[pos : pos + r]))
+        pos += r
+    out.extend(b.maybe_balancer(flat[pos:]))
+    return out
+
+
+def columnsort_network(r: int, s: int) -> Network:
+    """Standalone columnsort network of width ``r*s``."""
+    b = NetworkBuilder(r * s)
+    out = build_columnsort(b, list(b.inputs), r, s)
+    return b.finish(out, name=f"Columnsort[{r}x{s}]")

@@ -1,0 +1,67 @@
+"""Multiway mergesort networks for arbitrary factored widths (paper §2's
+Lee–Batcher line, realized as a binary merge tree).
+
+Lee and Batcher's multiway merge network sorts width
+``w = p0 * ... * p(n-1)`` with 2-comparators; we realize the same
+arbitrary-width capability with a balanced binary tree of generalized
+odd-even merges: sort the ``p(n-1)`` sub-blocks recursively, then merge
+them pairwise.  Depth is ``O(log² w)`` with small constants, making it the
+natural *sorting-only* competitor to the paper's K/L families at arbitrary
+widths (its balancing version does not count, like all Batcher-style
+networks).
+"""
+
+from __future__ import annotations
+
+from math import prod
+
+from ..core.network import Network, NetworkBuilder
+from .batcher_general import build_general_merge
+
+__all__ = ["build_multiway_sort", "multiway_network"]
+
+
+def _merge_tree(b: NetworkBuilder, blocks: list[list[int]]) -> list[int]:
+    """Balanced binary merge tree over descending-sorted blocks."""
+    while len(blocks) > 1:
+        nxt: list[list[int]] = []
+        for i in range(0, len(blocks) - 1, 2):
+            nxt.append(build_general_merge(b, blocks[i], blocks[i + 1]))
+        if len(blocks) % 2:
+            nxt.append(blocks[-1])
+        blocks = nxt
+    return blocks[0]
+
+
+def build_multiway_sort(b: NetworkBuilder, wires: list[int], factors: list[int]) -> list[int]:
+    """Sort ``wires`` by the factor-structured multiway mergesort: split
+    into ``factors[-1]`` blocks of width ``prod(factors[:-1])``, sort each
+    recursively, merge with a binary tree."""
+    factors = [f for f in factors if f > 1]
+    if prod(factors) != len(wires):
+        raise ValueError(f"factors {factors} have product {prod(factors)} != width {len(wires)}")
+    if len(wires) <= 1:
+        return list(wires)
+    if len(factors) == 1:
+        # A single factor block: recurse on a balanced 2-way split so only
+        # 2-comparators are used (unlike K, which would use one balancer).
+        half = len(wires) // 2
+        x = build_multiway_sort(b, wires[:half], [half])
+        y = build_multiway_sort(b, wires[half:], [len(wires) - half])
+        return build_general_merge(b, x, y)
+    block = prod(factors[:-1])
+    sorted_blocks = [
+        build_multiway_sort(b, list(wires[i * block : (i + 1) * block]), factors[:-1])
+        for i in range(factors[-1])
+    ]
+    return _merge_tree(b, sorted_blocks)
+
+
+def multiway_network(factors: list[int] | tuple[int, ...]) -> Network:
+    """Standalone multiway mergesort network of width ``prod(factors)``,
+    built entirely from 2-comparators."""
+    factors = [int(f) for f in factors]
+    width = prod([f for f in factors if f > 1]) if any(f > 1 for f in factors) else 1
+    b = NetworkBuilder(max(width, 1))
+    out = build_multiway_sort(b, list(b.inputs), factors)
+    return b.finish(out, name=f"Multiway({','.join(map(str, factors))})")

@@ -1,0 +1,63 @@
+"""Batcher's odd-even merge sorting network (related work, Lee–Batcher line).
+
+``OddEven[w]`` for ``w = 2^k`` is the classic depth ``k(k+1)/2`` *sorting*
+network from 2-comparators.  Its balancing version is **not** a counting
+network (unlike bitonic) — the comparison benches demonstrate this with a
+concrete violating count vector, reinforcing the paper's point that sorting
+networks do not automatically count.
+"""
+
+from __future__ import annotations
+
+from ..core.network import Network, NetworkBuilder
+
+__all__ = ["build_odd_even_merge", "build_odd_even_sort", "odd_even_network", "odd_even_depth"]
+
+
+def _check_power_of_two(w: int) -> None:
+    if w < 1 or (w & (w - 1)) != 0:
+        raise ValueError(f"odd-even network requires a power-of-two width, got {w}")
+
+
+def build_odd_even_merge(b: NetworkBuilder, x: list[int], y: list[int]) -> list[int]:
+    """Batcher odd-even ``Merge`` of two sorted (descending) inputs of equal
+    power-of-two length."""
+    if len(x) != len(y):
+        raise ValueError("merge inputs must have equal length")
+    if len(x) == 1:
+        return b.balancer([x[0], y[0]])
+    even = build_odd_even_merge(b, x[0::2], y[0::2])
+    odd = build_odd_even_merge(b, x[1::2], y[1::2])
+    out: list[int] = [even[0]]
+    for i in range(len(odd) - 1):
+        top, bottom = b.balancer([odd[i], even[i + 1]])
+        out.extend([top, bottom])
+    out.extend([odd[-1]])
+    # Interleave check: output is even[0], (odd[0]?even[1]), ..., odd[-1]
+    return out
+
+
+def build_odd_even_sort(b: NetworkBuilder, wires: list[int]) -> list[int]:
+    """Batcher odd-even mergesort on ``wires`` (power-of-two length)."""
+    _check_power_of_two(len(wires))
+    if len(wires) == 1:
+        return list(wires)
+    half = len(wires) // 2
+    x = build_odd_even_sort(b, wires[:half])
+    y = build_odd_even_sort(b, wires[half:])
+    return build_odd_even_merge(b, x, y)
+
+
+def odd_even_network(width: int) -> Network:
+    """Standalone ``OddEven[width]`` sorting network."""
+    _check_power_of_two(width)
+    b = NetworkBuilder(width)
+    out = build_odd_even_sort(b, list(b.inputs))
+    return b.finish(out, name=f"OddEven[{width}]")
+
+
+def odd_even_depth(width: int) -> int:
+    """Analytical depth ``k(k+1)/2`` for ``width = 2^k``."""
+    _check_power_of_two(width)
+    k = width.bit_length() - 1
+    return k * (k + 1) // 2

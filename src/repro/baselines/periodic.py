@@ -1,0 +1,63 @@
+"""The periodic balanced network (Dowd–Perkins–Saks–Shmoys; used as a
+counting network by Aspnes, Herlihy and Shavit, paper ref [3]).
+
+``Periodic[w]`` for ``w = 2^k`` consists of ``k`` identical *blocks*; each
+block has ``k`` layers of 2-balancers:
+
+* layer ``t`` (``t = 1..k``) splits the wires into contiguous groups of
+  size ``w / 2^(t-1)`` and applies the *reversal* pairing ``i <-> group-1-i``
+  inside each group (layer 1 is the full-width reversal).
+
+Total depth ``k²`` — deeper than bitonic but with the practical property
+that the same block can be applied repeatedly (useful for pipelined
+hardware).  Included as a second same-width 2-balancer baseline.
+"""
+
+from __future__ import annotations
+
+from ..core.network import Network, NetworkBuilder
+
+__all__ = ["build_periodic_block", "periodic_network", "periodic_depth"]
+
+
+def _check_power_of_two(w: int) -> None:
+    if w < 2 or (w & (w - 1)) != 0:
+        raise ValueError(f"periodic network requires a power-of-two width >= 2, got {w}")
+
+
+def build_periodic_block(b: NetworkBuilder, wires: list[int]) -> list[int]:
+    """One ``Block[w]``: ``log2 w`` layers as described above."""
+    _check_power_of_two(len(wires))
+    w = len(wires)
+    k = w.bit_length() - 1
+    cur = list(wires)
+    # Layer t = 1..k: groups of size w / 2^(t-1); reversal pairing
+    # i <-> group-1-i inside every group (layer 1 is the full reversal).
+    for t in range(1, k + 1):
+        group = w >> (t - 1)
+        nxt = list(cur)
+        for g in range(0, w, group):
+            for i in range(group // 2):
+                top, bottom = b.balancer([cur[g + i], cur[g + group - 1 - i]])
+                nxt[g + i], nxt[g + group - 1 - i] = top, bottom
+        cur = nxt
+    return cur
+
+
+def periodic_network(width: int, blocks: int | None = None) -> Network:
+    """Standalone ``Periodic[width]``: ``log2(width)`` blocks by default."""
+    _check_power_of_two(width)
+    k = width.bit_length() - 1
+    blocks = k if blocks is None else blocks
+    b = NetworkBuilder(width)
+    wires = list(b.inputs)
+    for _ in range(blocks):
+        wires = build_periodic_block(b, wires)
+    return b.finish(wires, name=f"Periodic[{width}]x{blocks}")
+
+
+def periodic_depth(width: int) -> int:
+    """Analytical depth ``k²`` for ``width = 2^k``."""
+    _check_power_of_two(width)
+    k = width.bit_length() - 1
+    return k * k

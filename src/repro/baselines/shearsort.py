@@ -1,0 +1,70 @@
+"""Shearsort on an r x s mesh, as a comparator network of wide comparators.
+
+Shearsort sorts an ``r x s`` matrix into snake-like row-major order by
+alternating row phases (each row sorted, direction alternating by row) and
+column phases (each column sorted), ``ceil(log2 r) + 1`` row phases in
+total.  Realizing each row/column sorter as a single wide comparator gives
+a width-``r*s`` sorting network of depth ``2*ceil(log2 r) + 1`` from
+comparators of width at most ``max(r, s)`` — a natural sorting-only
+competitor to the paper's constant-depth ``R(p, q)``: shallow for small
+``r``, but its depth grows with ``log r`` while ``R`` stays ≤ 16 (and ``R``
+counts, which shearsort does not).
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+
+from ..core.network import Network, NetworkBuilder
+
+__all__ = ["build_shearsort", "shearsort_network", "shearsort_depth"]
+
+
+def build_shearsort(b: NetworkBuilder, wires: list[int], r: int, s: int) -> list[int]:
+    """Append shearsort for an ``r x s`` matrix (wires in row-major order);
+    returns output wires in *globally descending* order (snake order
+    unrolled)."""
+    if r < 1 or s < 1:
+        raise ValueError("r, s must be >= 1")
+    if len(wires) != r * s:
+        raise ValueError(f"expected {r * s} wires, got {len(wires)}")
+    cell = [[wires[i * s + j] for j in range(s)] for i in range(r)]
+
+    phases = ceil(log2(r)) + 1 if r > 1 else 1
+    for phase in range(phases):
+        # Row phase: sort each row, snake direction.  A balancer emits
+        # descending on its outputs in order; an "ascending" row is the
+        # same balancer with its outputs reversed.
+        for i in range(r):
+            out = b.maybe_balancer(cell[i])
+            cell[i] = out if i % 2 == 0 else out[::-1]
+        if phase == phases - 1:
+            break  # final row phase completes the sort
+        # Column phase: sort each column downward.
+        for j in range(s):
+            col = b.maybe_balancer([cell[i][j] for i in range(r)])
+            for i in range(r):
+                cell[i][j] = col[i]
+
+    # Snake order: even rows left-to-right, odd rows right-to-left holds
+    # the globally descending sequence.
+    out: list[int] = []
+    for i in range(r):
+        row = cell[i] if i % 2 == 0 else cell[i][::-1]
+        out.extend(row)
+    return out
+
+
+def shearsort_network(r: int, s: int) -> Network:
+    """Standalone shearsort network of width ``r*s`` (row-major input)."""
+    b = NetworkBuilder(r * s)
+    out = build_shearsort(b, list(b.inputs), r, s)
+    return b.finish(out, name=f"Shearsort[{r}x{s}]")
+
+
+def shearsort_depth(r: int, s: int) -> int:
+    """``2*ceil(log2 r) + 1`` balancer layers (row/column alternation)."""
+    if r < 1 or s < 1:
+        raise ValueError("r, s must be >= 1")
+    phases = ceil(log2(r)) + 1 if r > 1 else 1
+    return 2 * phases - 1

@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+build       build a network and print its stats (and optionally a diagram)
+verify      search for counting/sorting violations
+family      print the factorization family table for a width
+compare     print the related-work comparison table
+throughput  run the discrete-event contention model over a family
+export      emit a network as Graphviz DOT or layered JSON
+smooth      measure a network's observed smoothing constant
+linearize   search for a non-linearizable execution (paper §6)
+audit       per-layer profile and critical path of a network
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis import build_family, comparison_table, format_table, network_stats, pareto_frontier
+from .baselines import bitonic_network, brick_network, bubble_network, odd_even_network, periodic_network
+from .networks import counting_network, k_network, l_network, r_network
+from .sim import ContentionSimulator
+from .verify import find_counting_violation, find_sorting_violation
+from .viz import render_network
+
+__all__ = ["main"]
+
+_BUILDERS = {
+    "K": lambda factors: k_network(factors),
+    "L": lambda factors: l_network(factors),
+    "C": lambda factors: counting_network(factors),
+    "R": lambda factors: r_network(*factors),
+    "bitonic": lambda factors: bitonic_network(factors[0]),
+    "periodic": lambda factors: periodic_network(factors[0]),
+    "oddeven": lambda factors: odd_even_network(factors[0]),
+    "bubble": lambda factors: bubble_network(factors[0]),
+    "brick": lambda factors: brick_network(factors[0]),
+}
+
+
+def _build(args: argparse.Namespace):
+    net = _BUILDERS[args.family](args.factors)
+    s = network_stats(net)
+    print(format_table([s.as_dict()]))
+    if args.diagram:
+        print()
+        print(render_network(net))
+    return 0
+
+
+def _verify(args: argparse.Namespace) -> int:
+    net = _BUILDERS[args.family](args.factors)
+    cv = find_counting_violation(net, rng=np.random.default_rng(args.seed))
+    sv = find_sorting_violation(net)
+    print(f"{net.name}: width={net.width} depth={net.depth}")
+    print(f"  sorting: {'OK (0-1 principle)' if sv is None else f'VIOLATION: {sv}'}")
+    print(f"  counting: {'no violation found' if cv is None else f'VIOLATION: {cv}'}")
+    return 0 if (cv is None and sv is None) else 1
+
+
+def _family(args: argparse.Namespace) -> int:
+    entries = build_family(args.width, args.family, max_members=args.max_members)
+    print(format_table([e.as_dict() for e in entries]))
+    front = pareto_frontier(entries)
+    print("\nPareto frontier (max balancer width vs depth):")
+    for e in front:
+        print(f"  {'x'.join(map(str, e.factors)):>16}  depth={e.stats.depth:<4} max_balancer={e.stats.max_balancer_width}")
+    return 0
+
+
+def _compare(args: argparse.Namespace) -> int:
+    print(format_table(comparison_table(args.widths)))
+    return 0
+
+
+def _throughput(args: argparse.Namespace) -> int:
+    rows = []
+    for e in build_family(args.width, "K"):
+        net = k_network(list(e.factors))
+        stats = ContentionSimulator(net).run(args.procs, args.ops)
+        rows.append(
+            {
+                "factors": "x".join(map(str, e.factors)),
+                "depth": net.depth,
+                "max_balancer": net.max_balancer_width,
+                "throughput": f"{stats.throughput:.3f}",
+                "mean_latency": f"{stats.mean_latency:.2f}",
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def _export(args: argparse.Namespace) -> int:
+    from .viz import to_dot, to_layered_json
+
+    net = _BUILDERS[args.family](args.factors)
+    print(to_dot(net) if args.format == "dot" else to_layered_json(net, indent=2))
+    return 0
+
+
+def _smooth(args: argparse.Namespace) -> int:
+    from .verify import observed_smoothness
+
+    net = _BUILDERS[args.family](args.factors)
+    sm = observed_smoothness(net)
+    print(f"{net.name}: width={net.width} depth={net.depth} observed smoothness={sm}")
+    print("(1 means counting-grade balance; identity would be unbounded)")
+    return 0
+
+
+def _linearize(args: argparse.Namespace) -> int:
+    from .analysis import check_history, find_nonlinearizable_execution, run_sequential_history
+
+    net = _BUILDERS[args.family](args.factors)
+    seq_ok = check_history(run_sequential_history(net, 2 * net.width)) is None
+    print(f"{net.name}: sequential executions linearizable: {seq_ok}")
+    found = find_nonlinearizable_execution(net)
+    if found is None:
+        print("no non-linearizable execution found with the stalled-token template")
+        return 0
+    violation, _ = found
+    print(f"asynchronous counterexample: {violation}")
+    print("(fix: the waiting discipline of repro.sim.LinearizedThreadedCounter)")
+    return 0
+
+
+def _audit(args: argparse.Namespace) -> int:
+    from .analysis import critical_path, layer_profile, occupancy
+
+    net = _BUILDERS[args.family](args.factors)
+    print(f"{net.name}: width={net.width} depth={net.depth} size={net.size} "
+          f"occupancy={occupancy(net):.3f}")
+    rows = [
+        {
+            "layer": p.layer,
+            "balancers": p.balancers,
+            "widths": ",".join(f"{w}x{c}" for w, c in p.widths.items()),
+            "coverage": f"{p.coverage:.2f}",
+        }
+        for p in layer_profile(net)
+    ]
+    print(format_table(rows))
+    path = critical_path(net)
+    print("critical path balancer widths:", [b.width for b in path])
+    return 0
+
+
+def _plan(args: argparse.Namespace) -> int:
+    from .analysis import plan_network
+
+    plan = plan_network(args.width, args.max_balancer, args.plan_family)
+    pad = f" (padded from {plan.requested_width})" if plan.padded else ""
+    print(f"width {plan.width}{pad}: {plan.family}{plan.factors}")
+    print(
+        f"  depth={plan.depth} balancers={plan.size} widest balancer="
+        f"{plan.max_balancer_width} (budget {args.max_balancer})"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-networks",
+        description="Sorting and counting networks of small depth and arbitrary width "
+        "(Busch & Herlihy, SPAA 1999).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    pb = sub.add_parser("build", help="build a network and print stats")
+    pb.add_argument("family", choices=sorted(_BUILDERS))
+    pb.add_argument("factors", type=int, nargs="+")
+    pb.add_argument("--diagram", action="store_true")
+    pb.set_defaults(fn=_build)
+
+    pv = sub.add_parser("verify", help="search for counting/sorting violations")
+    pv.add_argument("family", choices=sorted(_BUILDERS))
+    pv.add_argument("factors", type=int, nargs="+")
+    pv.add_argument("--seed", type=int, default=0)
+    pv.set_defaults(fn=_verify)
+
+    pf = sub.add_parser("family", help="factorization family table for a width")
+    pf.add_argument("width", type=int)
+    pf.add_argument("--family", choices=["K", "L"], default="K")
+    pf.add_argument("--max-members", type=int, default=None)
+    pf.set_defaults(fn=_family)
+
+    pc = sub.add_parser("compare", help="related-work comparison table")
+    pc.add_argument("widths", type=int, nargs="+")
+    pc.set_defaults(fn=_compare)
+
+    pt = sub.add_parser("throughput", help="contention model across a family")
+    pt.add_argument("width", type=int)
+    pt.add_argument("--procs", type=int, default=16)
+    pt.add_argument("--ops", type=int, default=20)
+    pt.set_defaults(fn=_throughput)
+
+    pe = sub.add_parser("export", help="emit DOT or layered JSON")
+    pe.add_argument("family", choices=sorted(_BUILDERS))
+    pe.add_argument("factors", type=int, nargs="+")
+    pe.add_argument("--format", choices=["dot", "json"], default="dot")
+    pe.set_defaults(fn=_export)
+
+    ps = sub.add_parser("smooth", help="observed smoothing constant")
+    ps.add_argument("family", choices=sorted(_BUILDERS))
+    ps.add_argument("factors", type=int, nargs="+")
+    ps.set_defaults(fn=_smooth)
+
+    pl = sub.add_parser("linearize", help="linearizability analysis (paper §6)")
+    pl.add_argument("family", choices=sorted(_BUILDERS))
+    pl.add_argument("factors", type=int, nargs="+")
+    pl.set_defaults(fn=_linearize)
+
+    pa = sub.add_parser("audit", help="layer profile and critical path")
+    pa.add_argument("family", choices=sorted(_BUILDERS))
+    pa.add_argument("factors", type=int, nargs="+")
+    pa.set_defaults(fn=_audit)
+
+    pp = sub.add_parser("plan", help="best family member for a width + balancer budget")
+    pp.add_argument("width", type=int)
+    pp.add_argument("max_balancer", type=int)
+    pp.add_argument("--family", dest="plan_family", choices=["K", "L"], default="K")
+    pp.set_defaults(fn=_plan)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

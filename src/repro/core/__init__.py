@@ -1,0 +1,21 @@
+"""Core substrate: sequence predicates, the SSA network IR, layer compiler."""
+
+from .network import Balancer, Network, NetworkBuilder, identity_network, single_balancer_network
+from .compiled import CompiledNetwork, WidthGroup, compile_network
+from .compose import parallel, repeat, serial
+from . import sequences
+
+__all__ = [
+    "Balancer",
+    "Network",
+    "NetworkBuilder",
+    "identity_network",
+    "single_balancer_network",
+    "CompiledNetwork",
+    "WidthGroup",
+    "compile_network",
+    "sequences",
+    "parallel",
+    "repeat",
+    "serial",
+]

@@ -1,0 +1,102 @@
+"""Layer-compiled network representation for vectorized evaluation.
+
+Per the optimization guidance for numerical Python (profile, then vectorize
+the hot loop), simulators in :mod:`repro.sim` never iterate over individual
+balancers in Python on the hot path.  Instead a network is compiled once into
+*width groups per layer*: within one layer, all balancers of equal width
+``p`` become a pair of integer index matrices of shape ``(k, p)`` (``k``
+balancers).  Evaluating a layer is then one gather, one vectorized
+reduction/sort, and one scatter per width group — contiguous numpy work.
+
+Compilation results are memoized per :class:`~repro.core.network.Network`
+instance in a ``WeakKeyDictionary`` so repeated simulations are cheap.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from .network import Network
+
+__all__ = ["WidthGroup", "CompiledNetwork", "compile_network"]
+
+
+@dataclass(frozen=True)
+class WidthGroup:
+    """All balancers of one width within one layer.
+
+    ``in_idx`` and ``out_idx`` have shape ``(k, p)``: row ``r`` lists the
+    SSA wire ids feeding / leaving balancer ``r`` of this group, with column
+    0 the top position.  ``offsets`` is the precomputed ``(1, p, 1)``
+    position vector used by the counting kernel (hoisted here so the
+    per-layer loop allocates nothing but the gather/scatter temporaries).
+    """
+
+    width: int
+    in_idx: np.ndarray
+    out_idx: np.ndarray
+    offsets: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return self.in_idx.shape[0]
+
+
+@dataclass(frozen=True)
+class CompiledNetwork:
+    """A network lowered to per-layer width groups.
+
+    ``layers[d]`` holds the :class:`WidthGroup` objects of layer ``d``.
+    ``num_wires``, ``input_idx`` and ``output_idx`` mirror the source
+    network; evaluation allocates one ``(num_wires, batch)`` state array and
+    sweeps the layers in order.
+    """
+
+    num_wires: int
+    input_idx: np.ndarray
+    output_idx: np.ndarray
+    layers: tuple[tuple[WidthGroup, ...], ...]
+
+    @property
+    def width(self) -> int:
+        return self.input_idx.shape[0]
+
+    @property
+    def depth(self) -> int:
+        return len(self.layers)
+
+
+_cache: "weakref.WeakKeyDictionary[Network, CompiledNetwork]" = weakref.WeakKeyDictionary()
+
+
+def compile_network(net: Network) -> CompiledNetwork:
+    """Compile (and memoize) ``net`` into a :class:`CompiledNetwork`."""
+    cached = _cache.get(net)
+    if cached is not None:
+        return cached
+
+    layers: list[tuple[WidthGroup, ...]] = []
+    for layer in net.layers():
+        by_width: dict[int, list] = {}
+        for b in layer:
+            by_width.setdefault(b.width, []).append(b)
+        groups = []
+        for width in sorted(by_width):
+            bs = by_width[width]
+            in_idx = np.array([b.inputs for b in bs], dtype=np.int64)
+            out_idx = np.array([b.outputs for b in bs], dtype=np.int64)
+            offsets = np.arange(width, dtype=np.int64)[None, :, None]
+            groups.append(WidthGroup(width, in_idx, out_idx, offsets))
+        layers.append(tuple(groups))
+
+    compiled = CompiledNetwork(
+        num_wires=net.num_wires,
+        input_idx=np.array(net.inputs, dtype=np.int64),
+        output_idx=np.array(net.outputs, dtype=np.int64),
+        layers=tuple(layers),
+    )
+    _cache[net] = compiled
+    return compiled

@@ -1,0 +1,63 @@
+"""Network composition combinators.
+
+Balancing networks compose in exactly two ways — serially (the output
+sequence of one feeds the input sequence of the next, as the paper's
+Figure 7 does with the `C` copies feeding `M`) and in parallel (disjoint
+networks side by side, as the `p(n-1)` copies of `C` sit).  These
+combinators build composite :class:`~repro.core.network.Network` objects
+from existing ones without touching their internals.
+
+Useful identities they enable (tested in the suite):
+
+* serial(counting, counting) is still a counting network (idempotence);
+* serial(anything, counting) is a counting network;
+* parallel(sorters) followed by a merger is the generic construction.
+"""
+
+from __future__ import annotations
+
+from .network import Network, NetworkBuilder
+
+__all__ = ["serial", "parallel", "repeat"]
+
+
+def serial(*nets: Network, name: str | None = None) -> Network:
+    """Serial composition: ``nets[0]``'s output sequence position ``k``
+    feeds ``nets[1]``'s input position ``k``, and so on.  All networks must
+    share one width."""
+    if not nets:
+        raise ValueError("serial composition needs at least one network")
+    width = nets[0].width
+    for n in nets:
+        if n.width != width:
+            raise ValueError(f"width mismatch: {n.name} has width {n.width}, expected {width}")
+    b = NetworkBuilder(width)
+    wires = list(b.inputs)
+    for n in nets:
+        wires = b.subnetwork(n, wires)
+    label = name or (" ; ".join(n.name for n in nets))
+    return b.finish(wires, name=label)
+
+
+def parallel(*nets: Network, name: str | None = None) -> Network:
+    """Parallel composition: disjoint networks stacked; the input/output
+    sequence is the concatenation of the parts."""
+    if not nets:
+        raise ValueError("parallel composition needs at least one network")
+    width = sum(n.width for n in nets)
+    b = NetworkBuilder(width)
+    wires = list(b.inputs)
+    outs: list[int] = []
+    offset = 0
+    for n in nets:
+        outs.extend(b.subnetwork(n, wires[offset : offset + n.width]))
+        offset += n.width
+    label = name or (" | ".join(n.name for n in nets))
+    return b.finish(outs, name=label)
+
+
+def repeat(net: Network, times: int, name: str | None = None) -> Network:
+    """``times`` serial copies of ``net`` (e.g. periodic-network blocks)."""
+    if times < 1:
+        raise ValueError("times must be >= 1")
+    return serial(*([net] * times), name=name or f"{net.name}^{times}")

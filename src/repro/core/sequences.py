@@ -1,0 +1,276 @@
+"""Sequence predicates and matrix arrangements from Section 3.1 of the paper.
+
+The paper works with sequences of natural numbers ``X = x_0, ..., x_{w-1}``
+(token counts per wire for counting networks, or values per wire for sorting
+networks).  This module implements, exactly as defined in Section 3.1:
+
+* the **step property** (``0 <= x_i - x_j <= 1`` for all ``i < j``) and its
+  *step point*,
+* **k-smoothness** (``|x_i - x_j| <= k``),
+* the **bitonic property** (1-smooth with at most two transitions),
+* the **k-staircase property** on a family of sequences
+  (``0 <= sum(X_i) - sum(X_j) <= k`` for all ``i < j``),
+* the four matrix **arrangements** of a length ``r*c`` sequence (row major,
+  reverse row major, column major, reverse column major), expressed as index
+  permutations so they compose with the SSA wire lists used by the builders,
+* strided subsequence extraction ``X[i, j] = x_i, x_{i+j}, x_{i+2j}, ...``.
+
+Arrays of counts are always integer numpy arrays or plain Python sequences;
+all predicates accept either.  Per the step-property convention used
+throughout this package, step sequences are *non-increasing*: the upper wires
+(small indices) carry the excess tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "as_int_array",
+    "is_step",
+    "step_point",
+    "is_smooth",
+    "smoothness",
+    "num_transitions",
+    "is_bitonic",
+    "is_staircase",
+    "staircase_slack",
+    "make_step",
+    "random_step",
+    "random_bitonic",
+    "row_major",
+    "reverse_row_major",
+    "column_major",
+    "reverse_column_major",
+    "arrangement",
+    "ARRANGEMENTS",
+    "strided",
+    "split_blocks",
+]
+
+
+def as_int_array(x: Iterable[int]) -> np.ndarray:
+    """Return ``x`` as a 1-D ``int64`` numpy array (copying only if needed)."""
+    arr = np.asarray(list(x) if not isinstance(x, np.ndarray) else x, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D sequence, got shape {arr.shape}")
+    return arr
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+
+
+def is_step(x: Iterable[int]) -> bool:
+    """True iff ``x`` has the step property: ``0 <= x_i - x_j <= 1`` for i<j.
+
+    Equivalently: ``x`` is non-increasing and ``x_0 - x_{w-1} <= 1``.
+    The empty sequence and singletons trivially satisfy the property.
+    """
+    arr = as_int_array(x)
+    if arr.size <= 1:
+        return True
+    diffs = arr[:-1] - arr[1:]
+    return bool(np.all(diffs >= 0)) and int(arr[0] - arr[-1]) <= 1
+
+
+def step_point(x: Iterable[int]) -> int:
+    """Step point of a step sequence: the unique index ``i`` with
+    ``x_i > x_{i+1}`` plus one — i.e. the first index holding the *lower*
+    value — or 0 if all elements are equal.
+
+    The paper defines the step point as "the unique index i such that
+    x_i < x_{i+1}" for non-decreasing steps; with our non-increasing
+    convention this is the boundary where the value drops.  Raises
+    ``ValueError`` if ``x`` is not a step sequence.
+    """
+    arr = as_int_array(x)
+    if not is_step(arr):
+        raise ValueError("step_point requires a step sequence")
+    if arr.size <= 1:
+        return 0
+    drops = np.nonzero(arr[:-1] > arr[1:])[0]
+    if drops.size == 0:
+        return 0
+    return int(drops[0]) + 1
+
+
+def smoothness(x: Iterable[int]) -> int:
+    """Smallest ``k`` such that ``x`` is k-smooth (``max - min``)."""
+    arr = as_int_array(x)
+    if arr.size == 0:
+        return 0
+    return int(arr.max() - arr.min())
+
+
+def is_smooth(x: Iterable[int], k: int) -> bool:
+    """True iff ``x`` is k-smooth: ``|x_i - x_j| <= k`` for all i, j."""
+    return smoothness(x) <= k
+
+
+def num_transitions(x: Iterable[int]) -> int:
+    """Number of transitions: adjacent pairs with different values."""
+    arr = as_int_array(x)
+    if arr.size <= 1:
+        return 0
+    return int(np.count_nonzero(arr[:-1] != arr[1:]))
+
+
+def is_bitonic(x: Iterable[int]) -> bool:
+    """True iff ``x`` has the bitonic property of Section 3.1:
+    1-smooth with at most two transitions."""
+    return is_smooth(x, 1) and num_transitions(x) <= 2
+
+
+def staircase_slack(xs: Sequence[Iterable[int]]) -> tuple[int, int]:
+    """Return ``(lo, hi)`` = min and max of ``sum(X_i) - sum(X_j)`` over i<j.
+
+    ``xs`` satisfies the k-staircase property iff ``lo >= 0 and hi <= k``.
+    """
+    sums = [int(as_int_array(x).sum()) for x in xs]
+    lo, hi = 0, 0
+    for i in range(len(sums)):
+        for j in range(i + 1, len(sums)):
+            d = sums[i] - sums[j]
+            lo = min(lo, d)
+            hi = max(hi, d)
+    return lo, hi
+
+
+def is_staircase(xs: Sequence[Iterable[int]], k: int) -> bool:
+    """True iff the family ``xs`` satisfies the k-staircase property:
+    ``0 <= sum(X_i) - sum(X_j) <= k`` for all ``i < j``."""
+    lo, hi = staircase_slack(xs)
+    return lo >= 0 and hi <= k
+
+
+# ---------------------------------------------------------------------------
+# Constructors (used pervasively by tests and verification)
+# ---------------------------------------------------------------------------
+
+
+def make_step(width: int, total: int, base: int = 0) -> np.ndarray:
+    """The unique step sequence of length ``width`` whose sum is
+    ``total + base*width``: each wire gets ``base + ceil((total - i)/width)``.
+
+    This is exactly the output-count vector of an ideal counting network of
+    width ``width`` after ``total`` tokens.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    i = np.arange(width, dtype=np.int64)
+    return base + (total - i + width - 1) // width
+
+
+def random_step(width: int, rng: np.random.Generator, max_total: int = 100) -> np.ndarray:
+    """A uniformly random step sequence of length ``width``."""
+    total = int(rng.integers(0, max_total + 1))
+    base = int(rng.integers(0, 4))
+    return make_step(width, total, base)
+
+
+def random_bitonic(width: int, rng: np.random.Generator) -> np.ndarray:
+    """A random bitonic sequence (1-smooth, at most two transitions).
+
+    Generated as a cyclic rotation of a step sequence, which always satisfies
+    the bitonic property.
+    """
+    base = int(rng.integers(0, 4))
+    total = int(rng.integers(0, width + 1))
+    seq = make_step(width, total, base)
+    shift = int(rng.integers(0, width))
+    return np.roll(seq, shift)
+
+
+# ---------------------------------------------------------------------------
+# Matrix arrangements (Section 3.1, Figure 5)
+# ---------------------------------------------------------------------------
+#
+# Each arrangement maps sequence index i to a (row, col) cell of an r x c
+# matrix.  We expose them as permutations: ``perm[row*c + col] = i`` means the
+# cell (row, col) holds sequence element x_i.  Applying a permutation to a
+# wire list rearranges which wire sits at which matrix cell — free relabeling
+# in the SSA model.
+
+
+def row_major(r: int, c: int) -> np.ndarray:
+    """Permutation placing x_i at row ``i // c``, column ``i % c``."""
+    _check_dims(r, c)
+    return np.arange(r * c, dtype=np.int64)
+
+
+def reverse_row_major(r: int, c: int) -> np.ndarray:
+    """Permutation placing x_i at row ``r - i//c - 1``, column ``c - i%c - 1``."""
+    _check_dims(r, c)
+    return np.arange(r * c, dtype=np.int64)[::-1].copy()
+
+
+def column_major(r: int, c: int) -> np.ndarray:
+    """Permutation placing x_i at row ``i % r``, column ``i // r``."""
+    _check_dims(r, c)
+    i = np.arange(r * c, dtype=np.int64)
+    perm = np.empty(r * c, dtype=np.int64)
+    perm[(i % r) * c + (i // r)] = i
+    return perm
+
+
+def reverse_column_major(r: int, c: int) -> np.ndarray:
+    """Permutation placing x_i at row ``r - i%r - 1``, column ``c - i//r - 1``."""
+    _check_dims(r, c)
+    i = np.arange(r * c, dtype=np.int64)
+    perm = np.empty(r * c, dtype=np.int64)
+    perm[(r - (i % r) - 1) * c + (c - (i // r) - 1)] = i
+    return perm
+
+
+ARRANGEMENTS = {
+    "row_major": row_major,
+    "reverse_row_major": reverse_row_major,
+    "column_major": column_major,
+    "reverse_column_major": reverse_column_major,
+}
+
+
+def arrangement(name: str, r: int, c: int) -> np.ndarray:
+    """Look up one of the four arrangements by name."""
+    try:
+        fn = ARRANGEMENTS[name]
+    except KeyError:
+        raise ValueError(f"unknown arrangement {name!r}; choose from {sorted(ARRANGEMENTS)}") from None
+    return fn(r, c)
+
+
+def _check_dims(r: int, c: int) -> None:
+    if r <= 0 or c <= 0:
+        raise ValueError(f"matrix dimensions must be positive, got {r}x{c}")
+
+
+# ---------------------------------------------------------------------------
+# Subsequence helpers
+# ---------------------------------------------------------------------------
+
+
+def strided(x: Sequence, start: int, stride: int) -> list:
+    """The paper's ``X[i, j]`` subsequence: ``x_i, x_{i+j}, x_{i+2j}, ...``.
+
+    Works on any Python sequence (wire-id lists included) and returns a list.
+    """
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    if not 0 <= start < stride:
+        raise ValueError(f"start must satisfy 0 <= start < stride, got {start}, {stride}")
+    return list(x[start::stride])
+
+
+def split_blocks(x: Sequence, block: int) -> list[list]:
+    """Split ``x`` into consecutive blocks of size ``block``."""
+    if block <= 0:
+        raise ValueError("block size must be positive")
+    if len(x) % block != 0:
+        raise ValueError(f"length {len(x)} is not a multiple of block size {block}")
+    return [list(x[i : i + block]) for i in range(0, len(x), block)]

@@ -1,0 +1,102 @@
+"""High-level convenience API: sort batches, make counters.
+
+These wrap the planner + constructions + simulators into the two calls a
+downstream user typically wants:
+
+* :func:`oblivious_sort` — sort a batch of rows with a data-independent
+  comparison schedule (any width; pads to the nearest factorable width);
+* :func:`make_counter` — a concurrent Fetch&Increment counter of a given
+  width under a balancer budget, optionally linearizable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .analysis.planner import plan_network
+from .core.network import Network
+from .sim.concurrent import ThreadedCounter
+from .sim.linearized import LinearizedThreadedCounter
+from .sim.sort_sim import evaluate_comparators
+
+__all__ = ["oblivious_sort", "make_counter"]
+
+
+def oblivious_sort(
+    values: np.ndarray,
+    max_comparator: int | None = None,
+    network: Network | None = None,
+    ascending: bool = True,
+) -> np.ndarray:
+    """Sort each row of ``values`` with a comparator network.
+
+    The comparison schedule is *oblivious*: it depends only on the row
+    width, never on the data — the property that makes these networks
+    suitable for hardware pipelines and timing-side-channel-free code.
+
+    ``max_comparator`` bounds the widest comparator used (default: no
+    bound, which picks the shallowest network).  Widths that cannot be
+    factored within the bound are handled by padding with sentinels.
+    A pre-built ``network`` (width >= row width) can be supplied to skip
+    planning.
+    """
+    values = np.asarray(values)
+    single = values.ndim == 1
+    if single:
+        values = values[None, :]
+    if values.ndim != 2:
+        raise ValueError(f"expected a (B, w) batch, got shape {values.shape}")
+    w = values.shape[1]
+    if w == 0:
+        return values[0] if single else values
+    if w == 1:
+        return values[0].copy() if single else values.copy()
+
+    if network is None:
+        budget = max_comparator if max_comparator is not None else w
+        if budget < 2:
+            raise ValueError("max_comparator must be >= 2")
+        # K needs pairwise-product balancers (>= 4); very narrow budgets
+        # are exactly what the L family provides.
+        family = "K" if budget >= 4 or budget >= w else "L"
+        network = plan_network(w, budget, family).build()
+    if network.width < w:
+        raise ValueError(f"network width {network.width} < row width {w}")
+
+    if network.width > w:
+        # Pad with the dtype minimum: in descending evaluation the
+        # sentinels sink to the tail and are stripped afterwards.
+        if np.issubdtype(values.dtype, np.integer):
+            sentinel = np.iinfo(values.dtype).min
+        elif np.issubdtype(values.dtype, np.floating):
+            sentinel = -np.inf
+        else:
+            raise ValueError(f"cannot pad dtype {values.dtype}; pass a network of exact width")
+        pad = np.full((values.shape[0], network.width - w), sentinel, dtype=values.dtype)
+        padded = np.concatenate([values, pad], axis=1)
+    else:
+        padded = values
+
+    out = evaluate_comparators(network, padded)[:, :w]
+    if ascending:
+        out = out[:, ::-1]
+    return out[0].copy() if single else out.copy()
+
+
+def make_counter(
+    width: int,
+    max_balancer: int | None = None,
+    family: str = "L",
+    linearizable: bool = False,
+) -> ThreadedCounter:
+    """A ready-to-use concurrent Fetch&Increment counter.
+
+    ``width`` controls the contention spread (more wires, less contention
+    per output counter); ``max_balancer`` bounds the widest atomic
+    primitive (defaults to no bound).  ``linearizable=True`` adds the
+    waiting discipline (values return in real-time order, at the cost of
+    wait-freedom — see paper §6 and `docs/paper_map.md`).
+    """
+    budget = max_balancer if max_balancer is not None else width
+    net = plan_network(width, budget, family).build()
+    return LinearizedThreadedCounter(net) if linearizable else ThreadedCounter(net)

@@ -1,0 +1,45 @@
+"""The paper's network constructions: T, D, S, M, C, K, R, L."""
+
+from .two_merger import build_two_merger, two_merger
+from .bitonic_converter import bitonic_converter, build_bitonic_converter
+from .staircase import STAIRCASE_VARIANTS, BaseFactory, build_staircase_merger, staircase_merger
+from .counting import (
+    build_counting,
+    build_merger,
+    counting_network,
+    merger_network,
+    normalize_factors,
+    single_balancer_base,
+)
+from .k_network import build_k_network, k_network
+from .r_network import build_r_network, r_base, r_network
+from .l_network import build_l_network, l_network
+from .expand import expand_comparators, expanded_depth
+from . import depth_formulas
+
+__all__ = [
+    "build_two_merger",
+    "two_merger",
+    "bitonic_converter",
+    "build_bitonic_converter",
+    "STAIRCASE_VARIANTS",
+    "BaseFactory",
+    "build_staircase_merger",
+    "staircase_merger",
+    "build_counting",
+    "build_merger",
+    "counting_network",
+    "merger_network",
+    "normalize_factors",
+    "single_balancer_base",
+    "build_k_network",
+    "k_network",
+    "build_r_network",
+    "r_base",
+    "r_network",
+    "build_l_network",
+    "l_network",
+    "depth_formulas",
+    "expand_comparators",
+    "expanded_depth",
+]

@@ -1,0 +1,50 @@
+"""The bitonic-converter network ``D(p, q)`` (paper §4.4, Figure 12).
+
+``D(p, q)`` turns any sequence of length ``p*q`` with the *bitonic property*
+(1-smooth, at most two transitions) into a step sequence, in depth 2:
+arrange the input as a ``p x q`` matrix in column-major form, place a
+``q``-balancer across each row, then a ``p``-balancer down each column; the
+result has the step property in column-major order.
+
+Used as the final layer of the optimized staircase-merger (§4.3.1), where
+the preceding 2-balancer layer has confined the discrepancy to a single
+bitonic block.
+"""
+
+from __future__ import annotations
+
+from ..core.network import Network, NetworkBuilder
+
+__all__ = ["build_bitonic_converter", "bitonic_converter"]
+
+
+def build_bitonic_converter(b: NetworkBuilder, x: list[int], p: int, q: int) -> list[int]:
+    """Append ``D(p, q)`` onto the ``p*q`` wires ``x``; returns the output
+    wires in (column-major) sequence order."""
+    if p < 1 or q < 1:
+        raise ValueError(f"p, q must be >= 1, got {p}, {q}")
+    if len(x) != p * q:
+        raise ValueError(f"expected {p * q} wires, got {len(x)}")
+
+    # Column-major arrangement: x[k] -> (row k % p, column k // p).
+    cell = [[x[c * p + r] for c in range(q)] for r in range(p)]
+
+    # Layer 1: q-balancer across each row (most tokens to column 0).
+    for r in range(p):
+        cell[r] = b.maybe_balancer(cell[r])
+
+    # Layer 2: p-balancer down each column (most tokens to row 0).
+    for c in range(q):
+        col = b.maybe_balancer([cell[r][c] for r in range(p)])
+        for r in range(p):
+            cell[r][c] = col[r]
+
+    # Output in column-major order.
+    return [cell[k % p][k // p] for k in range(p * q)]
+
+
+def bitonic_converter(p: int, q: int) -> Network:
+    """Standalone ``D(p, q)``: width ``p*q``, depth at most 2."""
+    b = NetworkBuilder(p * q)
+    out = build_bitonic_converter(b, list(b.inputs), p, q)
+    return b.finish(out, name=f"D({p},{q})")

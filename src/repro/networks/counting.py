@@ -1,0 +1,171 @@
+"""The generic counting network ``C(p0..pn-1)`` and merger ``M(p0..pn-1)``
+(paper §4.1 and §4.2, Figures 7 and 8).
+
+Both are parameterized by an assumed constant-depth base counting network
+``C(p, q)`` (a *base factory*).  Instantiating the base with a single
+``p*q``-balancer yields the ``K`` family (§5.1); instantiating it with the
+``R(p, q)`` quadrant construction yields the ``L`` family (§5.2).
+
+Construction (induction on the factorization length ``n``):
+
+* ``C(p0..pn-1)``: split the width-``w`` input into ``p(n-1)`` contiguous
+  blocks of width ``w(n-2) = p0*...*p(n-2)``; send block ``i`` through a copy
+  ``C_i`` of ``C(p0..pn-2)``; merge the ``p(n-1)`` step outputs with
+  ``M(p0..pn-1)``.
+
+* ``M(p0..pn-1)`` on step inputs ``X_0 .. X_{p(n-1)-1}`` (each of length
+  ``w(n-2)``): take ``p(n-2)`` copies of ``M(p0,..,p(n-3),p(n-1))``; copy
+  ``M_i`` receives the strided subsequences ``X_j[i, p(n-2)]``; the outputs
+  ``Y_0 .. Y_{p(n-2)-1}`` satisfy the ``p(n-1)``-staircase property
+  (Proposition 2) and are combined by the staircase-merger
+  ``S(w(n-3), p(n-1), p(n-2))``.
+
+Factors equal to 1 contribute nothing to the width and are stripped; a
+single remaining factor is realized by one balancer of that width (legal for
+both ``K`` and ``L`` since a lone factor is the maximum).
+"""
+
+from __future__ import annotations
+
+from math import prod
+
+from ..core.network import Network, NetworkBuilder
+from ..core.sequences import strided
+from .staircase import BaseFactory, build_staircase_merger
+
+__all__ = [
+    "normalize_factors",
+    "build_counting",
+    "build_merger",
+    "counting_network",
+    "merger_network",
+    "single_balancer_base",
+]
+
+
+def normalize_factors(factors: list[int] | tuple[int, ...]) -> list[int]:
+    """Validate a factorization and strip unit factors."""
+    out = []
+    for f in factors:
+        if f < 1:
+            raise ValueError(f"factors must be >= 1, got {f}")
+        if f > 1:
+            out.append(int(f))
+    return out
+
+
+def single_balancer_base(b: NetworkBuilder, wires: list[int], p: int, q: int) -> list[int]:
+    """The ``K``-family base: ``C(p, q)`` is a single ``p*q``-balancer
+    (depth ``d = 1``)."""
+    return b.maybe_balancer(wires)
+
+
+def build_counting(
+    b: NetworkBuilder,
+    wires: list[int],
+    factors: list[int],
+    base: BaseFactory,
+    variant: str = "opt_rescan",
+) -> list[int]:
+    """Append ``C(factors)`` onto ``wires``; returns output wires in
+    sequence order (a step sequence for every input)."""
+    factors = normalize_factors(factors)
+    if prod(factors) != len(wires):
+        raise ValueError(f"factors {factors} have product {prod(factors)} != width {len(wires)}")
+    n = len(factors)
+    if n == 0:
+        return list(wires)
+    if n == 1:
+        return b.maybe_balancer(wires)
+    if n == 2:
+        return base(b, list(wires), factors[0], factors[1])
+
+    p_last = factors[-1]
+    block = prod(factors[:-1])
+    outputs = [
+        build_counting(b, list(wires[i * block : (i + 1) * block]), factors[:-1], base, variant)
+        for i in range(p_last)
+    ]
+    return build_merger(b, outputs, factors, base, variant)
+
+
+def build_merger(
+    b: NetworkBuilder,
+    inputs: list[list[int]],
+    factors: list[int],
+    base: BaseFactory,
+    variant: str = "opt_rescan",
+) -> list[int]:
+    """Append ``M(factors)`` onto the ``factors[-1]`` step-input wire lists
+    (each of length ``prod(factors[:-1])``)."""
+    factors = normalize_factors(factors)
+    n = len(factors)
+    if n < 2:
+        raise ValueError(f"merger needs at least two factors, got {factors}")
+    if len(inputs) != factors[-1]:
+        raise ValueError(f"expected {factors[-1]} input sequences, got {len(inputs)}")
+    block = prod(factors[:-1])
+    for i, x in enumerate(inputs):
+        if len(x) != block:
+            raise ValueError(f"input {i} has length {len(x)}, expected {block}")
+
+    if n == 2:
+        # Base case: M(p0, p1) is the base counting network C(p0, p1) —
+        # a counting network ignores input arrangement, so concatenate.
+        flat = [w for x in inputs for w in x]
+        return base(b, flat, factors[0], factors[1])
+
+    q = factors[-2]  # p(n-2): number of sub-merger copies
+    p = factors[-1]  # p(n-1)
+    sub_factors = factors[:-2] + [p]
+    ys = []
+    for i in range(q):
+        sub_inputs = [strided(x, i, q) for x in inputs]
+        ys.append(build_merger(b, sub_inputs, sub_factors, base, variant))
+    r = prod(factors[:-2])  # w(n-3)
+    return build_staircase_merger(b, ys, r, p, base, variant=variant)
+
+
+def counting_network(
+    factors: list[int] | tuple[int, ...],
+    base: BaseFactory | None = None,
+    variant: str = "opt_rescan",
+    name: str | None = None,
+) -> Network:
+    """Standalone generic counting network ``C(factors)``.
+
+    With the default base (one ``p*q``-balancer) this *is* the ``K`` family;
+    see :func:`repro.networks.k_network.k_network` and
+    :func:`repro.networks.l_network.l_network` for the named families.
+    """
+    factors = list(factors)
+    norm = normalize_factors(factors)
+    width = prod(norm) if norm else 1
+    if width < 1:
+        raise ValueError("network width must be >= 1")
+    base = base or single_balancer_base
+    b = NetworkBuilder(width)
+    out = build_counting(b, list(b.inputs), norm, base, variant)
+    label = name or f"C({','.join(map(str, factors))})"
+    return b.finish(out, name=label)
+
+
+def merger_network(
+    factors: list[int] | tuple[int, ...],
+    base: BaseFactory | None = None,
+    variant: str = "opt_rescan",
+    name: str | None = None,
+) -> Network:
+    """Standalone merger ``M(factors)``: input sequence is the concatenation
+    ``X_0 ++ ... ++ X_{factors[-1]-1}`` of the step inputs."""
+    norm = normalize_factors(factors)
+    if len(norm) < 2:
+        raise ValueError("merger needs at least two non-unit factors")
+    base = base or single_balancer_base
+    block = prod(norm[:-1])
+    b = NetworkBuilder(block * norm[-1])
+    wires = list(b.inputs)
+    inputs = [wires[i * block : (i + 1) * block] for i in range(norm[-1])]
+    out = build_merger(b, inputs, norm, base, variant)
+    label = name or f"M({','.join(map(str, factors))})"
+    return b.finish(out, name=label)

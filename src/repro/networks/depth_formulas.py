@@ -1,0 +1,75 @@
+"""Closed-form depth predictions from the paper's propositions.
+
+These are the *paper-side* numbers for every depth experiment; the
+benchmarks compare them against the measured ``Network.depth`` of the
+constructions (measured depth may fall below a formula when degenerate
+parameter values let a sub-network shrink — the formulas are exact for
+"regular" parameter regimes and upper bounds otherwise, cf. §5.3).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "staircase_depth",
+    "merger_depth",
+    "counting_depth",
+    "k_depth",
+    "l_depth_bound",
+    "r_depth_bound",
+    "K_BASE_DEPTH",
+    "R_DEPTH_BOUND",
+]
+
+K_BASE_DEPTH = 1  # d for the K family: C(p, q) is one balancer
+R_DEPTH_BOUND = 16  # depth(R(p, q)) <= 16 (Section 5.3)
+
+
+def staircase_depth(variant: str, d: int) -> int:
+    """Depth of the staircase-merger ``S`` per variant (§4.3 / §4.3.1), as a
+    function of the base depth ``d``:
+
+    basic: ``d + 6``; small: ``d + 9``; opt_rescan: ``2d + 1``;
+    opt_bitonic: ``d + 3``.
+    """
+    table = {"basic": d + 6, "small": d + 9, "opt_rescan": 2 * d + 1, "opt_bitonic": d + 3}
+    try:
+        return table[variant]
+    except KeyError:
+        raise ValueError(f"unknown staircase variant {variant!r}") from None
+
+
+def merger_depth(n: int, d: int, depth_s: int) -> int:
+    """Proposition 3: ``depth(M(p0..pn-1)) = d + (n-2) * depth(S)`` for
+    ``n >= 2``."""
+    if n < 2:
+        raise ValueError("merger requires n >= 2")
+    return d + (n - 2) * depth_s
+
+
+def counting_depth(n: int, d: int, depth_s: int) -> int:
+    """Proposition 1:
+    ``depth(C(p0..pn-1)) = (n-1) d + (n²/2 - 3n/2 + 1) * depth(S)`` for
+    ``n >= 2`` (the quadratic term is integral since n² - 3n is even)."""
+    if n < 2:
+        raise ValueError("counting network requires n >= 2")
+    return (n - 1) * d + ((n * n - 3 * n + 2) // 2) * depth_s
+
+
+def k_depth(n: int) -> int:
+    """Proposition 6: ``depth(K) = 1.5 n² - 3.5 n + 2`` (integral for all
+    n)."""
+    if n < 2:
+        raise ValueError("K requires n >= 2")
+    return (3 * n * n - 7 * n + 4) // 2
+
+
+def l_depth_bound(n: int) -> int:
+    """Theorem 7: ``depth(L) <= 9.5 n² - 12.5 n + 3``."""
+    if n < 2:
+        raise ValueError("L requires n >= 2")
+    return (19 * n * n - 25 * n + 6) // 2
+
+
+def r_depth_bound() -> int:
+    """Section 5.3: ``depth(R(p, q)) <= 16``."""
+    return R_DEPTH_BOUND

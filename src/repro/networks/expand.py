@@ -1,0 +1,51 @@
+"""Expanding wide comparators into 2-comparator sub-networks.
+
+The paper's trade-off buys depth with wide comparators, but physical
+comparator hardware is usually binary.  ``expand_comparators`` replaces
+every ``p``-comparator (p > 2) with an inlined arbitrary-width Batcher
+sorting network, yielding an equivalent **sorting** network built solely
+from 2-comparators.  The expanded depth is the honest depth of a
+wide-comparator design on binary hardware — the benches use it to show
+that intermediate factorizations minimize *expanded* depth too.
+
+.. warning::
+   The expansion preserves the *sorting* semantics only: a sorting network
+   on ``p`` inputs is not a substitute for a ``p``-balancer in counting
+   semantics (that is exactly the paper's Figure 3 lesson).  For counting
+   with 2-balancers use the ``L`` family with binary factors, or the
+   bitonic baseline.
+"""
+
+from __future__ import annotations
+
+from ..baselines.batcher_general import build_general_sort
+from ..core.network import Network, NetworkBuilder
+
+__all__ = ["expand_comparators", "expanded_depth"]
+
+
+def expand_comparators(net: Network, threshold: int = 2) -> Network:
+    """Return an equivalent sorting network in which every comparator
+    wider than ``threshold`` is replaced by a Batcher 2-comparator
+    sub-network.
+
+    ``threshold`` must be >= 2 (2-comparators are irreducible).
+    """
+    if threshold < 2:
+        raise ValueError("threshold must be >= 2")
+    b = NetworkBuilder(net.width)
+    mapping: dict[int, int] = {w: mine for w, mine in zip(net.inputs, b.inputs)}
+    for bal in net.balancers:
+        ins = [mapping[w] for w in bal.inputs]
+        if bal.width <= threshold:
+            outs = b.balancer(ins)
+        else:
+            outs = build_general_sort(b, ins)
+        for theirs, mine in zip(bal.outputs, outs):
+            mapping[theirs] = mine
+    return b.finish([mapping[w] for w in net.outputs], name=f"{net.name}|expanded")
+
+
+def expanded_depth(net: Network, threshold: int = 2) -> int:
+    """Depth of :func:`expand_comparators` without keeping the network."""
+    return expand_comparators(net, threshold).depth

@@ -1,0 +1,30 @@
+"""The ``K`` counting-network family (paper §5.1).
+
+``K(p0..pn-1)`` instantiates the generic construction of §4 with the base
+``C(p_i, p_j)`` = a single ``p_i * p_j``-balancer (``d = 1``) and the
+``opt_rescan`` staircase-merger (``depth(S) = 2d + 1 = 3``), giving
+(Proposition 6) ``depth(K) = 1.5 n² - 3.5 n + 2`` from balancers of width at
+most ``max(p_i * p_j)``.
+"""
+
+from __future__ import annotations
+
+from ..core.network import Network, NetworkBuilder
+from .counting import build_counting, counting_network, single_balancer_base
+
+__all__ = ["k_network", "build_k_network"]
+
+
+def build_k_network(b: NetworkBuilder, wires: list[int], factors: list[int]) -> list[int]:
+    """Append ``K(factors)`` onto ``wires`` (width ``prod(factors)``)."""
+    return build_counting(b, wires, factors, single_balancer_base, variant="opt_rescan")
+
+
+def k_network(factors: list[int] | tuple[int, ...]) -> Network:
+    """Standalone ``K(factors)`` of width ``prod(factors)``."""
+    return counting_network(
+        factors,
+        base=single_balancer_base,
+        variant="opt_rescan",
+        name=f"K({','.join(map(str, factors))})",
+    )

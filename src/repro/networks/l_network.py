@@ -1,0 +1,32 @@
+"""The ``L`` counting-network family (paper §5.2) — the headline result.
+
+``L(p0..pn-1)`` instantiates the generic construction of §4 with the base
+``C(p_i, p_j) := R(p_i, p_j)`` (depth ``d <= 16``, §5.3) and the
+``opt_bitonic`` staircase-merger (``depth(S) = d + 3 <= 19``), giving
+(Theorem 7) ``depth(L) <= 9.5 n² - 12.5 n + 3`` from **balancers of width at
+most max(p_i)** — the first arbitrary-width construction with small depth
+and small constant factors.
+"""
+
+from __future__ import annotations
+
+from ..core.network import Network, NetworkBuilder
+from .counting import build_counting, counting_network
+from .r_network import r_base
+
+__all__ = ["l_network", "build_l_network"]
+
+
+def build_l_network(b: NetworkBuilder, wires: list[int], factors: list[int]) -> list[int]:
+    """Append ``L(factors)`` onto ``wires`` (width ``prod(factors)``)."""
+    return build_counting(b, wires, factors, r_base, variant="opt_bitonic")
+
+
+def l_network(factors: list[int] | tuple[int, ...]) -> Network:
+    """Standalone ``L(factors)`` of width ``prod(factors)``."""
+    return counting_network(
+        factors,
+        base=r_base,
+        variant="opt_bitonic",
+        name=f"L({','.join(map(str, factors))})",
+    )

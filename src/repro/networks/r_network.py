@@ -1,0 +1,119 @@
+"""The constant-depth counting network ``R(p, q)`` (paper §5.3, Figure 13).
+
+``R(p, q)`` counts ``pq`` wires in depth at most 16 using balancers of width
+at most ``max(p, q)``.  Let ``p̂ = floor(sqrt(p))`` and ``p̄ = p - p̂²``
+(likewise ``q̂``, ``q̄``).  The ``p x q`` input matrix splits into quadrants:
+
+* **A** (``p̂² x q̂²``) — counted by ``K(p̂, p̂, q̂, q̂)`` (depth 12, balancer
+  widths are pairwise products ``p̂², p̂q̂, q̂² <= max(p,q)`` by Eq. 1);
+* **B** (``p̂² x q̄``) — split into column bands of ``q̄0 = floor(q̄/2)`` and
+  ``q̄1 = ceil(q̄/2)`` columns, counted by ``K(q̄0, p̂, p̂)`` and
+  ``K(q̄1, p̂, p̂)`` (Eq. 2 bounds the widths), merged by ``T(p̂², q̄0, q̄1)``;
+* **C** (``p̄ x q̂²``) — symmetric to B with rows split instead;
+* **D** (``p̄ x q̄``) — four sub-blocks ``p̄_i x q̄_j`` each counted by one
+  balancer (Eq. 3 bounds ``p̄_i * q̄_j``), merged by a cascade of two-mergers.
+
+Finally ``T(p̂², q̂², q̄)`` merges A'B', ``T(p̄, q̂², q̄)`` merges C'D', and
+``T(q, p̂², p̄)`` merges the halves (row balancers of width exactly ``p``,
+column balancers of width ``q``).
+
+Because every quadrant passes through a *counting* network (which ignores
+input arrangement) before any merging, only the quadrant cardinalities
+matter; the implementation therefore partitions the flat wire list by size
+rather than tracking matrix cells.  Degenerate parameter values (``p̄ = 0``
+for square ``p``, bands of width 0 or 1, ...) follow the paper's rule: use
+no network or a single balancer, and skip the affected two-mergers.
+"""
+
+from __future__ import annotations
+
+from math import isqrt
+
+from ..core.network import Network, NetworkBuilder
+from .counting import build_counting, single_balancer_base
+from .two_merger import build_two_merger
+
+__all__ = ["build_r_network", "r_network", "r_base"]
+
+
+def _k_step(b: NetworkBuilder, wires: list[int], factors: list[int]) -> list[int]:
+    """Count a quadrant with the ``K`` family (single-balancer base,
+    opt_rescan staircases), tolerating empty regions and unit factors."""
+    if not wires:
+        return []
+    return build_counting(b, wires, factors, single_balancer_base, variant="opt_rescan")
+
+
+def _band(b: NetworkBuilder, wires: list[int], h: int, cols: int) -> list[int]:
+    """Count a ``h² x cols`` band (quadrant B or C): split, count each half
+    with ``K``, merge with ``T(h², c0, c1)``."""
+    if not wires or cols == 0:
+        return []
+    c0, c1 = cols // 2, cols - cols // 2
+    g0, g1 = wires[: h * h * c0], wires[h * h * c0 :]
+    s0 = _k_step(b, g0, [c0, h, h]) if c0 else []
+    s1 = _k_step(b, g1, [c1, h, h])
+    return build_two_merger(b, s0, s1, p=h * h)
+
+
+def build_r_network(b: NetworkBuilder, wires: list[int], p: int, q: int) -> list[int]:
+    """Append ``R(p, q)`` onto the ``p*q`` wires; returns output wires in
+    sequence order (a step sequence for every input)."""
+    if p < 1 or q < 1:
+        raise ValueError(f"p, q must be >= 1, got {p}, {q}")
+    if len(wires) != p * q:
+        raise ValueError(f"expected {p * q} wires, got {len(wires)}")
+    if p * q <= 1:
+        return list(wires)
+    if p == 1 or q == 1:
+        # Width pq equals max(p, q): one balancer respects the width bound.
+        return b.maybe_balancer(wires)
+
+    ph, qh = isqrt(p), isqrt(q)
+    pb, qb = p - ph * ph, q - qh * qh
+
+    # Partition the flat input by quadrant cardinalities.
+    sizes = [ph * ph * qh * qh, ph * ph * qb, pb * qh * qh, pb * qb]
+    offs = [0]
+    for s in sizes:
+        offs.append(offs[-1] + s)
+    a_w = wires[offs[0] : offs[1]]
+    b_w = wires[offs[1] : offs[2]]
+    c_w = wires[offs[2] : offs[3]]
+    d_w = wires[offs[3] : offs[4]]
+
+    a2 = _k_step(b, a_w, [ph, ph, qh, qh])
+    b2 = _band(b, b_w, ph, qb)
+    c2 = _band(b, c_w, qh, pb)
+
+    # Quadrant D: four single balancers then a two-merger cascade.
+    d2: list[int] = []
+    if pb and qb:
+        p0_, p1_ = pb // 2, pb - pb // 2
+        q0_, q1_ = qb // 2, qb - qb // 2
+        chunks = []
+        pos = 0
+        for size in (p0_ * q0_, p0_ * q1_, p1_ * q0_, p1_ * q1_):
+            chunks.append(b.maybe_balancer(d_w[pos : pos + size]) if size else [])
+            pos += size
+        d00, d01, d10, d11 = chunks
+        e0 = build_two_merger(b, d00, d01, p=p0_) if p0_ else []
+        e1 = build_two_merger(b, d10, d11, p=p1_)
+        d2 = build_two_merger(b, e0, e1, p=qb)
+
+    ab = build_two_merger(b, a2, b2, p=ph * ph)  # T(p̂², q̂², q̄)
+    cd = build_two_merger(b, c2, d2, p=pb) if pb else []  # T(p̄, q̂², q̄)
+    return build_two_merger(b, ab, cd, p=q)  # T(q, p̂², p̄)
+
+
+def r_network(p: int, q: int) -> Network:
+    """Standalone ``R(p, q)``: width ``pq``, depth <= 16, balancers of width
+    at most ``max(p, q)``."""
+    b = NetworkBuilder(p * q)
+    out = build_r_network(b, list(b.inputs), p, q)
+    return b.finish(out, name=f"R({p},{q})")
+
+
+def r_base(b: NetworkBuilder, wires: list[int], p: int, q: int) -> list[int]:
+    """Base factory for the ``L`` family: ``C(p, q) := R(p, q)``."""
+    return build_r_network(b, wires, p, q)

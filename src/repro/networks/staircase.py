@@ -1,0 +1,185 @@
+"""The staircase-merger network ``S(r, p, q)`` (paper §4.3 and §4.3.1).
+
+``S(r, p, q)`` takes ``q`` input sequences ``X_0 .. X_{q-1}``, each of length
+``r*p``, each with the step property, jointly satisfying the
+``p``-staircase property, and produces one step sequence of length
+``r*p*q``.  The inputs form an ``(r*p) x q`` matrix ``A`` with column ``i``
+equal to ``X_i``; partitioned into ``r`` blocks ``A_0 .. A_{r-1}`` of
+``p x q`` each, the column step points all fall inside two cyclically
+adjacent blocks.  A first layer of base counting networks ``C(p, q)`` makes
+each block a step sequence (read row-major); the variants differ in how the
+remaining inter-block discrepancy is repaired:
+
+``basic`` (depth ``d + 6``)
+    Two (three if ``r`` is odd) layers of two-mergers ``T(p, q, q)`` over
+    cyclically adjacent block pairs.
+``small`` (depth ``d + 9``)
+    Same, with each ``2q``-balancer inside the two-mergers replaced by a
+    nested ``T(q, 1, 1)``, keeping all balancers at width ``<= max(2, p, q)``.
+``opt_rescan`` (depth ``2d + 1``)
+    One layer ℓ of 2-balancers across cyclically adjacent block boundaries
+    (Proposition 4 confines the discrepancy to a single bitonic block),
+    then a second layer of ``C(p, q)``.  This is the variant used by the
+    ``K`` family, where ``d = 1`` gives ``depth(S) = 3``.
+``opt_bitonic`` (depth ``d + 3``)
+    Layer ℓ, then the depth-2 bitonic-converter ``D(p, q)`` on every block.
+    This is the variant used by the ``L`` family.
+
+All builders here operate on SSA wire lists; a *base factory*
+``base(builder, wires, p, q) -> wires`` supplies the assumed constant-depth
+counting network ``C(p, q)`` (one balancer for ``K``, the ``R(p, q)``
+construction for ``L``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.network import Network, NetworkBuilder
+from .bitonic_converter import build_bitonic_converter
+from .two_merger import build_two_merger
+
+__all__ = ["BaseFactory", "STAIRCASE_VARIANTS", "build_staircase_merger", "staircase_merger"]
+
+BaseFactory = Callable[[NetworkBuilder, list[int], int, int], list[int]]
+
+STAIRCASE_VARIANTS = ("basic", "small", "opt_rescan", "opt_bitonic")
+
+
+def _merge_pair(
+    b: NetworkBuilder,
+    blocks: list[list[int]],
+    j: int,
+    k: int,
+    p: int,
+    q: int,
+    small: bool,
+) -> None:
+    """Merge step blocks ``A_j`` and ``A_k`` with ``T(p, q, q)`` and split the
+    merged step sequence back: the upper half (higher values) goes to the
+    block with the smaller index, which sits higher in the matrix."""
+    hi, lo = (j, k) if j < k else (k, j)
+    merged = build_two_merger(b, blocks[j], blocks[k], p, small=small)
+    half = len(blocks[j])
+    blocks[hi] = merged[:half]
+    blocks[lo] = merged[half:]
+
+
+def _layer_ell(b: NetworkBuilder, blocks: list[list[int]], s: int) -> None:
+    """The 2-balancer layer ℓ of §4.3.1.
+
+    For every cyclically adjacent pair ``(A_k, A_{k+1 mod r})`` it connects
+    element ``s-1-j`` of ``A_k``'s last-``s`` suffix with element ``j`` of
+    ``A_{k+1}``'s first-``s`` prefix; each 2-balancer's first output (the
+    higher value) is directed "north" — to the block with the smaller index,
+    i.e. the one closer to the top of matrix ``A``.
+    """
+    r = len(blocks)
+    if s == 0:
+        return
+    block_len = len(blocks[0])
+    new_blocks = [list(blk) for blk in blocks]
+    for k in range(r):
+        nxt = (k + 1) % r
+        for j in range(s):
+            d_pos = block_len - s + (s - 1 - j)  # position in A_k's suffix
+            u_pos = j  # position in A_nxt's prefix
+            north_is_k = k < nxt  # wrap pair (r-1, 0): block 0 is north
+            top, bottom = b.balancer([blocks[k][d_pos], blocks[nxt][u_pos]])
+            if north_is_k:
+                new_blocks[k][d_pos] = top
+                new_blocks[nxt][u_pos] = bottom
+            else:
+                new_blocks[nxt][u_pos] = top
+                new_blocks[k][d_pos] = bottom
+    blocks[:] = new_blocks
+
+
+def build_staircase_merger(
+    b: NetworkBuilder,
+    inputs: list[list[int]],
+    r: int,
+    p: int,
+    base: BaseFactory,
+    variant: str = "opt_rescan",
+) -> list[int]:
+    """Append ``S(r, p, q)`` onto the ``q`` input wire lists (each of length
+    ``r*p``); returns the output wires in sequence (row-major) order."""
+    if variant not in STAIRCASE_VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; choose from {STAIRCASE_VARIANTS}")
+    q = len(inputs)
+    if q < 1:
+        raise ValueError("staircase-merger needs at least one input sequence")
+    if r < 1 or p < 1:
+        raise ValueError(f"r, p must be >= 1, got r={r}, p={p}")
+    for i, x in enumerate(inputs):
+        if len(x) != r * p:
+            raise ValueError(f"input {i} has length {len(x)}, expected r*p = {r * p}")
+
+    # Matrix A: (r*p) rows x q columns, column i = X_i.  Block A_k holds rows
+    # [k*p, (k+1)*p); as a sequence it is read in row-major order.
+    blocks: list[list[int]] = []
+    for k in range(r):
+        block = [inputs[col][k * p + i] for i in range(p) for col in range(q)]
+        blocks.append(block)
+
+    # First layer: C(p, q) turns every block into a step sequence.
+    for k in range(r):
+        blocks[k] = base(b, blocks[k], p, q)
+
+    if r == 1:
+        # A single block is already a step sequence after the base layer;
+        # there is no inter-block discrepancy to repair.
+        return list(blocks[0])
+
+    if variant in ("basic", "small"):
+        small = variant == "small"
+        # Layer 1: merge (A_0,A_1), (A_2,A_3), ...
+        for i in range(0, r - 1, 2):
+            _merge_pair(b, blocks, i, i + 1, p, q, small)
+        # Layer 2: merge (A_1,A_2), (A_3,A_4), ..., wrapping to A_0 if r even.
+        for i in range(1, r - 1, 2):
+            _merge_pair(b, blocks, i, (i + 1) % r, p, q, small)
+        if r % 2 == 0 and r > 2:
+            _merge_pair(b, blocks, r - 1, 0, p, q, small)
+        elif r == 2:
+            _merge_pair(b, blocks, 1, 0, p, q, small)
+        # Layer 3 (odd r): the single wrap merge of A_{r-1} and A_0.
+        if r % 2 == 1 and r > 1:
+            _merge_pair(b, blocks, r - 1, 0, p, q, small)
+    else:
+        s = (p * q) // 2
+        _layer_ell(b, blocks, s)
+        # Final layer repairs the one bitonic block (all others are step,
+        # hence also bitonic, so the repair is applied uniformly).
+        for k in range(r):
+            if variant == "opt_rescan":
+                blocks[k] = base(b, blocks[k], p, q)
+            else:  # opt_bitonic
+                blocks[k] = build_bitonic_converter(b, blocks[k], p, q)
+
+    return [w for blk in blocks for w in blk]
+
+
+def _single_balancer_base(b: NetworkBuilder, wires: list[int], p: int, q: int) -> list[int]:
+    """Default base ``C(p, q)``: one ``p*q``-balancer (as in the ``K``
+    family)."""
+    return b.maybe_balancer(wires)
+
+
+def staircase_merger(
+    r: int,
+    p: int,
+    q: int,
+    variant: str = "opt_rescan",
+    base: BaseFactory | None = None,
+) -> Network:
+    """Standalone ``S(r, p, q)``: input sequence ``X_0 ++ ... ++ X_{q-1}``."""
+    if q < 1:
+        raise ValueError("q must be >= 1")
+    base = base or _single_balancer_base
+    b = NetworkBuilder(r * p * q)
+    wires = list(b.inputs)
+    inputs = [wires[i * r * p : (i + 1) * r * p] for i in range(q)]
+    out = build_staircase_merger(b, inputs, r, p, base, variant=variant)
+    return b.finish(out, name=f"S({r},{p},{q},{variant})")

@@ -1,0 +1,94 @@
+"""The two-merger network ``T(p, q0, q1)`` (paper §4.4, Figure 11).
+
+``T(p, q0, q1)`` merges two step sequences ``X0`` (length ``p*q0``) and
+``X1`` (length ``p*q1``) into one step sequence of length ``p*(q0+q1)`` in
+depth 2:
+
+1. arrange ``X0`` as a ``p x q0`` matrix in **column-major** form and ``X1``
+   as a ``p x q1`` matrix in **reverse column-major** form, side by side;
+2. place a ``(q0+q1)``-balancer across each row — afterwards at most one
+   column is 1-smooth, all columns to its left hold the higher value and all
+   to its right the lower (Proposition 5);
+3. place a ``p``-balancer across each column — the matrix now has the step
+   property in column-major order, which is the output sequence.
+
+The ``small`` flag applies the substitution from §4.3: each
+``(q0+q1)``-balancer is replaced by a nested two-merger ``T(q, 1, 1)``
+built from 2-balancers and ``q``-balancers (valid because each row of the
+combined matrix is a step sequence followed by a reversed step sequence).
+This trades depth 2 -> 5 for balancer width ``q0+q1`` -> ``max(2, q0, q1)``
+and requires ``q0 == q1``.
+"""
+
+from __future__ import annotations
+
+from ..core.network import Network, NetworkBuilder
+
+__all__ = ["build_two_merger", "two_merger"]
+
+
+def build_two_merger(
+    b: NetworkBuilder,
+    x0: list[int],
+    x1: list[int],
+    p: int,
+    small: bool = False,
+) -> list[int]:
+    """Append ``T(p, q0, q1)`` onto wires ``x0`` (length ``p*q0``) and ``x1``
+    (length ``p*q1``); returns the merged output wires in sequence order.
+
+    ``q0`` and ``q1`` are inferred from the wire-list lengths.  Degenerate
+    cases follow the paper's conventions: an empty side passes the other
+    side through; ``p == 1`` reduces to a single row balancer.
+    """
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    if len(x0) % p or len(x1) % p:
+        raise ValueError(f"input lengths {len(x0)}, {len(x1)} must be multiples of p={p}")
+    q0, q1 = len(x0) // p, len(x1) // p
+    if q0 == 0:
+        return list(x1)
+    if q1 == 0:
+        return list(x0)
+
+    # cell[r][c] = wire at row r, column c of the combined p x (q0+q1) matrix
+    cell: list[list[int]] = [[-1] * (q0 + q1) for _ in range(p)]
+    for k, w in enumerate(x0):  # column-major: x0[k] -> (k % p, k // p)
+        cell[k % p][k // p] = w
+    for k, w in enumerate(x1):  # reverse column-major, shifted right by q0
+        cell[p - 1 - (k % p)][q0 + (q1 - 1 - (k // p))] = w
+
+    # Layer 1: a (q0+q1)-balancer across each row; output 0 (most tokens)
+    # lands in column 0 so columns decrease left to right.
+    for r in range(p):
+        if small:
+            if q0 != q1:
+                raise ValueError("small two-merger substitution requires q0 == q1")
+            # Row = step (left half) ++ reversed step (right half): feed the
+            # nested T(q, 1, 1) the right half un-reversed so both inputs
+            # are step sequences.
+            left = cell[r][:q0]
+            right = list(reversed(cell[r][q0:]))
+            cell[r] = build_two_merger(b, left, right, p=q0, small=False)
+        else:
+            cell[r] = b.maybe_balancer(cell[r])
+
+    # Layer 2: a p-balancer down each column; output 0 lands in row 0.
+    for c in range(q0 + q1):
+        col = b.maybe_balancer([cell[r][c] for r in range(p)])
+        for r in range(p):
+            cell[r][c] = col[r]
+
+    # Output: the combined matrix read in column-major order.
+    return [cell[k % p][k // p] for k in range(p * (q0 + q1))]
+
+
+def two_merger(p: int, q0: int, q1: int, small: bool = False) -> Network:
+    """Standalone ``T(p, q0, q1)`` whose input sequence is ``X0 ++ X1``."""
+    if q0 < 0 or q1 < 0 or q0 + q1 == 0:
+        raise ValueError("q0, q1 must be non-negative with q0 + q1 >= 1")
+    b = NetworkBuilder(p * (q0 + q1))
+    wires = list(b.inputs)
+    out = build_two_merger(b, wires[: p * q0], wires[p * q0 :], p, small=small)
+    tag = ",small" if small else ""
+    return b.finish(out, name=f"T({p},{q0},{q1}{tag})")

@@ -1,0 +1,95 @@
+"""Schedulers for the asynchronous token simulator.
+
+A scheduler repeatedly picks which in-flight token advances next, modelling
+the asynchrony of a balancing network: tokens "propagate asynchronously
+through the balancers" (paper §1) under an arbitrary interleaving.  The
+classic counting-network correctness statement quantifies over *all*
+schedules, so tests run every network under several hostile schedules.
+
+A scheduler is any callable ``(pending_ids: Sequence[int], rng) -> int``
+returning one element of ``pending_ids``.  The simulator passes the stable
+token ids currently able to move.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Scheduler",
+    "fifo",
+    "lifo",
+    "random_scheduler",
+    "round_robin",
+    "straggler",
+    "SCHEDULERS",
+    "get_scheduler",
+]
+
+Scheduler = Callable[[Sequence[int], np.random.Generator], int]
+
+
+def fifo(pending: Sequence[int], rng: np.random.Generator) -> int:
+    """Advance the oldest in-flight token (near-synchronous waves)."""
+    return pending[0]
+
+
+def lifo(pending: Sequence[int], rng: np.random.Generator) -> int:
+    """Advance the newest token — later tokens overtake earlier ones,
+    the adversarial pattern that defeats naive 'sorting implies counting'
+    intuition (paper Figure 3)."""
+    return pending[-1]
+
+
+def random_scheduler(pending: Sequence[int], rng: np.random.Generator) -> int:
+    """Uniformly random interleaving."""
+    return pending[int(rng.integers(0, len(pending)))]
+
+
+def round_robin(pending: Sequence[int], rng: np.random.Generator) -> int:
+    """Cycle across tokens by id, giving every token similar progress."""
+    return min(pending)
+
+
+class straggler:
+    """Freeze a fixed fraction of tokens until everything else finishes.
+
+    This produces executions where a few tokens lag arbitrarily far behind —
+    the schedules that distinguish counting networks from mere sorting
+    networks.  Instances are stateful and single-use per run.
+    """
+
+    def __init__(self, fraction: float = 0.25):
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError("fraction must be in [0, 1)")
+        self.fraction = fraction
+        self._frozen: set[int] | None = None
+
+    def __call__(self, pending: Sequence[int], rng: np.random.Generator) -> int:
+        if self._frozen is None:
+            k = int(len(pending) * self.fraction)
+            chosen = rng.choice(len(pending), size=k, replace=False) if k else []
+            self._frozen = {pending[int(i)] for i in np.atleast_1d(chosen)}
+        movable = [t for t in pending if t not in self._frozen]
+        if not movable:  # only stragglers remain: release them
+            movable = list(pending)
+        return movable[int(rng.integers(0, len(movable)))]
+
+
+SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
+    "fifo": lambda: fifo,
+    "lifo": lambda: lifo,
+    "random": lambda: random_scheduler,
+    "round_robin": lambda: round_robin,
+    "straggler": lambda: straggler(),
+}
+
+
+def get_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler by name (fresh state for stateful ones)."""
+    try:
+        return SCHEDULERS[name]()
+    except KeyError:
+        raise ValueError(f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}") from None

@@ -1,0 +1,48 @@
+"""Verification: counting-property search, 0-1 sorting proofs, contracts."""
+
+from .counting import CountingViolation, check_step_batch, find_counting_violation, step_mask, verify_counting
+from .sorting import SortingViolation, find_sorting_violation, is_sorting_network, sorts_batch
+from .contracts import (
+    ContractViolation,
+    bitonic_inputs,
+    check_contract_batch,
+    merger_inputs,
+    staircase_inputs,
+    two_merger_inputs,
+    verify_bitonic_converter,
+    verify_merger,
+    verify_staircase_merger,
+    verify_two_merger,
+)
+from .inputs import all_zero_one, exhaustive_counts, random_counts, structured_counts
+from .smoothing import SmoothingViolation, find_smoothing_violation, is_smoother, observed_smoothness
+
+__all__ = [
+    "CountingViolation",
+    "check_step_batch",
+    "find_counting_violation",
+    "step_mask",
+    "verify_counting",
+    "SortingViolation",
+    "find_sorting_violation",
+    "is_sorting_network",
+    "sorts_batch",
+    "ContractViolation",
+    "bitonic_inputs",
+    "check_contract_batch",
+    "merger_inputs",
+    "staircase_inputs",
+    "two_merger_inputs",
+    "verify_bitonic_converter",
+    "verify_merger",
+    "verify_staircase_merger",
+    "verify_two_merger",
+    "all_zero_one",
+    "exhaustive_counts",
+    "random_counts",
+    "structured_counts",
+    "SmoothingViolation",
+    "find_smoothing_violation",
+    "is_smoother",
+    "observed_smoothness",
+]

@@ -1,0 +1,158 @@
+"""Contract verifiers for the paper's network families (§3.2).
+
+Each family promises a step-property output only for inputs satisfying a
+precondition (merger: every input step; staircase-merger: step inputs with
+the p-staircase property; two-merger: two step inputs; bitonic-converter: a
+bitonic input).  These helpers generate valid random inputs for each
+contract and check the conclusion, so the same machinery drives unit tests,
+hypothesis properties, and the per-experiment benches.
+
+Convention: a multi-input network is a single :class:`Network` whose input
+sequence is the concatenation ``X_0 ++ X_1 ++ ... `` of its input sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.network import Network
+from ..core.sequences import is_step, make_step
+from ..sim.count_sim import propagate_counts
+from .counting import step_mask
+
+__all__ = [
+    "ContractViolation",
+    "merger_inputs",
+    "staircase_inputs",
+    "two_merger_inputs",
+    "bitonic_inputs",
+    "check_contract_batch",
+    "verify_merger",
+    "verify_staircase_merger",
+    "verify_two_merger",
+    "verify_bitonic_converter",
+]
+
+
+@dataclass(frozen=True)
+class ContractViolation:
+    """Witness: a precondition-satisfying input with a non-step output."""
+
+    input_counts: np.ndarray
+    output_counts: np.ndarray
+    contract: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.contract} violation: input {self.input_counts.tolist()} "
+            f"-> output {self.output_counts.tolist()}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Input generators (each returns a (B, total_width) batch)
+# ---------------------------------------------------------------------------
+
+
+def merger_inputs(
+    lengths: list[int], batch: int, rng: np.random.Generator, max_total: int = 60
+) -> np.ndarray:
+    """Concatenated step sequences, one per input of the given lengths."""
+    cols = []
+    for ln in lengths:
+        totals = rng.integers(0, max_total + 1, size=batch)
+        bases = rng.integers(0, 3, size=batch)
+        block = np.stack([make_step(ln, int(t), int(b)) for t, b in zip(totals, bases)])
+        cols.append(block)
+    return np.concatenate(cols, axis=1)
+
+
+def staircase_inputs(
+    r: int, p: int, q: int, batch: int, rng: np.random.Generator, max_total: int = 200
+) -> np.ndarray:
+    """``q`` step sequences of length ``r*p`` satisfying the p-staircase
+    property: sums ``S_0 >= S_1 >= ... >= S_{q-1} >= S_0 - p``."""
+    ln = r * p
+    out = np.empty((batch, ln * q), dtype=np.int64)
+    for row in range(batch):
+        base_total = int(rng.integers(0, max_total + 1))
+        deltas = np.sort(rng.integers(0, p + 1, size=q))[::-1]  # non-increasing in [0, p]
+        for i in range(q):
+            out[row, i * ln : (i + 1) * ln] = make_step(ln, base_total + int(deltas[i]))
+    return out
+
+
+def two_merger_inputs(
+    p: int, q0: int, q1: int, batch: int, rng: np.random.Generator, max_total: int = 60
+) -> np.ndarray:
+    """Two step sequences of lengths ``p*q0`` and ``p*q1``, concatenated."""
+    return merger_inputs([p * q0, p * q1], batch, rng, max_total)
+
+
+def bitonic_inputs(width: int, batch: int, rng: np.random.Generator) -> np.ndarray:
+    """Random bitonic sequences (rotations of step sequences are exactly the
+    1-smooth at-most-two-transition sequences)."""
+    out = np.empty((batch, width), dtype=np.int64)
+    for row in range(batch):
+        total = int(rng.integers(0, width + 1))
+        base = int(rng.integers(0, 4))
+        seq = make_step(width, total, base)
+        out[row] = np.roll(seq, int(rng.integers(0, width)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Checkers
+# ---------------------------------------------------------------------------
+
+
+def check_contract_batch(net: Network, batch: np.ndarray, contract: str) -> ContractViolation | None:
+    """Propagate a precondition-satisfying batch; first non-step output
+    (if any) becomes the violation witness."""
+    outs = propagate_counts(net, batch)
+    if outs.ndim == 1:
+        outs = outs[None, :]
+        batch = batch[None, :]
+    ok = step_mask(outs)
+    if np.all(ok):
+        return None
+    idx = int(np.argmin(ok))
+    return ContractViolation(batch[idx].copy(), outs[idx].copy(), contract)
+
+
+def verify_merger(
+    net: Network, lengths: list[int], trials: int = 256, seed: int = 0
+) -> ContractViolation | None:
+    """Check the merger contract over random step inputs."""
+    rng = np.random.default_rng(seed)
+    batch = merger_inputs(lengths, trials, rng)
+    return check_contract_batch(net, batch, f"merger{tuple(lengths)}")
+
+
+def verify_staircase_merger(
+    net: Network, r: int, p: int, q: int, trials: int = 256, seed: int = 0
+) -> ContractViolation | None:
+    """Check the staircase-merger contract over random staircase inputs."""
+    rng = np.random.default_rng(seed)
+    batch = staircase_inputs(r, p, q, trials, rng)
+    return check_contract_batch(net, batch, f"staircase({r},{p},{q})")
+
+
+def verify_two_merger(
+    net: Network, p: int, q0: int, q1: int, trials: int = 256, seed: int = 0
+) -> ContractViolation | None:
+    """Check the two-merger contract over random pairs of step inputs."""
+    rng = np.random.default_rng(seed)
+    batch = two_merger_inputs(p, q0, q1, trials, rng)
+    return check_contract_batch(net, batch, f"two_merger({p},{q0},{q1})")
+
+
+def verify_bitonic_converter(
+    net: Network, trials: int = 256, seed: int = 0
+) -> ContractViolation | None:
+    """Check the bitonic-converter contract over random bitonic inputs."""
+    rng = np.random.default_rng(seed)
+    batch = bitonic_inputs(net.width, trials, rng)
+    return check_contract_batch(net, batch, "bitonic_converter")

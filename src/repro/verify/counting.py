@@ -1,0 +1,100 @@
+"""Counting-network verification: step-property checks over count batches.
+
+A balancing network is a *counting network* iff its quiescent output counts
+satisfy the step property for **every** input count vector (paper §3.2).
+Quiescent counts are schedule-independent, so checking the deterministic
+count propagation suffices — the asynchronous token simulator cross-checks
+that fact separately in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.network import Network
+from ..core.sequences import is_step
+from ..sim.count_sim import propagate_counts
+from .inputs import exhaustive_counts, random_counts, structured_counts
+
+__all__ = ["CountingViolation", "check_step_batch", "find_counting_violation", "verify_counting"]
+
+
+@dataclass(frozen=True)
+class CountingViolation:
+    """A witness input whose output breaks the step property."""
+
+    input_counts: np.ndarray
+    output_counts: np.ndarray
+
+    def __str__(self) -> str:
+        return (
+            f"counting violation: input {self.input_counts.tolist()} "
+            f"-> output {self.output_counts.tolist()} (not a step sequence)"
+        )
+
+
+def step_mask(outputs: np.ndarray) -> np.ndarray:
+    """Boolean per row of a ``(B, w)`` batch: row has the step property."""
+    if outputs.ndim == 1:
+        outputs = outputs[None, :]
+    non_increasing = np.all(outputs[:, :-1] >= outputs[:, 1:], axis=1)
+    bounded = (outputs[:, 0] - outputs[:, -1]) <= 1
+    return non_increasing & bounded
+
+
+def check_step_batch(net: Network, batch: np.ndarray) -> CountingViolation | None:
+    """Propagate a batch of count vectors; return the first violation."""
+    outs = propagate_counts(net, batch)
+    if outs.ndim == 1:
+        outs = outs[None, :]
+        batch = np.asarray(batch)[None, :]
+    ok = step_mask(outs)
+    if np.all(ok):
+        return None
+    idx = int(np.argmin(ok))
+    return CountingViolation(np.asarray(batch)[idx].copy(), outs[idx].copy())
+
+
+def find_counting_violation(
+    net: Network,
+    rng: np.random.Generator | None = None,
+    random_batches: int = 8,
+    batch_size: int = 512,
+    max_count: int = 64,
+    exhaustive_bound: int = 200_000,
+) -> CountingViolation | None:
+    """Search for an input count vector violating the step property.
+
+    Strategy: structured adversarial vectors first (they catch almost every
+    broken network immediately), then an exhaustive bounded sweep if the
+    space ``(c+1)^w`` fits under ``exhaustive_bound``, then random batches.
+    Returns ``None`` when no violation was found (evidence, not proof,
+    except when the exhaustive sweep covered the space for small totals).
+    """
+    rng = rng or np.random.default_rng(0)
+    w = net.width
+
+    v = check_step_batch(net, structured_counts(w))
+    if v is not None:
+        return v
+
+    for c in (1, 2, 3):
+        if (c + 1) ** w <= exhaustive_bound:
+            for batch in exhaustive_counts(w, c):
+                v = check_step_batch(net, batch)
+                if v is not None:
+                    return v
+
+    for _ in range(random_batches):
+        v = check_step_batch(net, random_counts(w, batch_size, rng, max_count))
+        if v is not None:
+            return v
+    return None
+
+
+def verify_counting(net: Network, **kwargs) -> bool:
+    """True when no counting violation was found (see
+    :func:`find_counting_violation` for the search budget)."""
+    return find_counting_violation(net, **kwargs) is None

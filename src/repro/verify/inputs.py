@@ -1,0 +1,97 @@
+"""Input generators for counting-network verification.
+
+No finite analogue of the 0-1 principle is known for counting networks, so
+verification combines exhaustive bounded searches (tiny widths), structured
+adversarial count vectors, and randomized sampling.  All generators yield
+``(B, w)`` integer batches ready for :func:`repro.sim.propagate_counts`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "exhaustive_counts",
+    "structured_counts",
+    "random_counts",
+    "all_zero_one",
+]
+
+
+def exhaustive_counts(width: int, max_count: int, batch: int = 4096) -> Iterator[np.ndarray]:
+    """Every vector in ``{0..max_count}^width``, in batches.
+
+    Feasible only for tiny ``(max_count+1)**width``; callers should bound the
+    product.  Used to *prove* small networks are counting networks up to a
+    token bound.
+    """
+    total = (max_count + 1) ** width
+    if total > 20_000_000:
+        raise ValueError(f"exhaustive space of {total} vectors is too large; bound it")
+    it = itertools.product(range(max_count + 1), repeat=width)
+    while True:
+        chunk = list(itertools.islice(it, batch))
+        if not chunk:
+            return
+        yield np.array(chunk, dtype=np.int64)
+
+
+def structured_counts(width: int, heavy: int = 50) -> np.ndarray:
+    """Adversarial count vectors that break naive balancing schemes.
+
+    Includes: all tokens on one wire (each wire), alternating bursts,
+    descending/ascending ramps, near-step vectors with one perturbed entry,
+    and all-equal loads.  These are exactly the shapes for which the
+    bubble-sort network of Figure 3 fails to count.
+    """
+    rows: list[np.ndarray] = []
+    eye = np.eye(width, dtype=np.int64) * heavy
+    rows.extend(eye)  # single heavy wire
+    rows.append(np.zeros(width, dtype=np.int64))
+    rows.append(np.full(width, heavy, dtype=np.int64))
+    rows.append(np.arange(width, dtype=np.int64))  # ascending ramp
+    rows.append(np.arange(width, dtype=np.int64)[::-1].copy())  # descending ramp
+    alt = np.zeros(width, dtype=np.int64)
+    alt[::2] = heavy
+    rows.append(alt)
+    rows.append(heavy - alt)
+    # step vectors with one bumped coordinate
+    base = (np.arange(width, dtype=np.int64)[::-1] // max(1, width // 3)) + 1
+    for k in range(width):
+        v = base.copy()
+        v[k] += heavy // 2
+        rows.append(v)
+    return np.stack(rows)
+
+
+def random_counts(
+    width: int, batch: int, rng: np.random.Generator, max_count: int = 64
+) -> np.ndarray:
+    """Uniform random count vectors, plus sparse/heavy-tailed rows.
+
+    Half the batch is uniform in ``[0, max_count]``; the other half is
+    sparse (most wires empty) to probe low-token regimes where off-by-one
+    step violations hide.
+    """
+    if batch < 2:
+        return rng.integers(0, max_count + 1, size=(batch, width), dtype=np.int64)
+    half = batch // 2
+    uniform = rng.integers(0, max_count + 1, size=(half, width), dtype=np.int64)
+    sparse = rng.integers(0, max_count + 1, size=(batch - half, width), dtype=np.int64)
+    mask = rng.random(sparse.shape) < 0.7
+    sparse[mask] = 0
+    return np.concatenate([uniform, sparse])
+
+
+def all_zero_one(width: int) -> np.ndarray:
+    """All ``2**width`` 0-1 vectors as a ``(2^w, w)`` int8 array (0-1
+    principle input set for sorting verification)."""
+    if width > 22:
+        raise ValueError(f"2**{width} zero-one vectors is too many; sample instead")
+    n = 1 << width
+    idx = np.arange(n, dtype=np.int64)
+    bits = (idx[:, None] >> np.arange(width - 1, -1, -1)[None, :]) & 1
+    return bits.astype(np.int8)

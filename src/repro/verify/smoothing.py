@@ -1,0 +1,112 @@
+"""Smoothing properties of balancing networks.
+
+A balancing network is a **k-smoother** if its quiescent output is always
+k-smooth (max - min <= k), a strictly weaker guarantee than counting
+(counting = step = 1-smooth *with* the excess on the upper wires).
+Smoothers matter in practice: they make good load balancers even when full
+counting is unnecessary, and several classic networks that fail to count
+(odd-even, truncated periodic) are still excellent smoothers.  The paper's
+§3.1 introduces k-smoothness as the analytic workhorse for the staircase
+argument; this module measures it on whole networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.network import Network
+from ..sim.count_sim import propagate_counts
+from .inputs import exhaustive_counts, random_counts, structured_counts
+
+__all__ = ["SmoothingViolation", "find_smoothing_violation", "observed_smoothness", "is_smoother"]
+
+
+@dataclass(frozen=True)
+class SmoothingViolation:
+    """Witness input whose output exceeds the target smoothness."""
+
+    input_counts: np.ndarray
+    output_counts: np.ndarray
+    smoothness: int
+    target: int
+
+    def __str__(self) -> str:
+        return (
+            f"smoothing violation: input {self.input_counts.tolist()} -> output "
+            f"{self.output_counts.tolist()} is {self.smoothness}-smooth (target {self.target})"
+        )
+
+
+def _batch_smoothness(outs: np.ndarray) -> np.ndarray:
+    return outs.max(axis=1) - outs.min(axis=1)
+
+
+def find_smoothing_violation(
+    net: Network,
+    k: int,
+    rng: np.random.Generator | None = None,
+    random_batches: int = 6,
+    batch_size: int = 512,
+    max_count: int = 64,
+    exhaustive_bound: int = 100_000,
+) -> SmoothingViolation | None:
+    """Search for an input whose output is not k-smooth (same search
+    strategy as the counting-violation search)."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    rng = rng or np.random.default_rng(0)
+
+    def check(batch: np.ndarray) -> SmoothingViolation | None:
+        outs = propagate_counts(net, batch)
+        if outs.ndim == 1:
+            outs = outs[None, :]
+            nonlocal_batch = np.asarray(batch)[None, :]
+        else:
+            nonlocal_batch = np.asarray(batch)
+        sm = _batch_smoothness(outs)
+        bad = np.nonzero(sm > k)[0]
+        if bad.size == 0:
+            return None
+        i = int(bad[0])
+        return SmoothingViolation(nonlocal_batch[i].copy(), outs[i].copy(), int(sm[i]), k)
+
+    v = check(structured_counts(net.width))
+    if v is not None:
+        return v
+    for c in (1, 2):
+        if (c + 1) ** net.width <= exhaustive_bound:
+            for batch in exhaustive_counts(net.width, c):
+                v = check(batch)
+                if v is not None:
+                    return v
+    for _ in range(random_batches):
+        v = check(random_counts(net.width, batch_size, rng, max_count))
+        if v is not None:
+            return v
+    return None
+
+
+def observed_smoothness(
+    net: Network,
+    rng: np.random.Generator | None = None,
+    batches: int = 8,
+    batch_size: int = 1024,
+    max_count: int = 64,
+) -> int:
+    """Largest output smoothness observed over the search inputs — a lower
+    bound on the network's true smoothing constant."""
+    rng = rng or np.random.default_rng(0)
+    worst = 0
+    outs = propagate_counts(net, structured_counts(net.width))
+    worst = max(worst, int(_batch_smoothness(outs).max()))
+    for _ in range(batches):
+        outs = propagate_counts(net, random_counts(net.width, batch_size, rng, max_count))
+        worst = max(worst, int(_batch_smoothness(outs).max()))
+    return worst
+
+
+def is_smoother(net: Network, k: int, **kwargs) -> bool:
+    """True when no k-smoothing violation was found."""
+    return find_smoothing_violation(net, k, **kwargs) is None

@@ -1,0 +1,6 @@
+"""ASCII rendering and machine-readable exports of networks."""
+
+from .render import render_matrix, render_network, render_sequence
+from .export import to_dot, to_layered_json
+
+__all__ = ["render_matrix", "render_network", "render_sequence", "to_dot", "to_layered_json"]

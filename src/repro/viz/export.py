@@ -1,0 +1,80 @@
+"""Machine-readable network exports: Graphviz DOT and layered JSON.
+
+``to_dot`` renders the balancer DAG for external tooling (graphviz, gephi);
+``to_layered_json`` emits the layer/width-group structure the compiled
+evaluator uses — convenient for porting a network to hardware description
+generators or other languages.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..core.compiled import compile_network
+from ..core.network import Network
+
+__all__ = ["to_dot", "to_layered_json"]
+
+
+def to_dot(net: Network, rankdir: str = "LR") -> str:
+    """Graphviz DOT source for the balancer DAG.
+
+    Nodes: one per balancer (box, labelled with its width), plus input and
+    output terminals.  Edges follow wires; the edge label is the balancer
+    port.
+    """
+    lines = [
+        f'digraph "{net.name}" {{',
+        f"  rankdir={rankdir};",
+        "  node [shape=box, fontsize=10];",
+    ]
+    # Producers: wire -> (node name, port) feeding it.
+    producer: dict[int, tuple[str, int]] = {}
+    for pos, w in enumerate(net.inputs):
+        name = f"in{pos}"
+        lines.append(f'  {name} [shape=plaintext, label="x{pos}"];')
+        producer[w] = (name, 0)
+    for b in net.balancers:
+        name = f"b{b.index}"
+        lines.append(f'  {name} [label="{b.width}-bal"];')
+        for port, w in enumerate(b.outputs):
+            producer[w] = (name, port)
+    for b in net.balancers:
+        for port, w in enumerate(b.inputs):
+            src, sport = producer[w]
+            lines.append(f'  {src} -> b{b.index} [label="{sport}->{port}", fontsize=8];')
+    for pos, w in enumerate(net.outputs):
+        name = f"out{pos}"
+        lines.append(f'  {name} [shape=plaintext, label="y{pos}"];')
+        src, sport = producer[w]
+        lines.append(f'  {src} -> {name} [label="{sport}", fontsize=8];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_layered_json(net: Network, indent: int | None = None) -> str:
+    """JSON document with the layered structure: for each layer, the
+    balancers grouped by width with their input/output wire ids."""
+    comp = compile_network(net)
+    doc = {
+        "name": net.name,
+        "width": net.width,
+        "depth": net.depth,
+        "size": net.size,
+        "max_balancer_width": net.max_balancer_width,
+        "inputs": list(map(int, comp.input_idx)),
+        "outputs": list(map(int, comp.output_idx)),
+        "layers": [
+            [
+                {
+                    "balancer_width": g.width,
+                    "count": int(g.count),
+                    "inputs": g.in_idx.tolist(),
+                    "outputs": g.out_idx.tolist(),
+                }
+                for g in layer
+            ]
+            for layer in comp.layers
+        ],
+    }
+    return json.dumps(doc, indent=indent)

@@ -1,0 +1,92 @@
+"""ASCII rendering of networks and step sequences.
+
+Regenerates the paper's figure content programmatically: layer diagrams in
+the style of Figures 1-3 (wires as horizontal lines, balancers as vertical
+spans) and shaded strips for step/bitonic sequences in the style of
+Figures 5 and 9-13.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..core.network import Network
+
+__all__ = ["render_network", "render_sequence", "render_matrix"]
+
+
+def render_network(net: Network, max_width: int = 40, max_layers: int = 60) -> str:
+    """Draw ``net`` as ASCII art: one row per *sequence position*, one column
+    group per layer; a balancer is a vertical span of ``|`` with ``o`` at
+    the wires it touches.
+
+    Positions are tracked through the SSA graph so each balancer is drawn at
+    the rows its wires occupy at that layer.  Oversized networks are
+    truncated with a note.
+    """
+    if net.width > max_width:
+        return f"[{net.name}: width {net.width} exceeds render limit {max_width}]"
+    layers = net.layers()
+    if len(layers) > max_layers:
+        return f"[{net.name}: depth {len(layers)} exceeds render limit {max_layers}]"
+
+    # Track which row (sequence position) each live wire occupies.  A
+    # balancer's outputs inherit the rows of its inputs, sorted so the top
+    # output takes the topmost row.
+    row_of: dict[int, int] = {w: i for i, w in enumerate(net.inputs)}
+    cols: list[list[str]] = []
+    for layer in layers:
+        col = [["-", " "] for _ in range(net.width)]
+        for bal in layer:
+            rows = sorted(row_of.pop(w) for w in bal.inputs)
+            for out_wire, row in zip(bal.outputs, rows):
+                row_of[out_wire] = row
+            for r in range(rows[0], rows[-1] + 1):
+                col[r][1] = "|"
+            for r in rows:
+                col[r][0] = "o" if col[r][0] == "-" else col[r][0]
+                col[r][1] = "+" if r in rows else col[r][1]
+        cols.append(["".join(c) for c in col])
+
+    # Final permutation: where each output-sequence position currently sits.
+    out_rows = [row_of[w] for w in net.outputs]
+    lines = []
+    for r in range(net.width):
+        body = "".join(f"-{cols[d][r]}" for d in range(len(layers)))
+        label = out_rows.index(r) if r in out_rows else "?"
+        lines.append(f"{r:>3} {body}-> y{label}")
+    header = f"{net.name}: width={net.width} depth={net.depth} size={net.size}"
+    return header + "\n" + "\n".join(lines)
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_sequence(x: Iterable[int], label: str = "") -> str:
+    """One-line shaded strip for a count sequence (darker = more tokens)."""
+    arr = np.asarray(list(x), dtype=np.int64)
+    if arr.size == 0:
+        return f"{label}[]"
+    lo, hi = int(arr.min()), int(arr.max())
+    span = max(1, hi - lo)
+    chars = "".join(_SHADES[min(len(_SHADES) - 1, (v - lo) * (len(_SHADES) - 1) // span)] for v in arr)
+    return f"{label}[{chars}] min={lo} max={hi}"
+
+
+def render_matrix(x: Iterable[int], rows: int, cols: int, label: str = "") -> str:
+    """Shaded ``rows x cols`` block (row-major) for a count sequence, in the
+    style of the paper's staircase figures."""
+    arr = np.asarray(list(x), dtype=np.int64).reshape(rows, cols)
+    lo, hi = int(arr.min()), int(arr.max())
+    span = max(1, hi - lo)
+    lines = [label] if label else []
+    for r in range(rows):
+        lines.append(
+            "".join(
+                _SHADES[min(len(_SHADES) - 1, (int(v) - lo) * (len(_SHADES) - 1) // span)]
+                for v in arr[r]
+            )
+        )
+    return "\n".join(lines)

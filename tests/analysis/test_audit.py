@@ -1,0 +1,74 @@
+"""Tests for structural audits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import critical_path, layer_profile, occupancy
+from repro.baselines import bitonic_network
+from repro.core import identity_network, single_balancer_network
+from repro.networks import k_network, l_network
+
+
+class TestLayerProfile:
+    def test_one_profile_per_layer(self):
+        net = k_network([2, 2, 2])
+        profiles = layer_profile(net)
+        assert len(profiles) == net.depth
+        assert [p.layer for p in profiles] == list(range(net.depth))
+
+    def test_balancer_totals(self):
+        net = k_network([2, 3, 2])
+        profiles = layer_profile(net)
+        assert sum(p.balancers for p in profiles) == net.size
+        assert sum(p.total_fanin for p in profiles) == sum(b.width for b in net.balancers)
+
+    def test_coverage_bounded(self):
+        for net in (k_network([2, 2, 2]), l_network([2, 2])):
+            for p in layer_profile(net):
+                assert 0 < p.coverage <= 1.0
+
+    def test_identity_empty(self):
+        assert layer_profile(identity_network(3)) == []
+
+
+class TestOccupancy:
+    def test_full_balancer_is_total(self):
+        assert occupancy(single_balancer_network(4)) == 1.0
+
+    def test_bitonic_layers_are_full(self):
+        """Every bitonic layer is a perfect matching: occupancy 1."""
+        assert occupancy(bitonic_network(16)) == pytest.approx(1.0)
+
+    def test_l_networks_have_idle_wires(self):
+        """R's degenerate quadrants leave some wires idle in some layers,
+        so L's occupancy dips below 1 (ASAP packing keeps K at 1)."""
+        assert occupancy(l_network([3, 2])) < 1.0
+        assert occupancy(k_network([2, 2, 2, 2])) == pytest.approx(1.0)
+
+    def test_identity_zero(self):
+        assert occupancy(identity_network(4)) == 0.0
+
+
+class TestCriticalPath:
+    @pytest.mark.parametrize(
+        "net_fn",
+        [
+            lambda: k_network([2, 2, 2]),
+            lambda: l_network([2, 2]),
+            lambda: bitonic_network(8),
+            lambda: single_balancer_network(3),
+        ],
+    )
+    def test_length_equals_depth(self, net_fn):
+        net = net_fn()
+        assert len(critical_path(net)) == net.depth
+
+    def test_path_is_connected(self):
+        net = k_network([2, 2, 2])
+        path = critical_path(net)
+        for a, b in zip(path, path[1:]):
+            assert set(a.outputs) & set(b.inputs)
+
+    def test_identity(self):
+        assert critical_path(identity_network(2)) == []

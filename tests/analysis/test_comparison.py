@@ -1,0 +1,67 @@
+"""Tests for the related-work comparison table (experiment E12)."""
+
+from __future__ import annotations
+
+from repro.analysis import comparison_table, power_of_two
+
+
+class TestPowerOfTwo:
+    def test_values(self):
+        assert power_of_two(1)
+        assert power_of_two(64)
+        assert not power_of_two(0)
+        assert not power_of_two(24)
+
+
+class TestComparisonTable:
+    def test_power_of_two_width_has_baselines(self):
+        rows = comparison_table([16])
+        names = [r["construction"] for r in rows]
+        assert any("Bitonic" in n for n in names)
+        assert any("Periodic" in n for n in names)
+        assert any(n.startswith("K(") for n in names)
+        assert any(n.startswith("L(") for n in names)
+
+    def test_arbitrary_width_has_no_baselines(self):
+        rows = comparison_table([30])
+        names = [r["construction"] for r in rows]
+        assert not any("Bitonic" in n for n in names)
+        assert any(n.startswith("K(") for n in names)
+
+    def test_l_rows_have_smallest_balancers(self):
+        rows = comparison_table([24])
+        l_row = next(r for r in rows if r["construction"].startswith("L("))
+        k_row = next(r for r in rows if r["construction"].startswith("K(primes"))
+        assert l_row["max_balancer"] <= k_row["max_balancer"]
+
+    def test_widths_column_correct(self):
+        rows = comparison_table([8, 12])
+        assert {r["width"] for r in rows} == {8, 12}
+
+    def test_large_width_skips_l(self):
+        rows = comparison_table([64], max_l_width=10)
+        assert not any(r["construction"].startswith("L(") for r in rows)
+
+
+class TestStatsHelpers:
+    def test_format_table_alignment(self):
+        from repro.analysis import format_table
+
+        text = format_table([{"a": 1, "bb": 22}, {"a": 333, "bb": 4}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_empty(self):
+        from repro.analysis import format_table
+
+        assert "no rows" in format_table([])
+
+    def test_network_stats_fields(self):
+        from repro.analysis import network_stats
+        from repro.networks import k_network
+
+        s = network_stats(k_network([2, 3]))
+        assert s.width == 6
+        assert s.total_fanin == 6
+        assert s.as_dict()["depth"] == 1

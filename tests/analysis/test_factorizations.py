@@ -1,0 +1,93 @@
+"""Tests for factorization utilities."""
+
+from __future__ import annotations
+
+from math import prod
+
+import pytest
+
+from repro.analysis import balanced_factorization, canonical, divisors, factorizations, prime_factors
+
+
+class TestPrimeFactors:
+    def test_basic(self):
+        assert prime_factors(12) == [2, 2, 3]
+        assert prime_factors(1) == []
+        assert prime_factors(13) == [13]
+        assert prime_factors(360) == [2, 2, 2, 3, 3, 5]
+
+    def test_product_recovers(self):
+        for w in range(2, 200):
+            assert prod(prime_factors(w)) == w
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            prime_factors(0)
+
+
+class TestDivisors:
+    def test_basic(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(1) == [1]
+        assert divisors(49) == [1, 7, 49]
+
+    def test_count_matches_brute_force(self):
+        for w in range(1, 100):
+            assert divisors(w) == [d for d in range(1, w + 1) if w % d == 0]
+
+
+class TestFactorizations:
+    def test_twelve(self):
+        assert factorizations(12) == [(12,), (4, 3), (6, 2), (3, 2, 2)]
+
+    def test_prime(self):
+        assert factorizations(7) == [(7,)]
+
+    def test_every_entry_multiplies_to_w(self):
+        for w in (24, 36, 60, 64):
+            for f in factorizations(w):
+                assert prod(f) == w
+                assert all(x >= 2 for x in f)
+                assert list(f) == sorted(f, reverse=True)
+
+    def test_no_duplicates(self):
+        for w in (48, 96):
+            fs = factorizations(w)
+            assert len(fs) == len(set(fs))
+
+    def test_known_counts(self):
+        # Multiplicative partition counts (OEIS A001055): 2^6 -> 11.
+        assert len(factorizations(64)) == 11
+        assert len(factorizations(30)) == 5
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            factorizations(1)
+
+
+class TestCanonical:
+    def test_sorts_and_strips(self):
+        assert canonical([2, 1, 3, 2]) == (3, 2, 2)
+
+    def test_idempotent(self):
+        assert canonical(canonical([4, 2, 8])) == (8, 4, 2)
+
+
+class TestBalanced:
+    def test_respects_cap(self):
+        f = balanced_factorization(64, 8)
+        assert prod(f) == 64
+        assert max(f) <= 8
+
+    def test_exact_product(self):
+        for w in (24, 60, 128, 210):
+            f = balanced_factorization(w, 16)
+            assert prod(f) == w
+
+    def test_impossible_cap_raises(self):
+        with pytest.raises(ValueError):
+            balanced_factorization(26, 5)  # 13 is prime > 5
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            balanced_factorization(8, 1)

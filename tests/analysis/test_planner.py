@@ -1,0 +1,112 @@
+"""Tests for the deployment planner."""
+
+from __future__ import annotations
+
+from math import prod
+
+import pytest
+
+from repro.analysis import best_factorization, next_factorable_width, plan_network
+from repro.verify import find_counting_violation
+
+
+class TestBestFactorization:
+    def test_exact_width_within_budget(self):
+        f = best_factorization(64, 16, "K")
+        assert f == (4, 4, 4)
+
+    def test_generous_budget_picks_single_balancer(self):
+        assert best_factorization(24, 24, "K") in [(24,), (12, 2), (8, 3), (6, 4)]
+        net_factors = best_factorization(24, 24, "K")
+        from repro.networks import k_network
+
+        assert k_network(list(net_factors)).depth == 1
+
+    def test_tight_budget(self):
+        f = best_factorization(16, 4, "K")
+        assert f is not None
+        assert prod(f) == 16
+        from repro.networks import k_network
+
+        assert k_network(list(f)).max_balancer_width <= 4
+
+    def test_impossible_returns_none(self):
+        assert best_factorization(34, 8, "K") is None  # 17 is prime
+        assert best_factorization(6, 4, "K") is None  # K(3,2) is a 6-balancer
+
+    def test_l_family_uses_factor_bound(self):
+        f = best_factorization(30, 5, "L")
+        assert f is not None and max(f) <= 5
+
+    def test_invalid_family(self):
+        with pytest.raises(ValueError):
+            best_factorization(8, 4, "Z")
+
+
+class TestNextFactorableWidth:
+    def test_already_factorable(self):
+        assert next_factorable_width(64, 2) == 64
+
+    def test_skips_bad_primes(self):
+        assert next_factorable_width(17, 8) == 18  # 17 prime, 18 = 2*3*3
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            next_factorable_width(10, 1)
+
+    def test_limit(self):
+        with pytest.raises(ValueError):
+            next_factorable_width(5, 2, limit=5)  # 5 prime, no room
+
+
+class TestPlanNetwork:
+    def test_exact_plan(self):
+        plan = plan_network(64, 16, "K")
+        assert not plan.padded
+        assert plan.depth == 5
+        assert plan.max_balancer_width <= 16
+
+    def test_padded_plan(self):
+        plan = plan_network(34, 8, "K")
+        assert plan.padded
+        assert plan.width >= 34
+        assert plan.max_balancer_width <= 8
+
+    def test_padding_disabled_raises(self):
+        with pytest.raises(ValueError, match="factorization"):
+            plan_network(34, 8, "K", allow_padding=False)
+
+    def test_built_network_counts(self):
+        plan = plan_network(12, 6, "K")
+        net = plan.build()
+        assert net.width == plan.width
+        assert find_counting_violation(net) is None
+
+    def test_l_plan_builds(self):
+        plan = plan_network(12, 3, "L")
+        net = plan.build()
+        assert net.max_balancer_width <= 3
+
+    def test_small_width_validation(self):
+        with pytest.raises(ValueError):
+            plan_network(1, 4)
+
+    def test_depth_preferred_over_size(self):
+        """Within budget, the plan takes the shallowest member."""
+        plan = plan_network(64, 64, "K")
+        assert plan.depth == 1
+
+
+class TestKBudgetGuard:
+    def test_narrow_budget_rejected_for_k(self):
+        with pytest.raises(ValueError, match="family='L'"):
+            plan_network(8, 2, "K")
+
+    def test_narrow_budget_fine_for_l(self):
+        plan = plan_network(8, 2, "L")
+        assert plan.max_balancer_width <= 2
+
+    def test_tiny_width_within_budget_still_k(self):
+        # width <= budget: the single balancer is legal for K.
+        plan = plan_network(3, 3, "K")
+        assert plan.factors == (3,)

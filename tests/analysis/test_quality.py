@@ -1,0 +1,80 @@
+"""Tests for the prefix-quality (load-balancing over time) analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import measure_prefix_quality, prefix_counts, prefix_quality
+from repro.baselines import bitonic_network
+from repro.core import identity_network
+from repro.networks import k_network
+from repro.sim import run_tokens
+
+
+class TestPrefixCounts:
+    def test_shape_and_monotonicity(self):
+        net = k_network([2, 2])
+        result = run_tokens(net, [5, 3, 0, 0], seed=1)
+        counts = prefix_counts(result)
+        assert counts.shape == (9, 4)
+        assert (np.diff(counts.sum(axis=1)) == 1).all()
+        assert list(counts[-1]) == list(result.output_counts)
+
+    def test_empty_run(self):
+        net = k_network([2, 2])
+        result = run_tokens(net, [0, 0, 0, 0])
+        q = prefix_quality(result)
+        assert q.exits == 0
+        assert q.max_smoothness == 0
+
+
+class TestQualityMeasures:
+    def test_counting_network_stays_balanced_under_skew(self):
+        """All tokens on one wire: a counting network's exit stream stays
+        nearly even at every prefix."""
+        q = measure_prefix_quality(k_network([2, 2, 2]), 64, skew="single", seed=2)
+        assert q.final_smoothness <= 1
+        assert q.max_smoothness <= 8  # bounded by in-flight tokens, small
+
+    def test_identity_degrades_under_skew(self):
+        q_id = measure_prefix_quality(identity_network(8), 64, skew="single", seed=2)
+        q_cnt = measure_prefix_quality(k_network([2, 2, 2]), 64, skew="single", seed=2)
+        assert q_id.max_smoothness > 4 * q_cnt.max_smoothness
+        assert q_id.final_smoothness == 64  # everything stayed on wire 0
+
+    def test_half_skew(self):
+        q = measure_prefix_quality(bitonic_network(8), 40, skew="half", seed=0)
+        assert q.final_smoothness <= 1
+        assert q.exits == 40
+
+    def test_balanced_final_zero(self):
+        q = measure_prefix_quality(k_network([2, 2]), 40, skew="balanced", seed=0)
+        assert q.final_smoothness == 0
+
+    def test_unknown_skew(self):
+        with pytest.raises(ValueError):
+            measure_prefix_quality(k_network([2, 2]), 8, skew="diagonal")
+
+    def test_gap_to_ideal_nonnegative(self):
+        q = measure_prefix_quality(k_network([2, 2]), 16, seed=5)
+        assert q.max_gap_to_ideal >= 0
+
+
+class TestWorstCaseSearch:
+    def test_counting_network_bounded_under_adversity(self):
+        from repro.analysis import worst_case_prefix
+
+        q = worst_case_prefix(k_network([2, 2, 2]), 40, attempts=5)
+        assert q.final_smoothness <= 1  # quiescent guarantee survives
+        assert q.max_smoothness <= 10  # mid-flight stays modest
+
+    def test_worse_than_single_run(self):
+        """The adversarial search never reports better than any single
+        run it contains."""
+        from repro.analysis import measure_prefix_quality, worst_case_prefix
+
+        net = k_network([2, 2])
+        single = measure_prefix_quality(net, 24, scheduler="random", seed=0)
+        worst = worst_case_prefix(net, 24, attempts=3)
+        assert worst.max_smoothness >= single.max_smoothness

@@ -1,0 +1,80 @@
+"""Tests for the factorization family trade-off (experiment E11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import build_family, pareto_frontier
+
+
+class TestBuildFamily:
+    def test_one_entry_per_factorization(self):
+        from repro.analysis import factorizations
+
+        fam = build_family(24, "K")
+        assert len(fam) == len(factorizations(24))
+
+    def test_widths_constant(self):
+        for e in build_family(36, "K"):
+            assert e.stats.width == 36
+
+    def test_depth_grows_with_n(self):
+        """More factors -> more depth: the core trade-off direction."""
+        fam = build_family(64, "K")
+        by_n = {}
+        for e in fam:
+            by_n.setdefault(e.n, []).append(e.stats.depth)
+        ns = sorted(by_n)
+        for a, b in zip(ns, ns[1:]):
+            assert max(by_n[a]) <= min(by_n[b])
+
+    def test_max_balancer_shrinks_with_n(self):
+        fam = build_family(64, "K")
+        finest = min(fam, key=lambda e: e.stats.max_balancer_width)
+        coarsest = max(fam, key=lambda e: e.stats.max_balancer_width)
+        assert finest.n > coarsest.n
+
+    def test_l_family_balancer_bound(self):
+        for e in build_family(24, "L", max_factors=3):
+            assert e.stats.max_balancer_width <= max(e.factors)
+
+    def test_max_members_truncates(self):
+        fam = build_family(64, "K", max_members=3)
+        assert len(fam) == 3
+
+    def test_invalid_family(self):
+        with pytest.raises(ValueError):
+            build_family(8, "Z")
+
+    def test_as_dict_round_trip(self):
+        e = build_family(12, "K")[0]
+        d = e.as_dict()
+        assert d["width"] == 12
+        assert "x" in d["factors"] or d["factors"] == "12"
+
+
+class TestPareto:
+    def test_frontier_subset(self):
+        fam = build_family(64, "K")
+        front = pareto_frontier(fam)
+        assert set(f.factors for f in front) <= set(e.factors for e in fam)
+
+    def test_no_dominated_entries(self):
+        fam = build_family(64, "K")
+        front = pareto_frontier(fam)
+        for f in front:
+            for other in fam:
+                strictly_better = (
+                    other.stats.depth <= f.stats.depth
+                    and other.stats.max_balancer_width <= f.stats.max_balancer_width
+                    and (
+                        other.stats.depth < f.stats.depth
+                        or other.stats.max_balancer_width < f.stats.max_balancer_width
+                    )
+                )
+                assert not strictly_better
+
+    def test_frontier_sorted(self):
+        front = pareto_frontier(build_family(36, "K"))
+        widths = [f.stats.max_balancer_width for f in front]
+        assert widths == sorted(widths)

@@ -1,0 +1,51 @@
+"""Tests for arbitrary-width Batcher odd-even mergesort."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import batcher_any_depth, batcher_any_network
+from repro.sim import sorted_outputs
+from repro.verify import find_counting_violation, find_sorting_violation
+
+
+class TestSorting:
+    @pytest.mark.parametrize("w", [1, 2, 3, 5, 6, 7, 9, 11, 13, 16, 17])
+    def test_sorts_exhaustively(self, w):
+        assert find_sorting_violation(batcher_any_network(w)) is None
+
+    def test_agrees_with_power_of_two_batcher(self):
+        from repro.baselines import odd_even_network
+
+        for w in (4, 8, 16):
+            a = batcher_any_network(w)
+            b = odd_even_network(w)
+            assert a.depth == b.depth
+            assert a.size == b.size
+
+    @pytest.mark.parametrize("w", [3, 5, 10, 23, 30])
+    def test_depth_within_bound(self, w):
+        assert batcher_any_network(w).depth <= batcher_any_depth(w)
+
+    def test_random_values_round_trip(self, rng):
+        net = batcher_any_network(23)
+        batch = rng.integers(-100, 100, size=(50, 23))
+        out = sorted_outputs(net, batch)
+        assert np.array_equal(out, np.sort(batch, axis=1))
+
+    def test_width_one(self):
+        assert batcher_any_network(1).size == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            batcher_any_network(0)
+        with pytest.raises(ValueError):
+            batcher_any_depth(0)
+
+
+class TestCounting:
+    @pytest.mark.parametrize("w", [4, 6, 8, 12])
+    def test_does_not_count(self, w):
+        """Like power-of-two odd-even: a sorting network only."""
+        assert find_counting_violation(batcher_any_network(w)) is not None

@@ -1,0 +1,40 @@
+"""Tests for the bitonic counting network baseline (paper ref [3])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import bitonic_depth, bitonic_network
+from repro.verify import find_counting_violation, find_sorting_violation
+
+
+class TestBitonic:
+    @pytest.mark.parametrize("w", [2, 4, 8, 16])
+    def test_counts(self, w):
+        assert find_counting_violation(bitonic_network(w)) is None
+
+    @pytest.mark.parametrize("w", [2, 4, 8, 16])
+    def test_sorts(self, w):
+        assert find_sorting_violation(bitonic_network(w)) is None
+
+    @pytest.mark.parametrize("w,depth", [(2, 1), (4, 3), (8, 6), (16, 10), (32, 15)])
+    def test_depth_formula(self, w, depth):
+        assert bitonic_network(w).depth == depth == bitonic_depth(w)
+
+    def test_only_two_balancers(self):
+        assert bitonic_network(16).max_balancer_width == 2
+
+    def test_size_formula(self):
+        # k(k+1)/2 layers of w/2 balancers each.
+        for w in (4, 8, 16):
+            k = w.bit_length() - 1
+            assert bitonic_network(w).size == (w // 2) * k * (k + 1) // 2
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            bitonic_network(6)
+        with pytest.raises(ValueError):
+            bitonic_depth(0)
+
+    def test_width_one(self):
+        assert bitonic_network(1).size == 0

@@ -1,0 +1,52 @@
+"""Tests for the Figure 3 counterexample networks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import brick_network, bubble_network
+from repro.verify import find_counting_violation, find_sorting_violation
+
+
+class TestBubble:
+    @pytest.mark.parametrize("w", [2, 3, 4, 5, 6, 8])
+    def test_sorts(self, w):
+        assert find_sorting_violation(bubble_network(w)) is None
+
+    @pytest.mark.parametrize("w", [3, 4, 5, 6])
+    def test_does_not_count(self, w):
+        """Figure 3: a sorting network that is not a counting network."""
+        assert find_counting_violation(bubble_network(w)) is not None
+
+    def test_width_two_is_one_balancer(self):
+        assert bubble_network(2).size == 1
+
+    def test_depth(self):
+        for w in (3, 4, 5, 8):
+            assert bubble_network(w).depth == 2 * w - 3
+
+    def test_size_is_triangular(self):
+        for w in (3, 5, 7):
+            assert bubble_network(w).size == w * (w - 1) // 2
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            bubble_network(1)
+
+
+class TestBrick:
+    @pytest.mark.parametrize("w", [2, 3, 4, 5, 6, 8])
+    def test_sorts(self, w):
+        assert find_sorting_violation(brick_network(w)) is None
+
+    @pytest.mark.parametrize("w", [3, 4, 5, 6])
+    def test_does_not_count(self, w):
+        assert find_counting_violation(brick_network(w)) is not None
+
+    def test_depth_is_width(self):
+        for w in (3, 4, 6):
+            assert brick_network(w).depth == w
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            brick_network(0)

@@ -1,0 +1,49 @@
+"""Tests for the multiway mergesort baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import multiway_network
+from repro.sim import sorted_outputs
+from repro.verify import find_counting_violation, find_sorting_violation
+
+
+class TestSorting:
+    @pytest.mark.parametrize(
+        "factors", [[2, 2], [3, 2], [2, 3], [5, 3], [2, 2, 2], [2, 3, 2], [2, 2, 2, 2], [7, 2]]
+    )
+    def test_sorts_exhaustively(self, factors):
+        assert find_sorting_violation(multiway_network(factors)) is None
+
+    def test_random_batches(self, rng):
+        net = multiway_network([5, 3, 2])
+        batch = rng.integers(-500, 500, size=(40, 30))
+        assert np.array_equal(sorted_outputs(net, batch), np.sort(batch, axis=1))
+
+    def test_only_two_comparators(self):
+        assert multiway_network([5, 3, 2]).max_balancer_width == 2
+
+    def test_unit_factors_stripped(self):
+        assert multiway_network([1, 2, 1, 3]).width == 6
+
+    def test_width_validation(self):
+        from repro.core import NetworkBuilder
+        from repro.baselines import build_multiway_sort
+
+        b = NetworkBuilder(5)
+        with pytest.raises(ValueError, match="product"):
+            build_multiway_sort(b, list(b.inputs), [2, 2])
+
+    def test_depth_polylog(self):
+        """O(log² w) with small constants: stays well under 2-comparator
+        bubble depth."""
+        net = multiway_network([5, 3, 2])
+        assert net.depth < 30  # bubble at w = 30 would be 57
+
+
+class TestCounting:
+    @pytest.mark.parametrize("factors", [[2, 2], [3, 2], [2, 2, 2]])
+    def test_does_not_count(self, factors):
+        assert find_counting_violation(multiway_network(factors)) is not None

@@ -1,0 +1,34 @@
+"""Tests for Batcher's odd-even merge sort baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import odd_even_depth, odd_even_network
+from repro.verify import find_counting_violation, find_sorting_violation
+
+
+class TestOddEven:
+    @pytest.mark.parametrize("w", [2, 4, 8, 16])
+    def test_sorts(self, w):
+        assert find_sorting_violation(odd_even_network(w)) is None
+
+    @pytest.mark.parametrize("w,depth", [(2, 1), (4, 3), (8, 6), (16, 10)])
+    def test_depth(self, w, depth):
+        assert odd_even_network(w).depth == depth == odd_even_depth(w)
+
+    @pytest.mark.parametrize("w", [4, 8, 16])
+    def test_does_not_count(self, w):
+        """Sorting does not imply counting: Batcher odd-even is the classic
+        sorting network whose balancing version fails the step property."""
+        assert find_counting_violation(odd_even_network(w)) is not None
+
+    def test_fewer_comparators_than_bitonic(self):
+        from repro.baselines import bitonic_network
+
+        for w in (8, 16, 32):
+            assert odd_even_network(w).size < bitonic_network(w).size
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            odd_even_network(10)

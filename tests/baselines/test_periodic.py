@@ -1,0 +1,37 @@
+"""Tests for the periodic balanced network baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import periodic_depth, periodic_network
+from repro.verify import find_counting_violation, find_sorting_violation
+
+
+class TestPeriodic:
+    @pytest.mark.parametrize("w", [2, 4, 8, 16])
+    def test_counts(self, w):
+        assert find_counting_violation(periodic_network(w)) is None
+
+    @pytest.mark.parametrize("w", [2, 4, 8, 16])
+    def test_sorts(self, w):
+        assert find_sorting_violation(periodic_network(w)) is None
+
+    @pytest.mark.parametrize("w", [4, 8, 16, 32])
+    def test_depth_is_k_squared(self, w):
+        assert periodic_network(w).depth == periodic_depth(w)
+
+    def test_fewer_blocks_do_not_count(self):
+        """Truncating to fewer than k blocks breaks the counting property —
+        the periodicity genuinely needs all k rounds."""
+        net = periodic_network(8, blocks=1)
+        assert find_counting_violation(net) is not None
+
+    def test_extra_blocks_still_count(self):
+        """Extra blocks are harmless (idempotence on step outputs)."""
+        net = periodic_network(8, blocks=4)
+        assert find_counting_violation(net) is None
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            periodic_network(12)

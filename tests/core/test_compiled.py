@@ -1,0 +1,55 @@
+"""Unit tests for the layer compiler."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import NetworkBuilder, compile_network
+from repro.networks import k_network
+
+
+class TestCompile:
+    def test_memoized(self):
+        net = k_network([2, 2, 2])
+        assert compile_network(net) is compile_network(net)
+
+    def test_layer_count_matches_depth(self):
+        net = k_network([2, 3, 2])
+        comp = compile_network(net)
+        assert comp.depth == net.depth
+        assert comp.width == net.width
+
+    def test_groups_partition_balancers(self):
+        net = k_network([2, 2, 3])
+        comp = compile_network(net)
+        total = sum(g.count for layer in comp.layers for g in layer)
+        assert total == net.size
+
+    def test_width_groups_sorted_and_grouped(self):
+        b = NetworkBuilder(7)
+        o1 = b.balancer([0, 1])
+        o2 = b.balancer([2, 3])
+        o3 = b.balancer([4, 5, 6])
+        net = b.finish(o1 + o2 + o3)
+        comp = compile_network(net)
+        assert len(comp.layers) == 1
+        widths = [g.width for g in comp.layers[0]]
+        assert widths == [2, 3]
+        assert comp.layers[0][0].in_idx.shape == (2, 2)
+        assert comp.layers[0][1].in_idx.shape == (1, 3)
+
+    def test_index_arrays_reference_valid_wires(self):
+        net = k_network([3, 2, 2])
+        comp = compile_network(net)
+        for layer in comp.layers:
+            for g in layer:
+                assert g.in_idx.max() < comp.num_wires
+                assert g.out_idx.max() < comp.num_wires
+                assert g.in_idx.min() >= 0
+
+    def test_identity_network_compiles_empty(self):
+        from repro.core import identity_network
+
+        comp = compile_network(identity_network(3))
+        assert comp.layers == ()
+        assert list(comp.input_idx) == [0, 1, 2]

@@ -1,0 +1,100 @@
+"""Tests for network composition combinators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import identity_network, parallel, repeat, serial, single_balancer_network
+from repro.networks import k_network, merger_network
+from repro.sim import propagate_counts
+from repro.verify import find_counting_violation
+
+
+class TestSerial:
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            serial(single_balancer_network(2), single_balancer_network(3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            serial()
+
+    def test_depth_adds(self):
+        a = k_network([2, 2, 2])
+        s = serial(a, a)
+        assert s.depth == 2 * a.depth
+        assert s.size == 2 * a.size
+
+    def test_counting_idempotent(self, rng):
+        """counting ; counting == counting (a step input stays itself)."""
+        net = k_network([2, 2])
+        twice = serial(net, net)
+        x = rng.integers(0, 20, size=4)
+        assert list(propagate_counts(twice, x)) == list(propagate_counts(net, x))
+
+    def test_anything_then_counting_counts(self):
+        """Appending a counting network fixes any front network."""
+        from repro.baselines import bubble_network
+
+        bad = bubble_network(4)
+        assert find_counting_violation(bad) is not None
+        fixed = serial(bad, k_network([2, 2]))
+        assert find_counting_violation(fixed) is None
+
+    def test_identity_is_neutral(self, rng):
+        net = k_network([3, 2])
+        s = serial(identity_network(6), net, identity_network(6))
+        x = rng.integers(0, 9, size=6)
+        assert list(propagate_counts(s, x)) == list(propagate_counts(net, x))
+
+    def test_custom_name(self):
+        s = serial(identity_network(2), name="zz")
+        assert s.name == "zz"
+
+
+class TestParallel:
+    def test_widths_add(self):
+        p = parallel(single_balancer_network(2), single_balancer_network(3))
+        assert p.width == 5
+        assert p.depth == 1
+
+    def test_blocks_independent(self, rng):
+        a, b = k_network([2, 2]), k_network([3, 2])
+        p = parallel(a, b)
+        x = rng.integers(0, 15, size=10)
+        out = propagate_counts(p, x)
+        assert list(out[:4]) == list(propagate_counts(a, x[:4]))
+        assert list(out[4:]) == list(propagate_counts(b, x[4:]))
+
+    def test_parallel_then_merger_is_generic_construction(self, rng):
+        """Figure 7 rebuilt by hand: C copies in parallel, then M."""
+        copies = parallel(k_network([2, 2]), k_network([2, 2]))
+        m = merger_network([2, 2, 2])
+        net = serial(copies, m)
+        assert find_counting_violation(net) is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parallel()
+
+
+class TestRepeat:
+    def test_repeat_is_serial_power(self):
+        net = single_balancer_network(2)
+        r = repeat(net, 3)
+        assert r.depth == 3
+        assert r.name == "balancer(2)^3"
+
+    def test_periodic_blocks_via_repeat(self):
+        """k repeats of one periodic block == the full periodic network,
+        semantically."""
+        from repro.baselines import periodic_network
+
+        one = periodic_network(8, blocks=1)
+        full = repeat(one, 3)
+        assert find_counting_violation(full) is None
+
+    def test_invalid_times(self):
+        with pytest.raises(ValueError):
+            repeat(identity_network(2), 0)

@@ -1,0 +1,193 @@
+"""Unit tests for the SSA network IR."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Balancer, Network, NetworkBuilder, identity_network, single_balancer_network
+
+
+class TestBalancer:
+    def test_width(self):
+        b = Balancer(0, (0, 1, 2), (3, 4, 5))
+        assert b.width == 3
+
+    def test_fanin_fanout_mismatch(self):
+        with pytest.raises(ValueError):
+            Balancer(0, (0, 1), (2,))
+
+    def test_duplicate_inputs(self):
+        with pytest.raises(ValueError):
+            Balancer(0, (0, 0), (1, 2))
+
+
+class TestBuilder:
+    def test_inputs_are_dense(self):
+        b = NetworkBuilder(4)
+        assert b.inputs == (0, 1, 2, 3)
+
+    def test_balancer_allocates_fresh_wires(self):
+        b = NetworkBuilder(3)
+        outs = b.balancer([0, 1, 2])
+        assert outs == [3, 4, 5]
+
+    def test_consumed_wire_rejected(self):
+        b = NetworkBuilder(2)
+        b.balancer([0, 1])
+        with pytest.raises(ValueError, match="consumed"):
+            b.balancer([0, 1])
+
+    def test_undefined_wire_rejected(self):
+        b = NetworkBuilder(2)
+        with pytest.raises(ValueError, match="not defined"):
+            b.balancer([0, 99])
+
+    def test_width_one_balancer_rejected(self):
+        b = NetworkBuilder(2)
+        with pytest.raises(ValueError, match="width"):
+            b.balancer([0])
+
+    def test_maybe_balancer_passthrough(self):
+        b = NetworkBuilder(2)
+        assert b.maybe_balancer([0]) == [0]
+        assert b.maybe_balancer([]) == []
+        assert b.num_balancers == 0
+
+    def test_width_zero_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkBuilder(0)
+
+    def test_finish_output_order(self):
+        b = NetworkBuilder(2)
+        outs = b.balancer([0, 1])
+        net = b.finish(outs[::-1], name="flipped")
+        assert net.outputs == (3, 2)
+
+
+class TestNetworkValidation:
+    def test_outputs_must_be_terminal(self):
+        b = NetworkBuilder(2)
+        b.balancer([0, 1])
+        with pytest.raises(ValueError, match="outputs"):
+            b.finish([0, 1])  # inputs were consumed
+
+    def test_missing_output_detected(self):
+        b = NetworkBuilder(2)
+        outs = b.balancer([0, 1])
+        with pytest.raises(ValueError):
+            b.finish([outs[0], outs[0]])
+
+    def test_io_count_mismatch(self):
+        b = NetworkBuilder(2)
+        outs = b.balancer([0, 1])
+        with pytest.raises(ValueError):
+            Network(inputs=(0, 1), outputs=tuple(outs[:1]), balancers=[], num_wires=4)
+
+
+class TestNetworkProperties:
+    def test_identity(self):
+        net = identity_network(5)
+        assert net.width == 5
+        assert net.depth == 0
+        assert net.size == 0
+        assert net.max_balancer_width == 0
+        assert net.layers() == []
+
+    def test_single_balancer(self):
+        net = single_balancer_network(4)
+        assert net.depth == 1
+        assert net.size == 1
+        assert net.max_balancer_width == 4
+
+    def test_depth_is_longest_path(self):
+        # Chain of 2-balancers on wires 0,1 then 1',2 then 2'',3 ...
+        b = NetworkBuilder(4)
+        w = list(b.inputs)
+        cur = w[0]
+        for i in range(1, 4):
+            top, bottom = b.balancer([cur, w[i]])
+            cur = bottom
+            w[i] = top
+        net = b.finish([w[1], w[2], w[3], cur])
+        assert net.depth == 3
+
+    def test_parallel_balancers_share_layer(self):
+        b = NetworkBuilder(4)
+        o1 = b.balancer([0, 1])
+        o2 = b.balancer([2, 3])
+        net = b.finish(o1 + o2)
+        assert net.depth == 1
+        assert len(net.layers()) == 1
+        assert len(net.layers()[0]) == 2
+
+    def test_layer_partition_covers_all_balancers(self):
+        from repro.networks import k_network
+
+        net = k_network([2, 2, 2])
+        assert sum(len(layer) for layer in net.layers()) == net.size
+
+    def test_balancer_width_histogram(self):
+        b = NetworkBuilder(5)
+        o1 = b.balancer([0, 1])
+        o2 = b.balancer([2, 3, 4])
+        net = b.finish(o1 + o2)
+        assert net.balancer_width_histogram() == {2: 1, 3: 1}
+
+    def test_repr_contains_stats(self):
+        net = single_balancer_network(3, name="demo")
+        assert "demo" in repr(net)
+        assert "width=3" in repr(net)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        from repro.networks import k_network
+
+        net = k_network([2, 3])
+        clone = Network.from_dict(net.to_dict())
+        assert clone == net
+        assert clone.depth == net.depth
+        assert clone.name == net.name
+
+    def test_equality_and_hash(self):
+        a = single_balancer_network(3)
+        b = single_balancer_network(3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != identity_network(3)
+
+    def test_renamed_preserves_structure(self):
+        net = single_balancer_network(3)
+        other = net.renamed("zzz")
+        assert other.name == "zzz"
+        assert other == net
+
+
+class TestSubnetwork:
+    def test_inline_preserves_semantics(self):
+        import numpy as np
+
+        from repro.networks import k_network
+        from repro.sim import propagate_counts
+
+        inner = k_network([2, 2])
+        b = NetworkBuilder(4)
+        outs = b.subnetwork(inner, list(b.inputs))
+        net = b.finish(outs)
+        x = np.array([5, 0, 2, 1])
+        assert list(propagate_counts(net, x)) == list(propagate_counts(inner, x))
+
+    def test_inline_width_mismatch(self):
+        inner = single_balancer_network(3)
+        b = NetworkBuilder(4)
+        with pytest.raises(ValueError):
+            b.subnetwork(inner, list(b.inputs))
+
+    def test_inline_twice_in_parallel(self):
+        inner = single_balancer_network(2)
+        b = NetworkBuilder(4)
+        o1 = b.subnetwork(inner, [0, 1])
+        o2 = b.subnetwork(inner, [2, 3])
+        net = b.finish(o1 + o2)
+        assert net.size == 2
+        assert net.depth == 1

@@ -1,0 +1,217 @@
+"""Unit tests for sequence predicates and arrangements (paper §3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import sequences as seq
+
+
+class TestIsStep:
+    def test_empty_and_singleton_are_step(self):
+        assert seq.is_step([])
+        assert seq.is_step([7])
+
+    def test_constant_is_step(self):
+        assert seq.is_step([3, 3, 3, 3])
+
+    def test_single_drop_is_step(self):
+        assert seq.is_step([4, 4, 3, 3, 3])
+
+    def test_increasing_is_not_step(self):
+        assert not seq.is_step([1, 2])
+
+    def test_two_level_drop_is_not_step(self):
+        assert not seq.is_step([5, 4, 3])
+
+    def test_non_monotone_is_not_step(self):
+        assert not seq.is_step([2, 1, 2])
+
+    def test_paper_definition_pairwise(self):
+        # 0 <= x_i - x_j <= 1 for all i < j, checked against brute force.
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            x = rng.integers(0, 4, size=6)
+            brute = all(
+                0 <= int(x[i]) - int(x[j]) <= 1 for i in range(6) for j in range(i + 1, 6)
+            )
+            assert seq.is_step(x) == brute
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            seq.is_step(np.zeros((2, 2)))
+
+
+class TestStepPoint:
+    def test_all_equal_gives_zero(self):
+        assert seq.step_point([2, 2, 2]) == 0
+
+    def test_drop_position(self):
+        assert seq.step_point([3, 3, 2, 2]) == 2
+
+    def test_drop_at_first(self):
+        assert seq.step_point([1, 0, 0]) == 1
+
+    def test_requires_step_sequence(self):
+        with pytest.raises(ValueError):
+            seq.step_point([1, 2, 3])
+
+    def test_singleton(self):
+        assert seq.step_point([5]) == 0
+
+
+class TestSmooth:
+    def test_smoothness_value(self):
+        assert seq.smoothness([3, 1, 2]) == 2
+        assert seq.smoothness([]) == 0
+        assert seq.smoothness([4]) == 0
+
+    def test_is_smooth(self):
+        assert seq.is_smooth([3, 1, 2], 2)
+        assert not seq.is_smooth([3, 1, 2], 1)
+
+    def test_step_implies_1_smooth(self):
+        for total in range(12):
+            assert seq.is_smooth(seq.make_step(5, total), 1)
+
+
+class TestBitonic:
+    def test_step_is_bitonic(self):
+        assert seq.is_bitonic([2, 2, 1, 1])
+
+    def test_rotated_step_is_bitonic(self):
+        assert seq.is_bitonic([1, 2, 2, 1])
+        assert seq.is_bitonic([1, 1, 2, 2])
+
+    def test_three_transitions_not_bitonic(self):
+        assert not seq.is_bitonic([1, 0, 1, 0])
+
+    def test_two_smooth_not_bitonic(self):
+        assert not seq.is_bitonic([2, 1, 0])
+
+    def test_all_rotations_of_step_are_bitonic(self):
+        base = seq.make_step(7, 4)
+        for s in range(7):
+            assert seq.is_bitonic(np.roll(base, s))
+
+    def test_num_transitions(self):
+        assert seq.num_transitions([1, 1, 0, 0, 1]) == 2
+        assert seq.num_transitions([1]) == 0
+        assert seq.num_transitions([]) == 0
+
+
+class TestStaircase:
+    def test_equal_sums_satisfy_any_k(self):
+        xs = [[1, 1], [2, 0], [0, 2]]
+        assert seq.is_staircase(xs, 0)
+
+    def test_decreasing_sums_within_k(self):
+        xs = [[3, 1], [2, 1], [1, 1]]  # sums 4, 3, 2
+        assert seq.is_staircase(xs, 2)
+        assert not seq.is_staircase(xs, 1)
+
+    def test_increasing_sums_fail(self):
+        xs = [[0, 0], [1, 1]]  # sums 0 < 2: violates sum(X_i) >= sum(X_j)
+        assert not seq.is_staircase(xs, 5)
+
+    def test_slack_values(self):
+        lo, hi = seq.staircase_slack([[2], [1], [3]])
+        assert lo == -2 and hi == 1
+
+
+class TestMakeStep:
+    def test_total_preserved(self):
+        for w in (1, 2, 5, 8):
+            for t in range(0, 3 * w):
+                x = seq.make_step(w, t)
+                assert int(x.sum()) == t
+                assert seq.is_step(x)
+
+    def test_base_offset(self):
+        x = seq.make_step(4, 2, base=3)
+        assert list(x) == [4, 4, 3, 3]
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            seq.make_step(0, 1)
+        with pytest.raises(ValueError):
+            seq.make_step(3, -1)
+
+    def test_random_step_is_step(self, rng):
+        for _ in range(50):
+            assert seq.is_step(seq.random_step(6, rng))
+
+    def test_random_bitonic_is_bitonic(self, rng):
+        for _ in range(50):
+            assert seq.is_bitonic(seq.random_bitonic(6, rng))
+
+
+class TestArrangements:
+    @pytest.mark.parametrize("r,c", [(2, 3), (3, 2), (1, 4), (4, 1), (3, 3)])
+    def test_all_are_permutations(self, r, c):
+        for name in seq.ARRANGEMENTS:
+            perm = seq.arrangement(name, r, c)
+            assert sorted(perm) == list(range(r * c))
+
+    def test_row_major_identity(self):
+        assert list(seq.row_major(2, 3)) == [0, 1, 2, 3, 4, 5]
+
+    def test_reverse_row_major_is_reversal(self):
+        assert list(seq.reverse_row_major(2, 3)) == [5, 4, 3, 2, 1, 0]
+
+    def test_column_major_definition(self):
+        # x_i at row i % r, col i // r: cell (row, col) holds x_{col*r + row}.
+        perm = seq.column_major(2, 3)
+        # cell (0,0)=x0 (1,0)=x1 (0,1)=x2 (1,1)=x3 (0,2)=x4 (1,2)=x5
+        assert list(perm) == [0, 2, 4, 1, 3, 5]
+
+    def test_reverse_column_major_is_reversed_column_major(self):
+        r, c = 3, 4
+        cm = seq.column_major(r, c)
+        rcm = seq.reverse_column_major(r, c)
+        assert list(rcm) == list(cm[::-1])
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            seq.arrangement("diagonal", 2, 2)
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            seq.row_major(0, 3)
+
+
+class TestStrided:
+    def test_paper_subsequence(self):
+        x = list(range(12))
+        assert seq.strided(x, 0, 3) == [0, 3, 6, 9]
+        assert seq.strided(x, 2, 3) == [2, 5, 8, 11]
+
+    def test_strided_partitions(self):
+        x = list(range(12))
+        union = sorted(sum((seq.strided(x, i, 4) for i in range(4)), []))
+        assert union == x
+
+    def test_strided_of_step_is_step(self):
+        x = seq.make_step(12, 7)
+        for i in range(3):
+            assert seq.is_step(seq.strided(x, i, 3))
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            seq.strided([1, 2], 0, 0)
+        with pytest.raises(ValueError):
+            seq.strided([1, 2], 2, 2)
+
+
+class TestSplitBlocks:
+    def test_even_split(self):
+        assert seq.split_blocks([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_uneven_raises(self):
+        with pytest.raises(ValueError):
+            seq.split_blocks([1, 2, 3], 2)
+
+    def test_bad_block(self):
+        with pytest.raises(ValueError):
+            seq.split_blocks([1], 0)

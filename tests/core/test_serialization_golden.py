@@ -1,0 +1,64 @@
+"""File round-trips and golden structural snapshots.
+
+The golden numbers pin down the exact built structure of key
+constructions; any change to the construction algorithms (intended or
+not) will trip these, forcing a conscious review of the diff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Network
+from repro.networks import k_network, l_network, r_network
+from repro.sim import propagate_counts
+
+
+class TestFileRoundTrip:
+    def test_save_load(self, tmp_path, rng):
+        net = l_network([3, 2])
+        path = tmp_path / "net.json"
+        net.save(path)
+        clone = Network.load(path)
+        assert clone == net
+        x = rng.integers(0, 12, size=net.width)
+        assert list(propagate_counts(clone, x)) == list(propagate_counts(net, x))
+
+    def test_loaded_network_validates(self, tmp_path):
+        net = k_network([2, 3])
+        path = tmp_path / "net.json"
+        net.save(path)
+        assert Network.load(path).name == "K(2,3)"
+
+
+GOLDEN = {
+    # name -> (width, depth, size, max_balancer, total_fanin)
+    "K(2,2,2)": (8, 5, 12, 4, 40),
+    "K(2,3,4)": (24, 5, 23, 12, 120),
+    "K(2,2,2,2)": (16, 12, 60, 4, 192),
+    "L(2,2)": (4, 3, 6, 2, 12),
+    "L(2,2,2)": (8, 12, 48, 2, 96),
+    "R(3,3)": (9, 7, 20, 3, 49),
+    "R(4,4)": (16, 12, 60, 4, 192),
+    "R(6,6)": (36, 16, 112, 6, 396),
+}
+
+
+class TestGoldenStructures:
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_structure_snapshot(self, name):
+        fam = name[0]
+        args = [int(x) for x in name[2:-1].split(",")]
+        net = {"K": lambda: k_network(args), "L": lambda: l_network(args), "R": lambda: r_network(*args)}[fam]()
+        total_fanin = sum(b.width for b in net.balancers)
+        got = (net.width, net.depth, net.size, net.max_balancer_width, total_fanin)
+        assert got == GOLDEN[name], f"{name}: structure changed to {got}"
+
+    def test_golden_outputs(self):
+        """Pin exact output vectors for a few canonical inputs."""
+        net = k_network([2, 2, 2])
+        assert list(propagate_counts(net, np.array([11, 0, 0, 0, 0, 0, 0, 0]))) == [
+            2, 2, 2, 1, 1, 1, 1, 1,
+        ]
+        assert list(propagate_counts(net, np.arange(8))) == [4, 4, 4, 4, 3, 3, 3, 3]

@@ -1,0 +1,128 @@
+"""Cross-module integration scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ThreadedCounter,
+    fetch_and_increment_values,
+    k_network,
+    l_network,
+    propagate_counts,
+    run_tokens,
+    sorted_outputs,
+)
+from repro.core.sequences import is_step
+from repro.verify import all_zero_one, find_counting_violation, sorts_batch
+
+
+class TestIsomorphism:
+    """Paper Figure 1/2: counting networks double as sorting networks."""
+
+    @pytest.mark.parametrize("factors", [[2, 3], [2, 2, 2], [3, 2, 2], [5, 3, 2]])
+    def test_counting_implies_sorting(self, factors, rng):
+        net = k_network(factors)
+        assert find_counting_violation(net) is None
+        vals = rng.permutation(net.width)
+        assert list(sorted_outputs(net, vals)) == sorted(vals)
+
+    def test_figure_2_sizes_two_three_five(self):
+        """The paper's running example uses balancers of sizes 2, 3 and 5:
+        K(5,3,2) realizes exactly that and both interprets correctly."""
+        net = k_network([5, 3, 2])
+        widths = set(net.balancer_width_histogram())
+        assert widths <= {2, 3, 4, 5, 6, 10, 15}
+        assert find_counting_violation(net) is None
+
+    def test_sorting_does_not_imply_counting(self):
+        """Paper Figure 3, end to end: bubble sorts every 0-1 input yet has
+        a counting violation, and the violation reproduces in the token
+        simulator."""
+        from repro.baselines import bubble_network
+
+        net = bubble_network(5)
+        assert sorts_batch(net, all_zero_one(5)) is None
+        v = find_counting_violation(net)
+        assert v is not None
+        result = run_tokens(net, list(v.input_counts))
+        assert not is_step(result.output_counts)
+
+
+class TestCounterService:
+    """Counting network as a concurrent Fetch&Increment counter."""
+
+    def test_token_sim_counter(self, rng):
+        net = l_network([3, 2, 2])
+        x = list(rng.integers(0, 4, size=net.width))
+        result = run_tokens(net, x, scheduler="straggler", seed=11)
+        values = fetch_and_increment_values(result)
+        assert sorted(values.values()) == list(range(sum(x)))
+
+    def test_threaded_counter_on_family_members(self):
+        for factors in ([2, 2, 2], [4, 2]):
+            counter = ThreadedCounter(k_network(factors))
+            stats = counter.run_threads(n_threads=4, ops_per_thread=10)
+            assert sorted(stats.all_values()) == list(range(40))
+
+
+class TestBatchSortingService:
+    def test_sorts_many_batches_vectorized(self, rng):
+        net = k_network([4, 4])
+        batch = rng.integers(-1000, 1000, size=(256, 16))
+        out = sorted_outputs(net, batch)
+        assert np.array_equal(out, np.sort(batch, axis=1))
+
+    def test_float_payloads(self, rng):
+        net = k_network([2, 3])
+        batch = rng.random((64, 6))
+        out = sorted_outputs(net, batch)
+        assert np.array_equal(out, np.sort(batch, axis=1))
+
+
+class TestExhaustiveProofsSmallWidths:
+    """For tiny widths we can PROVE the properties, not just sample."""
+
+    def test_k8_counts_all_vectors_up_to_3(self):
+        from repro.verify import exhaustive_counts
+
+        net = k_network([2, 2, 2])
+        for batch in exhaustive_counts(net.width, 3):
+            out = propagate_counts(net, batch)
+            assert bool(np.all(out[:, :-1] >= out[:, 1:]))
+            assert bool(np.all(out[:, 0] - out[:, -1] <= 1))
+
+    def test_l6_counts_all_vectors_up_to_4(self):
+        from repro.verify import exhaustive_counts
+
+        net = l_network([3, 2])
+        for batch in exhaustive_counts(net.width, 4):
+            out = propagate_counts(net, batch)
+            assert bool(np.all(out[:, :-1] >= out[:, 1:]))
+            assert bool(np.all(out[:, 0] - out[:, -1] <= 1))
+
+
+class TestSerialization:
+    def test_networks_survive_round_trip_with_semantics(self, rng):
+        from repro.core import Network
+
+        net = l_network([2, 3])
+        clone = Network.from_dict(net.to_dict())
+        x = rng.integers(0, 15, size=net.width)
+        assert list(propagate_counts(net, x)) == list(propagate_counts(clone, x))
+
+
+class TestFamilyEndToEnd:
+    def test_every_family_member_of_24_counts(self):
+        from repro.analysis import build_family
+
+        for entry in build_family(24, "K"):
+            net = k_network(list(entry.factors))
+            assert find_counting_violation(net) is None, entry.factors
+
+    def test_width_60_l_family_small_balancers(self):
+        """Width 60 = 5*3*2*2: balancers of width at most 5 suffice."""
+        net = l_network([5, 3, 2, 2])
+        assert net.max_balancer_width <= 5
+        assert find_counting_violation(net) is None

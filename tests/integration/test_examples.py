@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs to completion."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, args: list[str] | None = None, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *(args or [])],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "step property holds: True" in out
+        assert "none found (counting network)" in out
+
+    def test_concurrent_counter(self):
+        out = run_example("concurrent_counter.py")
+        assert "exact range" in out
+        assert "True" in out
+
+    def test_factorization_tradeoff_small_width(self):
+        out = run_example("factorization_tradeoff.py", ["12"])
+        assert "Pareto frontier" in out
+        assert "3x2x2" in out
+
+    def test_sorting_service(self):
+        out = run_example("sorting_service.py")
+        assert "results match: True" in out
+
+    def test_network_gallery(self):
+        out = run_example("network_gallery.py")
+        assert "counting fails" in out
+        assert "step property: True" in out
+
+    def test_linearizability_demo(self):
+        out = run_example("linearizability_demo.py")
+        assert "linearizable: True" in out
+        assert "non-linearizable" in out
+
+    def test_load_balancer(self):
+        out = run_example("load_balancer.py")
+        assert "distributor" in out
+        assert "step property" in out
+
+    def test_export_hardware(self, tmp_path):
+        out = run_example("export_hardware.py", [str(tmp_path)])
+        assert "round-trips" in out
+        assert "per-layer resource usage" in out

@@ -1,0 +1,70 @@
+"""Tests for the bitonic-converter D(p, q) — paper §4.4, Figure 12."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sequences import is_step, make_step
+from repro.networks import bitonic_converter
+from repro.sim import propagate_counts
+from repro.verify import verify_bitonic_converter
+
+SHAPES = [(2, 2), (2, 3), (3, 2), (3, 3), (4, 3), (3, 5), (5, 4), (2, 7), (7, 2)]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("p,q", SHAPES)
+    def test_depth_two(self, p, q):
+        assert bitonic_converter(p, q).depth <= 2
+
+    @pytest.mark.parametrize("p,q", SHAPES)
+    def test_size(self, p, q):
+        # p row balancers of width q plus q column balancers of width p.
+        net = bitonic_converter(p, q)
+        assert net.size == p + q
+        assert net.balancer_width_histogram() == ({q: p, p: q} if p != q else {p: p + q})
+
+    def test_degenerate_dims(self):
+        assert bitonic_converter(1, 4).depth <= 1
+        assert bitonic_converter(4, 1).depth <= 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bitonic_converter(0, 3)
+
+
+class TestContract:
+    @pytest.mark.parametrize("p,q", SHAPES)
+    def test_random_bitonic_inputs(self, p, q):
+        assert verify_bitonic_converter(bitonic_converter(p, q), trials=400) is None
+
+    @pytest.mark.parametrize("p,q", [(2, 2), (2, 3), (3, 3), (4, 2)])
+    def test_exhaustive_rotated_steps(self, p, q):
+        """Every rotation of every bounded step sequence — exactly the
+        bitonic sequences — converts to a step sequence."""
+        w = p * q
+        net = bitonic_converter(p, q)
+        rows = []
+        for total in range(2 * w + 1):
+            base = make_step(w, total)
+            for shift in range(w):
+                rows.append(np.roll(base, shift))
+        out = propagate_counts(net, np.stack(rows))
+        for row in out:
+            assert is_step(row)
+
+    def test_totals_preserved(self):
+        net = bitonic_converter(3, 3)
+        x = np.roll(make_step(9, 5), 4)
+        out = propagate_counts(net, x)
+        assert int(out.sum()) == 5
+        assert is_step(out)
+
+    def test_non_bitonic_input_can_fail(self):
+        """The contract genuinely needs bitonicity: some 2-smooth input
+        yields a non-step output."""
+        from repro.verify import find_counting_violation
+
+        net = bitonic_converter(3, 3)
+        assert find_counting_violation(net) is not None

@@ -1,0 +1,190 @@
+"""Tests for the generic C and M constructions — paper §4.1/§4.2."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sequences import is_step
+from repro.networks import counting_network, merger_network, normalize_factors
+from repro.networks.depth_formulas import counting_depth, merger_depth, staircase_depth
+from repro.sim import propagate_counts
+from repro.verify import find_counting_violation, verify_merger
+
+
+class TestNormalizeFactors:
+    def test_strips_units(self):
+        assert normalize_factors([1, 3, 1, 2]) == [3, 2]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            normalize_factors([2, 0])
+
+    def test_empty_ok(self):
+        assert normalize_factors([1, 1]) == []
+
+
+class TestCountingNetwork:
+    @pytest.mark.parametrize(
+        "factors", [[2, 2], [3, 2], [2, 2, 2], [2, 3, 2], [4, 3, 2], [2, 2, 2, 2], [3, 2, 2, 2]]
+    )
+    def test_counts(self, factors):
+        assert find_counting_violation(counting_network(factors)) is None
+
+    def test_width_is_product(self):
+        assert counting_network([2, 3, 4]).width == 24
+
+    def test_unit_factors_ignored(self):
+        a = counting_network([2, 1, 3])
+        b = counting_network([2, 3])
+        assert a.width == b.width == 6
+        assert a.size == b.size
+
+    def test_single_factor_is_one_balancer(self):
+        net = counting_network([5])
+        assert net.size == 1
+        assert net.depth == 1
+
+    def test_width_one(self):
+        net = counting_network([1])
+        assert net.width == 1
+        assert net.size == 0
+
+    def test_mismatched_width_internal_guard(self):
+        from repro.core import NetworkBuilder
+        from repro.networks import build_counting
+        from repro.networks.counting import single_balancer_base
+
+        b = NetworkBuilder(5)
+        with pytest.raises(ValueError, match="product"):
+            build_counting(b, list(b.inputs), [2, 2], single_balancer_base)
+
+    @pytest.mark.parametrize("variant", ["basic", "small", "opt_rescan", "opt_bitonic"])
+    def test_all_staircase_variants_count(self, variant):
+        net = counting_network([2, 2, 3], variant=variant)
+        assert find_counting_violation(net) is None
+
+    @pytest.mark.parametrize("n,factors", [(2, [2, 3]), (3, [2, 2, 2]), (4, [2, 2, 2, 2]), (5, [2, 2, 2, 2, 2])])
+    def test_depth_matches_proposition_1(self, n, factors):
+        """Proposition 1 with d = 1 (single-balancer base) and the
+        opt_rescan staircase (depth 3)."""
+        net = counting_network(factors, variant="opt_rescan")
+        assert net.depth == counting_depth(n, d=1, depth_s=staircase_depth("opt_rescan", 1))
+
+    def test_factor_order_preserves_depth(self):
+        """Each ordering of a fixed factor set yields the same depth
+        (paper §1, final parenthesis)."""
+        depths = {
+            counting_network(list(perm)).depth
+            for perm in ([2, 3, 4], [4, 3, 2], [3, 4, 2], [2, 4, 3])
+        }
+        assert len(depths) == 1
+
+
+class TestMergerNetwork:
+    @pytest.mark.parametrize("factors", [[2, 3], [3, 2], [2, 2, 2], [2, 3, 2], [3, 2, 2, 2]])
+    def test_merges_step_inputs(self, factors):
+        from math import prod
+
+        net = merger_network(factors)
+        lengths = [prod(factors[:-1])] * factors[-1]
+        assert verify_merger(net, lengths, trials=300) is None
+
+    @pytest.mark.parametrize("n,factors", [(2, [2, 3]), (3, [2, 2, 3]), (4, [2, 2, 2, 2]), (5, [2, 2, 2, 2, 2])])
+    def test_depth_matches_proposition_3(self, n, factors):
+        net = merger_network(factors, variant="opt_rescan")
+        assert net.depth == merger_depth(n, d=1, depth_s=3)
+
+    def test_rejects_single_factor(self):
+        with pytest.raises(ValueError):
+            merger_network([4])
+
+    def test_merger_is_not_necessarily_counting(self):
+        """A merger's guarantee only covers step inputs: larger mergers let
+        some non-step input through unsorted (this is what distinguishes M
+        from C).  Small mergers like M(2,2,2) happen to count because their
+        wide base balancers dominate — so the distinction only appears at
+        n = 4 or with factor 3 copies."""
+        assert find_counting_violation(merger_network([2, 2, 2, 2])) is not None
+        assert find_counting_violation(merger_network([3, 3, 2])) is not None
+
+    def test_input_validation(self):
+        from repro.core import NetworkBuilder
+        from repro.networks import build_merger
+        from repro.networks.counting import single_balancer_base
+
+        b = NetworkBuilder(8)
+        with pytest.raises(ValueError, match="input sequences"):
+            build_merger(b, [[0, 1, 2, 3]], [2, 2, 2], single_balancer_base)
+
+
+class TestStairwayIntoMerger:
+    def test_proposition_2_staircase_property(self, rng):
+        """The intermediate Y_i sequences of M satisfy the p(n-1)-staircase
+        property (Proposition 2) — verified by slicing an actual run."""
+        from math import prod
+
+        from repro.core.sequences import is_staircase, make_step
+        from repro.core import NetworkBuilder
+        from repro.networks import build_merger
+        from repro.networks.counting import single_balancer_base
+
+        factors = [2, 3, 2]  # n = 3: q = 3 copies, p = 2 inputs
+        block = prod(factors[:-1])
+
+        captured: list[list[int]] = []
+
+        def capture_staircase(b, inputs, r, p, base, variant="opt_rescan"):
+            captured.extend(inputs)
+            from repro.networks.staircase import build_staircase_merger
+
+            return build_staircase_merger(b, inputs, r, p, base, variant)
+
+        import repro.networks.counting as counting_mod
+
+        b = NetworkBuilder(block * factors[-1])
+        wires = list(b.inputs)
+        inputs = [wires[i * block : (i + 1) * block] for i in range(factors[-1])]
+        original = counting_mod.build_staircase_merger
+        counting_mod.build_staircase_merger = capture_staircase
+        try:
+            out = build_merger(b, inputs, factors, single_balancer_base)
+        finally:
+            counting_mod.build_staircase_merger = original
+        net = b.finish(out)
+
+        # Feed step inputs and read back the captured Y_i wires.
+        x = np.concatenate([make_step(block, int(t)) for t in rng.integers(0, 20, size=factors[-1])])
+        from repro.sim.count_sim import propagate_counts_reference
+        import numpy as _np
+
+        state = _np.zeros(net.num_wires, dtype=_np.int64)
+        for pos, wire in enumerate(net.inputs):
+            state[wire] = x[pos]
+        for bal in net.balancers:
+            total = int(sum(state[w] for w in bal.inputs))
+            for j, wire in enumerate(bal.outputs):
+                state[wire] = (total - j + bal.width - 1) // bal.width
+        ys = [[int(state[w]) for w in y] for y in captured]
+        assert is_staircase(ys, factors[-1])
+
+
+class TestBaseVariantMatrix:
+    """Every (base, variant) combination yields a counting network."""
+
+    @pytest.mark.parametrize("variant", ["basic", "small", "opt_rescan", "opt_bitonic"])
+    @pytest.mark.parametrize("base_name", ["balancer", "r"])
+    def test_all_combinations_count(self, variant, base_name):
+        from repro.networks.counting import single_balancer_base
+        from repro.networks.r_network import r_base
+
+        base = single_balancer_base if base_name == "balancer" else r_base
+        net = counting_network([2, 3, 2], base=base, variant=variant)
+        assert find_counting_violation(net) is None, (base_name, variant)
+
+    def test_r_base_keeps_factor_bound_under_every_variant(self):
+        from repro.networks.r_network import r_base
+
+        for variant in ("opt_rescan", "opt_bitonic"):
+            net = counting_network([3, 2, 2], base=r_base, variant=variant)
+            assert net.max_balancer_width <= 3, variant

@@ -1,0 +1,66 @@
+"""Tests for the closed-form depth predictions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.networks.depth_formulas import (
+    K_BASE_DEPTH,
+    R_DEPTH_BOUND,
+    counting_depth,
+    k_depth,
+    l_depth_bound,
+    merger_depth,
+    r_depth_bound,
+    staircase_depth,
+)
+
+
+class TestStaircase:
+    def test_variants(self):
+        assert staircase_depth("basic", 1) == 7
+        assert staircase_depth("small", 1) == 10
+        assert staircase_depth("opt_rescan", 1) == 3
+        assert staircase_depth("opt_bitonic", 16) == 19
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            staircase_depth("x", 1)
+
+
+class TestMerger:
+    def test_proposition_3(self):
+        assert merger_depth(2, 1, 3) == 1
+        assert merger_depth(3, 1, 3) == 4
+        assert merger_depth(5, 16, 19) == 16 + 3 * 19
+
+    def test_rejects_n1(self):
+        with pytest.raises(ValueError):
+            merger_depth(1, 1, 3)
+
+
+class TestCounting:
+    def test_proposition_1_reduces_to_d_at_n2(self):
+        assert counting_depth(2, 7, 99) == 7
+
+    def test_proposition_1_telescopes(self):
+        """depth(C, n) = depth(C, n-1) + depth(M, n) — the recurrence the
+        proposition solves."""
+        d, s = 1, 3
+        for n in range(3, 10):
+            assert counting_depth(n, d, s) == counting_depth(n - 1, d, s) + merger_depth(n, d, s)
+
+    def test_k_consistency(self):
+        """Proposition 6 = Proposition 1 with d = 1, depth(S) = 3."""
+        for n in range(2, 10):
+            assert k_depth(n) == counting_depth(n, K_BASE_DEPTH, 3)
+
+    def test_l_consistency(self):
+        """Theorem 7 = Proposition 1 with d = 16, depth(S) = 19."""
+        for n in range(2, 10):
+            assert l_depth_bound(n) == counting_depth(n, 16, 19)
+
+
+class TestConstants:
+    def test_r_bound(self):
+        assert r_depth_bound() == R_DEPTH_BOUND == 16

@@ -1,0 +1,72 @@
+"""Tests for comparator expansion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import single_balancer_network
+from repro.networks import expand_comparators, expanded_depth, k_network
+from repro.sim import evaluate_comparators
+from repro.verify import find_sorting_violation
+
+
+class TestExpansion:
+    @pytest.mark.parametrize("factors", [[4, 3], [5, 2], [2, 3, 2], [4, 4]])
+    def test_expanded_network_sorts(self, factors):
+        exp = expand_comparators(k_network(factors))
+        assert find_sorting_violation(exp) is None
+
+    def test_only_two_comparators_remain(self):
+        exp = expand_comparators(k_network([5, 3, 2]))
+        assert exp.max_balancer_width == 2
+
+    def test_same_sorting_function(self, rng):
+        net = k_network([3, 2, 2])
+        exp = expand_comparators(net)
+        batch = rng.integers(-50, 50, size=(30, net.width))
+        assert np.array_equal(evaluate_comparators(net, batch), evaluate_comparators(exp, batch))
+
+    def test_two_comparator_networks_unchanged(self):
+        from repro.baselines import bitonic_network
+
+        net = bitonic_network(8)
+        exp = expand_comparators(net)
+        assert exp.size == net.size
+        assert exp.depth == net.depth
+
+    def test_threshold_keeps_mid_widths(self):
+        net = k_network([4, 3])  # one 12-balancer
+        exp4 = expand_comparators(net, threshold=4)
+        # The 12-comparator is expanded, but any 3/4-wide pieces would stay.
+        assert exp4.max_balancer_width <= 4
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            expand_comparators(single_balancer_network(3), threshold=1)
+
+    def test_expanded_depth_helper(self):
+        net = k_network([4, 4])
+        assert expanded_depth(net) == expand_comparators(net).depth
+
+    def test_single_wide_comparator_expands_to_batcher(self):
+        from repro.baselines import batcher_any_network
+
+        exp = expand_comparators(single_balancer_network(12))
+        ref = batcher_any_network(12)
+        assert exp.depth == ref.depth
+        assert exp.size == ref.size
+
+
+class TestExpandedFamilyShape:
+    def test_coarser_factorization_shallower_after_expansion(self):
+        """On binary hardware the trade-off collapses: fewer, wider
+        comparators expand to the shallower network."""
+        coarse = expanded_depth(k_network([8, 8]))
+        fine = expanded_depth(k_network([2, 2, 2, 2, 2, 2]))
+        assert coarse < fine
+
+    def test_expansion_never_decreases_depth(self):
+        for factors in ([4, 4], [2, 3, 4]):
+            net = k_network(factors)
+            assert expanded_depth(net) >= net.depth

@@ -1,0 +1,69 @@
+"""Tests for the K family — paper §5.1, Proposition 6."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.networks import k_network
+from repro.networks.depth_formulas import k_depth
+from repro.verify import find_counting_violation, find_sorting_violation
+
+FACTORIZATIONS = [
+    [2, 2],
+    [2, 3],
+    [5, 4],
+    [2, 2, 2],
+    [2, 3, 4],
+    [3, 3, 3],
+    [5, 2, 3],
+    [2, 2, 2, 2],
+    [3, 2, 2, 2],
+    [2, 3, 2, 2],
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("factors", FACTORIZATIONS)
+    def test_counts(self, factors):
+        assert find_counting_violation(k_network(factors)) is None
+
+    @pytest.mark.parametrize("factors", [[2, 2], [2, 2, 2], [2, 3], [2, 2, 2, 2]])
+    def test_sorts_by_zero_one_principle(self, factors):
+        assert find_sorting_violation(k_network(factors)) is None
+
+
+class TestDepth:
+    @pytest.mark.parametrize("factors", FACTORIZATIONS)
+    def test_proposition_6_exact(self, factors):
+        """depth(K) = 1.5 n^2 - 3.5 n + 2 — exact, not just a bound, for
+        non-degenerate factor lists."""
+        assert k_network(factors).depth == k_depth(len(factors))
+
+    def test_formula_values(self):
+        assert [k_depth(n) for n in range(2, 7)] == [1, 5, 12, 22, 35]
+
+    def test_depth_independent_of_factor_order(self):
+        for perm in itertools.permutations([2, 3, 4]):
+            assert k_network(list(perm)).depth == k_depth(3)
+
+    def test_formula_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            k_depth(1)
+
+
+class TestBalancerWidths:
+    @pytest.mark.parametrize("factors", FACTORIZATIONS)
+    def test_max_balancer_at_most_pairwise_product(self, factors):
+        """K uses balancers of width at most max(p_i * p_j) (§5.1)."""
+        net = k_network(factors)
+        max_pair = max(a * b for a, b in itertools.combinations_with_replacement(factors, 2))
+        assert net.max_balancer_width <= max_pair
+
+    def test_two_balancers_present_from_layer_ell(self):
+        hist = k_network([2, 3, 4]).balancer_width_histogram()
+        assert 2 in hist  # layer ℓ 2-balancers
+
+    def test_width(self):
+        assert k_network([2, 3, 4]).width == 24

@@ -1,0 +1,80 @@
+"""Tests for the L family — paper §5.2, Theorem 7 (the headline result)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.networks import l_network
+from repro.networks.depth_formulas import l_depth_bound
+from repro.verify import find_counting_violation, find_sorting_violation
+
+FACTORIZATIONS = [
+    [2, 2],
+    [2, 3],
+    [3, 4],
+    [5, 5],
+    [2, 2, 2],
+    [2, 3, 4],
+    [3, 3, 3],
+    [5, 2, 3],
+    [2, 2, 2, 2],
+    [3, 2, 2, 2],
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("factors", FACTORIZATIONS)
+    def test_counts(self, factors):
+        assert find_counting_violation(l_network(factors)) is None
+
+    @pytest.mark.parametrize("factors", [[2, 2], [2, 3], [2, 2, 2], [2, 2, 2, 2]])
+    def test_sorts_by_zero_one_principle(self, factors):
+        assert find_sorting_violation(l_network(factors)) is None
+
+
+class TestTheorem7:
+    @pytest.mark.parametrize("factors", FACTORIZATIONS)
+    def test_depth_within_bound(self, factors):
+        """depth(L) <= 9.5 n^2 - 12.5 n + 3."""
+        assert l_network(factors).depth <= l_depth_bound(len(factors))
+
+    @pytest.mark.parametrize("factors", FACTORIZATIONS)
+    def test_balancer_width_at_most_max_factor(self, factors):
+        """THE headline property: balancers no wider than max(p_i)."""
+        net = l_network(factors)
+        assert net.max_balancer_width <= max(factors)
+
+    def test_bound_values(self):
+        # 9.5 n^2 - 12.5 n + 3 at n = 2..5.
+        assert [l_depth_bound(n) for n in range(2, 6)] == [16, 51, 105, 178]
+
+    def test_depth_well_below_bound_in_practice(self):
+        """The bound is loose for small factors — record the slack so
+        regressions that blow up depth are caught early."""
+        net = l_network([2, 3, 4])
+        assert net.depth <= 20
+
+    def test_arbitrary_width_example(self):
+        """Width 30 = 2*3*5 — no power-of-two baseline exists at this
+        width; L covers it with balancers of width <= 5."""
+        net = l_network([5, 3, 2])
+        assert net.width == 30
+        assert net.max_balancer_width <= 5
+        assert find_counting_violation(net) is None
+
+
+class TestLargePrimeFactors:
+    def test_large_prime_factor_respects_bound(self):
+        """A big prime factor becomes the balancer budget: L(17,2) uses
+        balancers no wider than 17 and still counts."""
+        from repro.verify import find_counting_violation
+
+        net = l_network([17, 2])
+        assert net.width == 34
+        assert net.max_balancer_width <= 17
+        assert find_counting_violation(net) is None
+
+    def test_prime_pair(self):
+        net = l_network([13, 11])
+        assert net.max_balancer_width <= 13
+        assert net.depth <= 16  # n = 2: L is just R

@@ -1,0 +1,147 @@
+"""Proof-tracing tests for Proposition 4 (paper §4.3.1).
+
+Proposition 4: after the 2-balancer layer ℓ, the inter-block discrepancy
+spans a single block A_i, and that block satisfies the bitonic property.
+These tests build layer ℓ *standalone* and drive it with exactly the
+configurations of the proof's case analysis (cases (a)/(b), adjacent and
+wrap-around), checking the claimed post-state block by block.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import NetworkBuilder
+from repro.core.sequences import is_bitonic, is_step, make_step
+from repro.networks.staircase import _layer_ell
+from repro.sim import propagate_counts
+
+
+def layer_ell_network(r: int, p: int, q: int):
+    """A width r*p*q network consisting of layer ℓ alone; block k occupies
+    input positions [k*p*q, (k+1)*p*q)."""
+    b = NetworkBuilder(r * p * q)
+    wires = list(b.inputs)
+    pq = p * q
+    blocks = [wires[k * pq : (k + 1) * pq] for k in range(r)]
+    _layer_ell(b, blocks, pq // 2)
+    return b.finish([w for blk in blocks for w in blk])
+
+
+def run_blocks(net, blocks: list[np.ndarray]) -> list[np.ndarray]:
+    x = np.concatenate(blocks)
+    out = propagate_counts(net, x)
+    pq = len(blocks[0])
+    return [out[k * pq : (k + 1) * pq] for k in range(len(blocks))]
+
+
+class TestAdjacentCases:
+    """Discrepancy spans A_i, A_{i+1} with 0/1 values (proof cases a/b)."""
+
+    @pytest.mark.parametrize("r,p,q", [(3, 2, 2), (4, 2, 3), (3, 3, 3)])
+    def test_all_zero_one_splits(self, r, p, q):
+        pq = p * q
+        net = layer_ell_network(r, p, q)
+        for i in range(r - 1):
+            # A_i = [1^o_i 0^...], A_{i+1} = [1^o_{i+1} 0^...], o_i >= o_{i+1};
+            # blocks above are all-1, below all-0 (the global staircase).
+            for o_i, o_i1 in itertools.product(range(pq + 1), repeat=2):
+                if o_i < o_i1:
+                    continue
+                blocks = []
+                for k in range(r):
+                    if k < i:
+                        blocks.append(np.ones(pq, dtype=np.int64))
+                    elif k == i:
+                        blocks.append(make_step(pq, o_i))
+                    elif k == i + 1:
+                        blocks.append(make_step(pq, o_i1))
+                    else:
+                        blocks.append(np.zeros(pq, dtype=np.int64))
+                outs = run_blocks(net, blocks)
+                # Proposition 4: every block bitonic, at most one
+                # non-constant ("the discrepancy spans only one A_i").
+                assert all(is_bitonic(o) for o in outs), (i, o_i, o_i1)
+                non_const = [k for k, o in enumerate(outs) if o.max() != o.min()]
+                assert len(non_const) <= 1, (i, o_i, o_i1, [o.tolist() for o in outs])
+
+    def test_case_a_shape(self):
+        """Case (a) of the proof verbatim: o_i + o_{i+1} <= pq moves the 1s
+        of A_{i+1} into A_i, leaving A_i = [1^o_i 0^* 1^o_{i+1}]."""
+        r, p, q = 2, 2, 2
+        pq = 4
+        net = layer_ell_network(r, p, q)
+        o_i, o_i1 = 2, 1  # o_i + o_i1 = 3 <= 4
+        outs = run_blocks(net, [make_step(pq, o_i), make_step(pq, o_i1)])
+        assert outs[1].tolist() == [0, 0, 0, 0]
+        assert outs[0].tolist() == [1, 1, 0, 1]  # o_i 1s, gap, o_{i+1} 1s
+
+    def test_case_b_shape(self):
+        """Case (b): o_i + o_{i+1} > pq fills A_i with 1s and leaves
+        A_{i+1} = [0^z_i 1^* 0^*]."""
+        r, p, q = 2, 2, 2
+        pq = 4
+        net = layer_ell_network(r, p, q)
+        o_i, o_i1 = 4, 3
+        outs = run_blocks(net, [make_step(pq, o_i), make_step(pq, o_i1)])
+        assert outs[0].tolist() == [1, 1, 1, 1]
+        assert is_bitonic(outs[1])
+        assert int(outs[1].sum()) == 3
+
+
+class TestWrapCase:
+    """Discrepancy spans A_{r-1} and A_0 with values {0,1,2} (the i = r-1
+    case of the proof)."""
+
+    @pytest.mark.parametrize("r,p,q", [(2, 2, 2), (3, 2, 2)])
+    def test_wrap_configurations(self, r, p, q):
+        pq = p * q
+        net = layer_ell_network(r, p, q)
+        # A_0 in {1,2} (t0 twos then ones), A_{r-1} in {0,1} (o ones then
+        # zeros), middle blocks all-1; constraint o_{r-1} >= t_0.
+        for t0 in range(pq + 1):
+            for o_last in range(t0, pq + 1):
+                blocks = [make_step(pq, t0, base=1)]
+                for _ in range(r - 2):
+                    blocks.append(np.ones(pq, dtype=np.int64))
+                blocks.append(make_step(pq, o_last))
+                outs = run_blocks(net, blocks)
+                assert all(is_bitonic(o) for o in outs), (t0, o_last)
+                # Total conserved.
+                assert sum(int(o.sum()) for o in outs) == pq + t0 + (r - 2) * pq + o_last
+
+    def test_wrap_case_a_shape(self):
+        """Wrap case (a): the 2s of A_0 meet the 0s of A_{r-1}; both become
+        1s, leaving A_0 all-1 and A_{r-1} bitonic."""
+        r, p, q = 2, 2, 2
+        pq = 4
+        net = layer_ell_network(r, p, q)
+        t0, o_last = 1, 2  # t0 + o_last = 3 <= 4
+        outs = run_blocks(net, [make_step(pq, t0, base=1), make_step(pq, o_last)])
+        assert outs[0].tolist() == [1, 1, 1, 1]
+        assert is_bitonic(outs[1])
+        assert int(outs[1].sum()) == o_last + t0  # gained the former 2s
+
+
+class TestFollowedByRepair:
+    """After ℓ, a single bitonic-converter layer finishes the job — the
+    full opt_bitonic staircase path, traced block by block."""
+
+    def test_bitonic_repair_completes(self):
+        from repro.networks import bitonic_converter
+        from repro.core import parallel, serial
+
+        r, p, q = 3, 2, 2
+        pq = p * q
+        ell = layer_ell_network(r, p, q)
+        repair = parallel(*[bitonic_converter(p, q) for _ in range(r)])
+        net = serial(ell, repair)
+        for o_i, o_i1 in itertools.product(range(pq + 1), repeat=2):
+            if o_i < o_i1:
+                continue
+            blocks = [make_step(pq, o_i), make_step(pq, o_i1), np.zeros(pq, dtype=np.int64)]
+            out = propagate_counts(net, np.concatenate(blocks))
+            assert is_step(out), (o_i, o_i1)

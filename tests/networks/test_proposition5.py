@@ -1,0 +1,90 @@
+"""Proof-tracing tests for Proposition 5 (paper §4.4, the two-merger).
+
+The proof's key lemma: arrange step input X0 as a p x q0 column-major
+matrix and step input X1 as a p x q1 reverse-column-major matrix, side by
+side; then the row sums of the combined matrix form a 1-smooth sequence,
+so after the row balancers at most one column is mixed, and the column
+balancers finish.  We check the lemma itself (pure arithmetic) and the
+intermediate state after only the first layer.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import NetworkBuilder
+from repro.core.sequences import is_smooth, make_step
+from repro.sim import propagate_counts
+
+
+def combined_matrix(x0: np.ndarray, x1: np.ndarray, p: int) -> np.ndarray:
+    """The p x (q0+q1) matrix of Proposition 5."""
+    q0, q1 = len(x0) // p, len(x1) // p
+    m = np.zeros((p, q0 + q1), dtype=np.int64)
+    for k, v in enumerate(x0):  # column-major
+        m[k % p, k // p] = v
+    for k, v in enumerate(x1):  # reverse column-major, shifted
+        m[p - 1 - (k % p), q0 + (q1 - 1 - (k // p))] = v
+    return m
+
+
+class TestRowSumLemma:
+    @pytest.mark.parametrize("p,q0,q1", [(2, 2, 2), (3, 2, 4), (4, 3, 3), (5, 1, 2)])
+    def test_row_sums_are_1_smooth(self, p, q0, q1):
+        for t0, t1 in itertools.product(range(0, 3 * p * max(q0, 1), 3), repeat=2):
+            x0 = make_step(p * q0, t0)
+            x1 = make_step(p * q1, t1)
+            m = combined_matrix(x0, x1, p)
+            assert is_smooth(m.sum(axis=1), 1), (t0, t1)
+
+    def test_forward_arrangement_breaks_the_lemma(self):
+        """Dropping the reversal of X1 (both column-major) breaks
+        1-smoothness of the row sums for some inputs — the reversal is
+        load-bearing."""
+        p, q0, q1 = 3, 2, 2
+        broken = []
+        for t0, t1 in itertools.product(range(3 * p * q0), repeat=2):
+            x0 = make_step(p * q0, t0)
+            x1 = make_step(p * q1, t1)
+            m = np.zeros((p, q0 + q1), dtype=np.int64)
+            for k, v in enumerate(x0):
+                m[k % p, k // p] = v
+            for k, v in enumerate(x1):  # forward column-major (wrong)
+                m[k % p, q0 + k // p] = v
+            if not is_smooth(m.sum(axis=1), 1):
+                broken.append((t0, t1))
+        assert broken, "expected the forward arrangement to fail somewhere"
+
+
+class TestAfterRowLayer:
+    def test_at_most_one_mixed_column(self):
+        """After the (q0+q1)-balancer rows, all columns are constant except
+        at most one, which is 1-smooth, and columns decrease left to
+        right."""
+        p, q0, q1 = 3, 2, 2
+        b = NetworkBuilder(p * (q0 + q1))
+        wires = list(b.inputs)
+        # Build ONLY the row layer, with the paper's arrangement.
+        cell = [[-1] * (q0 + q1) for _ in range(p)]
+        for k, w in enumerate(wires[: p * q0]):
+            cell[k % p][k // p] = w
+        for k, w in enumerate(wires[p * q0 :]):
+            cell[p - 1 - (k % p)][q0 + (q1 - 1 - (k // p))] = w
+        for r in range(p):
+            cell[r] = b.balancer(cell[r])
+        order = [cell[r][c] for r in range(p) for c in range(q0 + q1)]
+        net = b.finish(order)  # row-major read-out of the matrix
+
+        cols = q0 + q1
+        for t0, t1 in itertools.product(range(0, 2 * p * q0 + 1, 2), repeat=2):
+            x = np.concatenate([make_step(p * q0, t0), make_step(p * q1, t1)])
+            out = propagate_counts(net, x).reshape(p, cols)
+            mixed = [c for c in range(cols) if out[:, c].max() != out[:, c].min()]
+            assert len(mixed) <= 1, (t0, t1, out)
+            for c in range(cols):
+                assert out[:, c].max() - out[:, c].min() <= 1
+            col_means = out.mean(axis=0)
+            assert all(col_means[i] >= col_means[i + 1] - 1e-9 for i in range(cols - 1))

@@ -1,0 +1,96 @@
+"""White-box tests for the R(p, q) quadrant construction (§5.3)."""
+
+from __future__ import annotations
+
+from math import isqrt
+
+import numpy as np
+import pytest
+
+from repro.core import NetworkBuilder
+from repro.core.sequences import is_step
+from repro.networks.r_network import _band, _k_step
+from repro.sim import propagate_counts
+from repro.verify import random_counts
+
+
+def close_over(build_fn, width):
+    """Build a standalone network around a builder-level helper."""
+    b = NetworkBuilder(width)
+    out = build_fn(b, list(b.inputs))
+    return b.finish(out)
+
+
+class TestKStepHelper:
+    @pytest.mark.parametrize("factors,width", [([2, 2], 4), ([3, 2, 2], 12), ([1, 3, 3], 9)])
+    def test_outputs_step_for_any_input(self, factors, width, rng):
+        net = close_over(lambda b, w: _k_step(b, w, factors), width)
+        outs = propagate_counts(net, random_counts(width, 128, rng))
+        for row in outs:
+            assert is_step(row)
+
+    def test_empty_wires(self):
+        b = NetworkBuilder(2)
+        assert _k_step(b, [], [2, 2]) == []
+
+
+class TestBandHelper:
+    @pytest.mark.parametrize("h,cols", [(2, 3), (2, 1), (3, 2), (1, 4), (2, 5)])
+    def test_band_counts(self, h, cols, rng):
+        width = h * h * cols
+        net = close_over(lambda b, w: _band(b, w, h, cols), width)
+        outs = propagate_counts(net, random_counts(width, 128, rng))
+        for row in outs:
+            assert is_step(row)
+
+    @pytest.mark.parametrize("h,cols", [(2, 3), (3, 2), (2, 5)])
+    def test_band_balancer_width(self, h, cols):
+        """Band balancers stay within the §5.3 budget: K pieces use widths
+        <= max(h², ceil(cols/2)*h) and the two-merger adds h² and cols."""
+        width = h * h * cols
+        net = close_over(lambda b, w: _band(b, w, h, cols), width)
+        c1 = cols - cols // 2
+        bound = max(h * h, c1 * h, cols)
+        assert net.max_balancer_width <= bound
+
+    def test_band_empty(self):
+        b = NetworkBuilder(2)
+        assert _band(b, [], 2, 0) == []
+
+
+class TestQuadrantAccounting:
+    @pytest.mark.parametrize("p,q", [(5, 7), (6, 10), (11, 13), (8, 9)])
+    def test_quadrant_sizes_partition_the_width(self, p, q):
+        ph, qh = isqrt(p), isqrt(q)
+        pb, qb = p - ph * ph, q - qh * qh
+        sizes = [ph * ph * qh * qh, ph * ph * qb, pb * qh * qh, pb * qb]
+        assert sum(sizes) == p * q
+
+    @pytest.mark.parametrize("p,q", [(5, 5), (7, 10), (12, 12)])
+    def test_d_quadrant_block_sizes(self, p, q):
+        ph, qh = isqrt(p), isqrt(q)
+        pb, qb = p - ph * ph, q - qh * qh
+        p0_, p1_ = pb // 2, pb - pb // 2
+        q0_, q1_ = qb // 2, qb - qb // 2
+        assert p0_ * q0_ + p0_ * q1_ + p1_ * q0_ + p1_ * q1_ == pb * qb
+        # Eq. 3 guarantees each D block fits one balancer of the budget.
+        m = max(p, q)
+        for size in (p0_ * q0_, p0_ * q1_, p1_ * q0_, p1_ * q1_):
+            assert size <= m
+
+
+class TestRDepthTightness:
+    def test_depth_16_requires_nonsquare_both(self):
+        """Depth 16 arises when both p and q have remainders (full quadrant
+        cascade); perfect squares short-circuit to the A path."""
+        from repro.networks import r_network
+
+        assert r_network(9, 9).depth < 16  # both perfect squares
+        assert r_network(6, 6).depth == 16  # both with remainders
+
+    def test_square_times_nonsquare(self):
+        from repro.networks import r_network
+
+        net = r_network(9, 8)
+        assert net.depth <= 16
+        assert net.max_balancer_width <= 9

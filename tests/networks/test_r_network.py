@@ -1,0 +1,105 @@
+"""Tests for R(p, q) — paper §5.3."""
+
+from __future__ import annotations
+
+from math import isqrt
+
+import pytest
+
+from repro.networks import r_network
+from repro.networks.depth_formulas import R_DEPTH_BOUND
+from repro.verify import find_counting_violation, find_sorting_violation
+
+PAIRS = [(2, 2), (2, 3), (3, 2), (3, 3), (4, 4), (4, 5), (5, 4), (5, 5), (6, 4), (6, 6), (7, 3), (8, 5), (9, 9), (10, 7), (12, 11)]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p,q", PAIRS)
+    def test_counts(self, p, q):
+        assert find_counting_violation(r_network(p, q)) is None
+
+    @pytest.mark.parametrize("p,q", [(2, 2), (2, 3), (3, 3), (4, 4), (4, 5)])
+    def test_sorts_small(self, p, q):
+        assert find_sorting_violation(r_network(p, q)) is None
+
+
+class TestBounds:
+    @pytest.mark.parametrize("p,q", PAIRS)
+    def test_depth_at_most_16(self, p, q):
+        assert r_network(p, q).depth <= R_DEPTH_BOUND
+
+    @pytest.mark.parametrize("p,q", PAIRS)
+    def test_balancer_width_at_most_max(self, p, q):
+        assert r_network(p, q).max_balancer_width <= max(p, q)
+
+    def test_full_sweep_bounds(self):
+        """Exhaustive sweep over 2 <= p, q <= 15: the two §5.3 guarantees."""
+        for p in range(2, 16):
+            for q in range(2, 16):
+                net = r_network(p, q)
+                assert net.depth <= R_DEPTH_BOUND, (p, q)
+                assert net.max_balancer_width <= max(p, q), (p, q)
+
+    def test_degenerate_one_dim(self):
+        assert r_network(1, 5).size == 1
+        assert r_network(5, 1).size == 1
+        assert r_network(1, 1).size == 0
+
+
+class TestPaperInequalities:
+    """The appendix inequalities that make R's balancer widths legal."""
+
+    def test_equations_1_2_3(self):
+        for p in range(2, 60):
+            for q in range(2, 60):
+                m = max(p, q)
+                ph, qh = isqrt(p), isqrt(q)
+                pb, qb = p - ph * ph, q - qh * qh
+                r = max(ph, qh)
+                s = max(pb, qb)
+                assert r * r <= m, (p, q)  # Eq. 1
+                assert r * -(-s // 2) <= m, (p, q)  # Eq. 2: r * ceil(s/2) <= m
+                assert (s // 2) * -(-s // 2) <= m, (p, q)  # Eq. 3
+
+    def test_remainder_bound(self):
+        # s < 2*sqrt(m) - 1 (appendix Eq. 4)
+        for p in range(2, 200):
+            ph = isqrt(p)
+            assert p - ph * ph < 2 * (p ** 0.5) - 1 + 1e-9
+
+
+class TestQuadrantEdgeCases:
+    def test_perfect_squares(self):
+        """p̄ = q̄ = 0: only quadrant A exists."""
+        net = r_network(4, 9)
+        assert find_counting_violation(net) is None
+        assert net.max_balancer_width <= 9
+
+    def test_remainder_one(self):
+        """p̄ = 1 exercises the single-column band path."""
+        net = r_network(5, 5)  # 5 = 2^2 + 1
+        assert find_counting_violation(net) is None
+
+    def test_small_primes(self):
+        """p = 2, 3 give p̂ = 1 (unit hat factors everywhere)."""
+        for p, q in [(2, 5), (3, 7), (2, 11), (3, 13)]:
+            net = r_network(p, q)
+            assert find_counting_violation(net) is None
+            assert net.max_balancer_width <= max(p, q)
+
+    def test_wire_count_validation(self):
+        from repro.core import NetworkBuilder
+        from repro.networks import build_r_network
+
+        b = NetworkBuilder(5)
+        with pytest.raises(ValueError, match="expected"):
+            build_r_network(b, list(b.inputs), 2, 3)
+
+
+class TestLargePrimes:
+    @pytest.mark.parametrize("p,q", [(17, 2), (2, 17), (13, 11), (19, 3)])
+    def test_prime_heavy_shapes(self, p, q):
+        net = r_network(p, q)
+        assert net.depth <= R_DEPTH_BOUND
+        assert net.max_balancer_width <= max(p, q)
+        assert find_counting_violation(net) is None

@@ -1,0 +1,162 @@
+"""Tests for the staircase-merger S(r, p, q) — paper §4.3 / §4.3.1."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.sequences import is_step, make_step
+from repro.networks import STAIRCASE_VARIANTS, staircase_merger
+from repro.networks.depth_formulas import staircase_depth
+from repro.sim import propagate_counts
+from repro.verify import verify_staircase_merger
+
+SHAPES = [(2, 2, 2), (2, 2, 3), (3, 2, 2), (3, 3, 2), (4, 2, 3), (5, 2, 2), (2, 4, 2), (6, 2, 2), (3, 2, 4)]
+
+
+class TestAllVariants:
+    @pytest.mark.parametrize("variant", STAIRCASE_VARIANTS)
+    @pytest.mark.parametrize("r,p,q", SHAPES)
+    def test_contract(self, variant, r, p, q):
+        net = staircase_merger(r, p, q, variant=variant)
+        assert verify_staircase_merger(net, r, p, q, trials=250) is None
+
+    @pytest.mark.parametrize("variant", STAIRCASE_VARIANTS)
+    @pytest.mark.parametrize("r,p,q", SHAPES)
+    def test_depth_formula_bound(self, variant, r, p, q):
+        """Depth per §4.3/§4.3.1 with the default base d = 1 (one
+        balancer)."""
+        net = staircase_merger(r, p, q, variant=variant)
+        assert net.depth <= staircase_depth(variant, d=1)
+
+    @pytest.mark.parametrize("r,p,q", SHAPES)
+    def test_opt_rescan_depth_exact(self, r, p, q):
+        assert staircase_merger(r, p, q, variant="opt_rescan").depth == 3
+
+    @pytest.mark.parametrize("r,p,q", SHAPES)
+    def test_opt_bitonic_depth_exact(self, r, p, q):
+        assert staircase_merger(r, p, q, variant="opt_bitonic").depth == 4
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            staircase_merger(2, 2, 2, variant="bogus")
+
+
+class TestExhaustiveSmall:
+    @pytest.mark.parametrize("variant", STAIRCASE_VARIANTS)
+    def test_exhaustive_staircase_inputs(self, variant):
+        """All step inputs with the p-staircase property for S(2, 2, 2),
+        bounded totals — a complete check of the contract's input space up
+        to the bound."""
+        r, p, q = 2, 2, 2
+        ln = r * p
+        net = staircase_merger(r, p, q, variant=variant)
+        rows = []
+        for base_total in range(10):
+            for deltas in itertools.product(range(p + 1), repeat=q):
+                if sorted(deltas, reverse=True) != list(deltas):
+                    continue  # sums must be non-increasing
+                row = np.concatenate([make_step(ln, base_total + d) for d in deltas])
+                rows.append(row)
+        out = propagate_counts(net, np.stack(rows))
+        for i, row in enumerate(out):
+            assert is_step(row), f"variant={variant} input={rows[i]}"
+
+
+class TestOddBlockSizes:
+    @pytest.mark.parametrize("variant", ("opt_rescan", "opt_bitonic"))
+    def test_odd_pq_layer_ell(self, variant):
+        """p*q odd leaves a middle element untouched by layer ℓ."""
+        net = staircase_merger(3, 3, 3, variant=variant)
+        assert verify_staircase_merger(net, 3, 3, 3, trials=250) is None
+
+    @pytest.mark.parametrize("variant", STAIRCASE_VARIANTS)
+    def test_odd_r_wrap_layer(self, variant):
+        """Odd r exercises the third merge layer / the wrap pair of ℓ."""
+        net = staircase_merger(5, 2, 3, variant=variant)
+        assert verify_staircase_merger(net, 5, 2, 3, trials=250) is None
+
+
+class TestStructure:
+    def test_width(self):
+        assert staircase_merger(3, 2, 4).width == 24
+
+    def test_input_length_validation(self):
+        from repro.core import NetworkBuilder
+        from repro.networks import build_staircase_merger
+        from repro.networks.counting import single_balancer_base
+
+        b = NetworkBuilder(8)
+        with pytest.raises(ValueError, match="length"):
+            build_staircase_merger(b, [[0, 1, 2], [3, 4, 5, 6]], 2, 2, single_balancer_base)
+
+    def test_small_variant_balancer_bound(self):
+        net = staircase_merger(3, 3, 3, variant="small")
+        # All balancers at width <= max(2, p, q) = 3 except the base C(p,q);
+        # base is one p*q balancer here, so bound is p*q.
+        non_base = [b for b in net.balancers if b.width < 9]
+        assert all(b.width <= 3 for b in non_base)
+
+    def test_custom_base_is_used(self):
+        """Plugging a custom base factory changes the block counting
+        layer."""
+        calls = []
+
+        def spy_base(b, wires, p, q):
+            calls.append((p, q))
+            return b.maybe_balancer(wires)
+
+        staircase_merger(3, 2, 2, variant="opt_rescan", base=spy_base)
+        # opt_rescan applies the base twice per block: r blocks x 2.
+        assert len(calls) == 6
+        assert all(c == (2, 2) for c in calls)
+
+
+class TestContractTightness:
+    @pytest.mark.parametrize("variant", ("opt_rescan", "opt_bitonic"))
+    def test_staircase_property_is_needed(self, variant):
+        """The p-staircase precondition is tight: step inputs whose sums
+        differ by more than p break S(4,2,3) (sum gaps of 3 > p = 2
+        between consecutive inputs)."""
+        r, p, q = 4, 2, 3
+        net = staircase_merger(r, p, q, variant=variant)
+        ln = r * p
+        gap, base = 3, 1
+        xs = [make_step(ln, base + gap * (q - 1 - i)) for i in range(q)]
+        x = np.concatenate(xs)
+        assert not is_step(propagate_counts(net, x))
+
+    def test_step_inputs_are_needed(self):
+        """Arbitrary (non-step) inputs break S(3,2,2): the staircase-merger
+        is not itself a counting network."""
+        from repro.verify import find_counting_violation
+
+        assert find_counting_violation(staircase_merger(3, 2, 2)) is not None
+
+    def test_small_shapes_count_incidentally(self):
+        """For r = 2 the two wide base balancers dominate and S happens to
+        count for any input — documenting why the negative tests above use
+        larger r."""
+        from repro.verify import find_counting_violation
+
+        assert find_counting_violation(staircase_merger(2, 2, 2)) is None
+
+
+class TestWithRBase:
+    """The staircase as the L family actually uses it: base C(p,q) = R(p,q)."""
+
+    @pytest.mark.parametrize("variant", ("opt_rescan", "opt_bitonic"))
+    @pytest.mark.parametrize("r,p,q", [(2, 2, 3), (3, 2, 2), (2, 3, 3)])
+    def test_contract_with_r_base(self, variant, r, p, q):
+        from repro.networks.r_network import r_base
+
+        net = staircase_merger(r, p, q, variant=variant, base=r_base)
+        assert verify_staircase_merger(net, r, p, q, trials=200) is None
+
+    def test_balancer_bound_with_r_base(self):
+        from repro.networks.r_network import r_base
+
+        net = staircase_merger(3, 3, 3, variant="opt_bitonic", base=r_base)
+        assert net.max_balancer_width <= 3

@@ -1,0 +1,91 @@
+"""Tests for the two-merger T(p, q0, q1) — paper §4.4, Proposition 5."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.sequences import is_step, make_step
+from repro.networks import two_merger
+from repro.sim import propagate_counts
+from repro.verify import verify_two_merger
+
+
+ALL_SHAPES = [(2, 1, 1), (2, 2, 2), (2, 1, 3), (3, 2, 2), (3, 1, 2), (4, 2, 3), (5, 3, 3), (1, 2, 3)]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("p,q0,q1", ALL_SHAPES)
+    def test_depth_at_most_two(self, p, q0, q1):
+        assert two_merger(p, q0, q1).depth <= 2
+
+    @pytest.mark.parametrize("p,q0,q1", ALL_SHAPES)
+    def test_width(self, p, q0, q1):
+        assert two_merger(p, q0, q1).width == p * (q0 + q1)
+
+    def test_balancer_widths(self):
+        net = two_merger(4, 3, 2)
+        hist = net.balancer_width_histogram()
+        assert set(hist) == {4, 5}  # p-balancers and (q0+q1)-balancers
+        assert hist[5] == 4  # one per row
+        assert hist[4] == 5  # one per column
+
+    def test_zero_q0_passthrough(self):
+        net = two_merger(3, 0, 2)
+        assert net.width == 6
+        assert net.size == 0  # pure passthrough
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            two_merger(2, 0, 0)
+        with pytest.raises(ValueError):
+            two_merger(2, -1, 2)
+
+
+class TestContract:
+    @pytest.mark.parametrize("p,q0,q1", ALL_SHAPES)
+    def test_random_step_inputs(self, p, q0, q1):
+        assert verify_two_merger(two_merger(p, q0, q1), p, q0, q1, trials=300) is None
+
+    def test_exhaustive_small(self):
+        """All pairs of step inputs with bounded totals for T(2,2,2)."""
+        p, q0, q1 = 2, 2, 2
+        net = two_merger(p, q0, q1)
+        rows = []
+        for t0, b0, t1, b1 in itertools.product(range(9), range(2), range(9), range(2)):
+            x0 = make_step(p * q0, t0, b0)
+            x1 = make_step(p * q1, t1, b1)
+            rows.append(np.concatenate([x0, x1]))
+        out = propagate_counts(net, np.stack(rows))
+        for row_out in out:
+            assert is_step(row_out)
+
+    def test_output_total_preserved(self, rng):
+        net = two_merger(3, 2, 2)
+        x = np.concatenate([make_step(6, 7), make_step(6, 4)])
+        out = propagate_counts(net, x)
+        assert int(out.sum()) == 11
+
+
+class TestSmallVariant:
+    @pytest.mark.parametrize("p,q", [(2, 2), (3, 2), (3, 3), (4, 3), (2, 4)])
+    def test_small_correct(self, p, q):
+        net = two_merger(p, q, q, small=True)
+        assert verify_two_merger(net, p, q, q, trials=300) is None
+
+    @pytest.mark.parametrize("p,q", [(2, 2), (3, 3), (4, 2)])
+    def test_small_balancer_width_bound(self, p, q):
+        """The substitution keeps balancers at width <= max(2, p, q) instead
+        of 2q."""
+        net = two_merger(p, q, q, small=True)
+        assert net.max_balancer_width <= max(2, p, q)
+
+    def test_small_depth_bound(self):
+        # Nested rows add at most 3 extra layers over the plain T.
+        assert two_merger(3, 3, 3, small=True).depth <= 5
+
+    def test_small_requires_equal_halves(self):
+        with pytest.raises(ValueError, match="q0 == q1"):
+            two_merger(2, 1, 3, small=True)

@@ -1,0 +1,114 @@
+"""Differential properties connecting the two semantics.
+
+Key fact exploited here: on a 0-1 input, a p-balancer's quiescent count
+transfer (``ceil((T-j)/p)``) produces exactly the descending sort of its
+0-1 inputs — so for ANY network, count propagation and comparator
+evaluation agree on 0-1 vectors.  This gives a strong cross-check between
+the two independently implemented evaluators, plus random-network fuzzing
+of all structural invariants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Network, NetworkBuilder
+from repro.sim import (
+    evaluate_comparators,
+    evaluate_comparators_reference,
+    propagate_counts,
+    propagate_counts_reference,
+)
+
+
+# ---------------------------------------------------------------------------
+# A hypothesis strategy for arbitrary valid layered networks.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_networks(draw, max_width: int = 10, max_layers: int = 5) -> Network:
+    width = draw(st.integers(min_value=2, max_value=max_width))
+    n_layers = draw(st.integers(min_value=0, max_value=max_layers))
+    b = NetworkBuilder(width)
+    wires = list(b.inputs)
+    for _ in range(n_layers):
+        perm = draw(st.permutations(list(range(width))))
+        pos = 0
+        new_wires = list(wires)
+        while pos + 1 < width:
+            size = draw(st.integers(min_value=2, max_value=min(4, width - pos)))
+            group = [wires[perm[pos + k]] for k in range(size)]
+            outs = b.balancer(group)
+            for k in range(size):
+                new_wires[perm[pos + k]] = outs[k]
+            pos += size
+            if draw(st.booleans()):
+                break  # leave the rest of this layer unbalanced
+        wires = new_wires
+    return b.finish(wires, name="fuzz")
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_networks(), st.data())
+def test_zero_one_counts_equal_comparator_eval(net, data):
+    """propagate_counts == evaluate_comparators on 0-1 vectors, for ANY
+    network."""
+    bits = np.array(
+        data.draw(st.lists(st.integers(0, 1), min_size=net.width, max_size=net.width)),
+        dtype=np.int64,
+    )
+    assert list(propagate_counts(net, bits)) == list(evaluate_comparators(net, bits))
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_networks(), st.data())
+def test_fuzz_vectorized_evaluators_match_references(net, data):
+    x = np.array(
+        data.draw(st.lists(st.integers(0, 25), min_size=net.width, max_size=net.width)),
+        dtype=np.int64,
+    )
+    assert list(propagate_counts(net, x)) == list(propagate_counts_reference(net, x))
+    vals = np.array(
+        data.draw(st.lists(st.integers(-9, 9), min_size=net.width, max_size=net.width))
+    )
+    assert list(evaluate_comparators(net, vals)) == list(
+        evaluate_comparators_reference(net, vals)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_networks())
+def test_fuzz_structural_invariants(net):
+    assert net.depth == len(net.layers())
+    assert sum(len(layer) for layer in net.layers()) == net.size
+    # Serialization round trip preserves everything observable.
+    clone = Network.from_dict(net.to_dict())
+    assert clone == net
+    assert clone.depth == net.depth
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_networks(), st.data())
+def test_fuzz_token_conservation_and_token_sim(net, data):
+    from repro.sim import run_tokens
+
+    x = data.draw(st.lists(st.integers(0, 4), min_size=net.width, max_size=net.width))
+    counts = propagate_counts(net, np.array(x, dtype=np.int64))
+    assert int(counts.sum()) == sum(x)
+    result = run_tokens(net, x, scheduler="random", seed=1)
+    assert list(result.output_counts) == list(counts)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_networks(), st.data())
+def test_fuzz_comparator_output_is_permutation(net, data):
+    vals = np.array(
+        data.draw(
+            st.lists(st.integers(-100, 100), min_size=net.width, max_size=net.width)
+        )
+    )
+    out = evaluate_comparators(net, vals)
+    assert sorted(out.tolist()) == sorted(vals.tolist())

@@ -1,0 +1,117 @@
+"""Hypothesis properties for the extension modules (planner, expansion,
+composition, high-level API)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import plan_network
+from repro.core import parallel, serial
+from repro.highlevel import oblivious_sort
+from repro.networks import expand_comparators, k_network
+from repro.sim import evaluate_comparators, propagate_counts
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=60),
+    st.integers(min_value=4, max_value=16),
+)
+def test_planner_always_meets_budget(width, budget):
+    plan = plan_network(width, budget, "K")
+    assert plan.width >= width
+    assert plan.max_balancer_width <= budget
+    net = plan.build()
+    assert net.width == plan.width
+    assert net.depth == plan.depth
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=24),
+    st.integers(min_value=2, max_value=5),
+)
+def test_l_planner_budget(width, budget):
+    plan = plan_network(width, budget, "L")
+    assert plan.max_balancer_width <= budget
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sampled_from([[3, 2], [4, 2], [2, 2, 3]]), st.data())
+def test_expansion_preserves_sorting_function(factors, data):
+    net = k_network(factors)
+    exp = expand_comparators(net)
+    vals = np.array(
+        data.draw(st.lists(st.integers(-30, 30), min_size=net.width, max_size=net.width))
+    )
+    assert list(evaluate_comparators(net, vals)) == list(evaluate_comparators(exp, vals))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sampled_from([[2, 2], [3, 2]]), st.sampled_from([[2, 2], [2, 3]]), st.data())
+def test_parallel_composition_is_blockwise(f1, f2, data):
+    a, b = k_network(f1), k_network(f2)
+    net = parallel(a, b)
+    x = np.array(
+        data.draw(st.lists(st.integers(0, 20), min_size=net.width, max_size=net.width)),
+        dtype=np.int64,
+    )
+    out = propagate_counts(net, x)
+    assert list(out[: a.width]) == list(propagate_counts(a, x[: a.width]))
+    assert list(out[a.width :]) == list(propagate_counts(b, x[a.width :]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sampled_from([[2, 2], [2, 2, 2]]), st.data())
+def test_serial_with_counting_tail_counts(factors, data):
+    """anything ; counting == counting, for arbitrary front networks."""
+    from repro.baselines import bubble_network
+
+    tail = k_network(factors)
+    front = bubble_network(tail.width)
+    net = serial(front, tail)
+    x = np.array(
+        data.draw(st.lists(st.integers(0, 15), min_size=net.width, max_size=net.width)),
+        dtype=np.int64,
+    )
+    out = propagate_counts(net, x)
+    # Step property regardless of the front network:
+    assert all(out[i] >= out[i + 1] for i in range(len(out) - 1))
+    assert out[0] - out[-1] <= 1
+    assert int(out.sum()) == int(x.sum())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=1, max_value=12),
+    st.data(),
+)
+def test_oblivious_sort_matches_numpy(batch_size, width, data):
+    rows = data.draw(
+        st.lists(
+            st.lists(st.integers(-99, 99), min_size=width, max_size=width),
+            min_size=batch_size,
+            max_size=batch_size,
+        )
+    )
+    batch = np.array(rows, dtype=np.int64)
+    out = oblivious_sort(batch)
+    assert np.array_equal(out, np.sort(batch, axis=1))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=14),
+    st.integers(min_value=4, max_value=8),
+    st.data(),
+)
+def test_oblivious_sort_with_budget(width, budget, data):
+    rows = data.draw(
+        st.lists(st.lists(st.integers(0, 50), min_size=width, max_size=width), min_size=2, max_size=4)
+    )
+    batch = np.array(rows, dtype=np.int64)
+    out = oblivious_sort(batch, max_comparator=budget)
+    assert np.array_equal(out, np.sort(batch, axis=1))

@@ -1,0 +1,153 @@
+"""Hypothesis properties for the constructions: counting, sorting, contracts.
+
+These are the heart of the reproduction's verification: for *arbitrary*
+generated inputs, the paper's guarantees must hold on the implemented
+networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sequences import is_step, make_step
+from repro.networks import (
+    bitonic_converter,
+    k_network,
+    l_network,
+    r_network,
+    staircase_merger,
+    two_merger,
+)
+from repro.sim import evaluate_comparators, propagate_counts
+
+# Small factor lists so each hypothesis example stays fast.
+factor_lists = st.lists(st.integers(min_value=2, max_value=4), min_size=2, max_size=3)
+counts = st.integers(min_value=0, max_value=40)
+
+
+@settings(max_examples=40, deadline=None)
+@given(factor_lists, st.data())
+def test_k_network_counts_any_input(factors, data):
+    net = k_network(factors)
+    x = np.array(
+        data.draw(st.lists(counts, min_size=net.width, max_size=net.width)), dtype=np.int64
+    )
+    out = propagate_counts(net, x)
+    assert is_step(out)
+    assert int(out.sum()) == int(x.sum())
+
+
+@settings(max_examples=20, deadline=None)
+@given(factor_lists, st.data())
+def test_l_network_counts_any_input(factors, data):
+    net = l_network(factors)
+    x = np.array(
+        data.draw(st.lists(counts, min_size=net.width, max_size=net.width)), dtype=np.int64
+    )
+    out = propagate_counts(net, x)
+    assert is_step(out)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=2, max_value=6),
+    st.data(),
+)
+def test_r_network_counts_any_input(p, q, data):
+    net = r_network(p, q)
+    x = np.array(
+        data.draw(st.lists(counts, min_size=p * q, max_size=p * q)), dtype=np.int64
+    )
+    out = propagate_counts(net, x)
+    assert is_step(out)
+    assert net.max_balancer_width <= max(p, q)
+
+
+@settings(max_examples=40, deadline=None)
+@given(factor_lists, st.data())
+def test_k_network_sorts_any_permutation(factors, data):
+    net = k_network(factors)
+    perm = data.draw(st.permutations(list(range(net.width))))
+    out = evaluate_comparators(net, np.array(perm))
+    assert list(out) == sorted(perm, reverse=True)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=4),  # p
+    st.integers(min_value=0, max_value=3),  # q0
+    st.integers(min_value=1, max_value=3),  # q1
+    counts,
+    counts,
+)
+def test_two_merger_contract(p, q0, q1, t0, t1):
+    net = two_merger(p, q0, q1)
+    x = np.concatenate([make_step(p * q0, t0) if q0 else np.array([], dtype=np.int64), make_step(p * q1, t1)])
+    out = propagate_counts(net, x.astype(np.int64))
+    assert is_step(out)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=40),
+    st.integers(min_value=0, max_value=15),
+)
+def test_bitonic_converter_contract(p, q, total, shift):
+    net = bitonic_converter(p, q)
+    x = np.roll(make_step(p * q, total), shift % (p * q))
+    out = propagate_counts(net, x)
+    assert is_step(out)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=4),  # r
+    st.integers(min_value=2, max_value=3),  # p
+    st.integers(min_value=2, max_value=3),  # q
+    st.sampled_from(["basic", "small", "opt_rescan", "opt_bitonic"]),
+    st.integers(min_value=0, max_value=60),
+    st.data(),
+)
+def test_staircase_contract(r, p, q, variant, base_total, data):
+    net = staircase_merger(r, p, q, variant=variant)
+    deltas = sorted(
+        data.draw(st.lists(st.integers(0, p), min_size=q, max_size=q)), reverse=True
+    )
+    x = np.concatenate([make_step(r * p, base_total + d) for d in deltas])
+    out = propagate_counts(net, x)
+    assert is_step(out)
+
+
+@settings(max_examples=30, deadline=None)
+@given(factor_lists, st.data())
+def test_token_conservation(factors, data):
+    """No tokens created or destroyed, ever."""
+    net = k_network(factors)
+    x = np.array(
+        data.draw(st.lists(counts, min_size=net.width, max_size=net.width)), dtype=np.int64
+    )
+    assert int(propagate_counts(net, x).sum()) == int(x.sum())
+
+
+@settings(max_examples=30, deadline=None)
+@given(factor_lists, st.data())
+def test_monotonicity_in_totals(factors, data):
+    """Feeding one extra token anywhere increases exactly one output by one
+    (counting networks are incremental)."""
+    net = k_network(factors)
+    x = np.array(
+        data.draw(st.lists(counts, min_size=net.width, max_size=net.width)), dtype=np.int64
+    )
+    pos = data.draw(st.integers(min_value=0, max_value=net.width - 1))
+    base = propagate_counts(net, x)
+    x2 = x.copy()
+    x2[pos] += 1
+    bumped = propagate_counts(net, x2)
+    diff = bumped - base
+    assert diff.sum() == 1
+    assert set(np.unique(diff)) <= {0, 1}

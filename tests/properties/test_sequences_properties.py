@@ -1,0 +1,96 @@
+"""Hypothesis properties for sequence predicates and arrangements."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import sequences as seq
+
+
+step_params = st.tuples(
+    st.integers(min_value=1, max_value=32),  # width
+    st.integers(min_value=0, max_value=200),  # total
+    st.integers(min_value=0, max_value=5),  # base
+)
+
+
+@given(step_params)
+def test_make_step_always_step_with_exact_sum(params):
+    w, total, base = params
+    x = seq.make_step(w, total, base)
+    assert seq.is_step(x)
+    assert int(x.sum()) == total + base * w
+
+
+@given(step_params, st.integers(min_value=0, max_value=31))
+def test_rotations_of_step_are_bitonic(params, shift):
+    w, total, base = params
+    x = np.roll(seq.make_step(w, total, base), shift % w)
+    assert seq.is_bitonic(x)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=6), min_size=2, max_size=12))
+def test_is_step_equals_pairwise_definition(xs):
+    brute = all(
+        0 <= xs[i] - xs[j] <= 1 for i in range(len(xs)) for j in range(i + 1, len(xs))
+    )
+    assert seq.is_step(xs) == brute
+
+
+@given(st.lists(st.integers(min_value=-10, max_value=10), min_size=1, max_size=20))
+def test_smoothness_is_range(xs):
+    assert seq.smoothness(xs) == max(xs) - min(xs)
+    assert seq.is_smooth(xs, seq.smoothness(xs))
+    if seq.smoothness(xs) > 0:
+        assert not seq.is_smooth(xs, seq.smoothness(xs) - 1)
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=8),
+)
+def test_arrangements_are_permutations(r, c):
+    for name in seq.ARRANGEMENTS:
+        perm = seq.arrangement(name, r, c)
+        assert sorted(perm.tolist()) == list(range(r * c))
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+)
+def test_reverse_arrangements_reverse(r, c):
+    assert list(seq.reverse_row_major(r, c)) == list(seq.row_major(r, c)[::-1])
+    assert list(seq.reverse_column_major(r, c)) == list(seq.column_major(r, c)[::-1])
+
+
+@given(step_params, st.integers(min_value=1, max_value=6))
+def test_strided_subsequences_of_step_are_step(params, stride):
+    w, total, base = params
+    x = seq.make_step(w * stride, total, base)
+    for i in range(stride):
+        assert seq.is_step(seq.strided(x, i, stride))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=30))
+def test_transitions_counts_boundaries(xs):
+    expected = sum(1 for a, b in zip(xs, xs[1:]) if a != b)
+    assert seq.num_transitions(xs) == expected
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=5), min_size=2, max_size=4),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_staircase_slack_brackets_property(xss):
+    lo, hi = seq.staircase_slack(xss)
+    sums = [sum(x) for x in xss]
+    for i in range(len(sums)):
+        for j in range(i + 1, len(sums)):
+            assert lo <= sums[i] - sums[j] <= hi
+    assert seq.is_staircase(xss, hi) == (lo >= 0)

@@ -1,0 +1,84 @@
+"""Hypothesis properties for the simulators."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.networks import k_network
+from repro.sim import (
+    evaluate_comparators,
+    evaluate_comparators_reference,
+    fetch_and_increment_values,
+    propagate_counts,
+    propagate_counts_reference,
+    run_tokens,
+)
+
+small_factors = st.sampled_from([[2, 2], [2, 3], [3, 2], [2, 2, 2]])
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_factors, st.data())
+def test_vectorized_counts_match_reference(factors, data):
+    net = k_network(factors)
+    x = np.array(
+        data.draw(
+            st.lists(st.integers(0, 30), min_size=net.width, max_size=net.width)
+        ),
+        dtype=np.int64,
+    )
+    assert list(propagate_counts(net, x)) == list(propagate_counts_reference(net, x))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_factors, st.data())
+def test_vectorized_sort_matches_reference(factors, data):
+    net = k_network(factors)
+    vals = np.array(
+        data.draw(
+            st.lists(st.integers(-100, 100), min_size=net.width, max_size=net.width)
+        )
+    )
+    assert list(evaluate_comparators(net, vals)) == list(
+        evaluate_comparators_reference(net, vals)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    small_factors,
+    st.sampled_from(["fifo", "lifo", "random", "round_robin", "straggler"]),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.data(),
+)
+def test_token_sim_agrees_with_count_model(factors, scheduler, seed, data):
+    """The async token simulator's quiescent counts equal the deterministic
+    propagation for every schedule — the schedule-independence theorem."""
+    net = k_network(factors)
+    x = data.draw(st.lists(st.integers(0, 6), min_size=net.width, max_size=net.width))
+    result = run_tokens(net, x, scheduler=scheduler, seed=seed)
+    assert list(result.output_counts) == list(propagate_counts(net, np.array(x)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_factors, st.integers(min_value=0, max_value=2**31 - 1), st.data())
+def test_fetch_and_increment_is_a_bijection(factors, seed, data):
+    net = k_network(factors)
+    x = data.draw(st.lists(st.integers(0, 5), min_size=net.width, max_size=net.width))
+    result = run_tokens(net, x, scheduler="random", seed=seed)
+    values = fetch_and_increment_values(result)
+    assert sorted(values.values()) == list(range(sum(x)))
+    assert len(values) == sum(x)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_factors, st.data())
+def test_comparator_eval_is_a_permutation(factors, data):
+    net = k_network(factors)
+    vals = np.array(
+        data.draw(st.lists(st.integers(-50, 50), min_size=net.width, max_size=net.width))
+    )
+    out = evaluate_comparators(net, vals)
+    assert sorted(out.tolist()) == sorted(vals.tolist())

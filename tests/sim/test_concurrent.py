@@ -1,0 +1,126 @@
+"""Unit tests for the threaded counter and the contention simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.networks import k_network
+from repro.sim import ContentionSimulator, ThreadedCounter
+
+
+class TestThreadedCounter:
+    def test_sequential_values_are_exact_range(self):
+        counter = ThreadedCounter(k_network([2, 2]))
+        values = [counter.fetch_and_increment() for _ in range(20)]
+        assert sorted(values) == list(range(20))
+
+    def test_concurrent_values_are_exact_range(self):
+        counter = ThreadedCounter(k_network([2, 2, 2]))
+        stats = counter.run_threads(n_threads=4, ops_per_thread=25)
+        assert stats.total_ops == 100
+        assert sorted(stats.all_values()) == list(range(100))
+
+    def test_concurrent_values_on_l_network(self):
+        from repro.networks import l_network
+
+        counter = ThreadedCounter(l_network([2, 3]))
+        stats = counter.run_threads(n_threads=3, ops_per_thread=30)
+        assert sorted(stats.all_values()) == list(range(90))
+
+    def test_per_thread_values_strictly_increasing(self):
+        """Each thread's own values arrive in increasing order: operations
+        of one thread are sequential, so a later op sees a later count."""
+        counter = ThreadedCounter(k_network([2, 2]))
+        stats = counter.run_threads(n_threads=2, ops_per_thread=20)
+        for per_thread in stats.values:
+            assert per_thread == sorted(per_thread)
+
+
+class TestContentionSimulator:
+    def test_single_proc_latency_tracks_depth(self):
+        net = k_network([2, 2, 2])
+        sim = ContentionSimulator(net, access_cost=1.0, hop_cost=0.0)
+        stats = sim.run(n_procs=1, ops_per_proc=1)
+        assert stats.ops == 1
+        # Alone in the network: latency = depth * access_cost, no waiting.
+        assert stats.mean_latency == pytest.approx(net.depth)
+        assert stats.mean_wait == 0.0
+
+    def test_ops_counted(self):
+        net = k_network([2, 2])
+        stats = ContentionSimulator(net).run(n_procs=4, ops_per_proc=5)
+        assert stats.ops == 20
+
+    def test_contention_grows_with_procs(self):
+        net = k_network([4, 4])  # single wide balancer: a contention hotspot
+        sim = ContentionSimulator(net)
+        lone = sim.run(n_procs=1, ops_per_proc=4).mean_latency
+        crowded = sim.run(n_procs=16, ops_per_proc=4).mean_latency
+        assert crowded > lone
+
+    def test_narrow_balancers_less_contended_per_op(self):
+        """At the same width and concurrency, one wide balancer serializes
+        everything; a 2-balancer network spreads the load."""
+        wide = k_network([8, 8])  # depth 1, single 64-balancer
+        narrow = k_network([2] * 6)  # depth 35, 2-balancers
+        procs = 32
+        wide_wait = ContentionSimulator(wide).run(procs, 4).mean_wait
+        narrow_wait = ContentionSimulator(narrow).run(procs, 4).mean_wait
+        assert wide_wait > narrow_wait
+
+    def test_throughput_positive(self):
+        net = k_network([2, 2])
+        stats = ContentionSimulator(net).run(n_procs=2, ops_per_proc=3)
+        assert stats.throughput > 0
+        assert stats.makespan > 0
+
+    def test_validation(self):
+        net = k_network([2, 2])
+        with pytest.raises(ValueError):
+            ContentionSimulator(net, access_cost=0)
+        with pytest.raises(ValueError):
+            ContentionSimulator(net).run(0, 1)
+        with pytest.raises(ValueError):
+            ContentionSimulator(net).run(1, 0)
+
+    def test_deterministic(self):
+        net = k_network([2, 2, 2])
+        a = ContentionSimulator(net).run(8, 3)
+        b = ContentionSimulator(net).run(8, 3)
+        assert a.makespan == b.makespan
+        assert a.total_latency == b.total_latency
+
+
+class TestLatencyPercentiles:
+    def test_collection_and_percentiles(self):
+        from repro.networks import k_network
+
+        net = k_network([2, 2, 2])
+        stats = ContentionSimulator(net).run(8, 4, collect_latencies=True)
+        assert stats.latencies is not None
+        assert len(stats.latencies) == stats.ops
+        assert stats.latency_percentile(50) <= stats.latency_percentile(99)
+        assert abs(float(stats.latencies.mean()) - stats.mean_latency) < 1e-9
+
+    def test_percentile_requires_collection(self):
+        from repro.networks import k_network
+
+        stats = ContentionSimulator(k_network([2, 2])).run(2, 2)
+        with pytest.raises(ValueError):
+            stats.latency_percentile(95)
+
+
+class TestSingleLockBaseline:
+    def test_exact_range(self):
+        from repro.sim import SingleLockCounter
+
+        counter = SingleLockCounter()
+        stats = counter.run_threads(n_threads=6, ops_per_thread=50)
+        assert sorted(stats.all_values()) == list(range(300))
+
+    def test_per_thread_monotone(self):
+        from repro.sim import SingleLockCounter
+
+        stats = SingleLockCounter().run_threads(n_threads=3, ops_per_thread=40)
+        for vals in stats.values:
+            assert vals == sorted(vals)

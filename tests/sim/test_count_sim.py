@@ -1,0 +1,104 @@
+"""Unit tests for quiescent count propagation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import identity_network, single_balancer_network
+from repro.core.sequences import is_step
+from repro.networks import k_network, l_network
+from repro.sim import balancer_outputs, output_counts, propagate_counts, propagate_counts_reference
+
+
+class TestBalancerOutputs:
+    @pytest.mark.parametrize("p", [2, 3, 5, 8])
+    def test_totals_preserved(self, p):
+        for total in range(0, 4 * p):
+            out = balancer_outputs(total, p)
+            assert int(out.sum()) == total
+            assert is_step(out)
+
+    def test_round_robin_semantics(self):
+        # 7 tokens through a 3-balancer: wires get 3, 2, 2.
+        assert list(balancer_outputs(7, 3)) == [3, 2, 2]
+
+    def test_zero_tokens(self):
+        assert list(balancer_outputs(0, 4)) == [0, 0, 0, 0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            balancer_outputs(-1, 2)
+
+
+class TestPropagate:
+    def test_identity_passthrough(self):
+        net = identity_network(4)
+        x = np.array([3, 1, 4, 1])
+        assert list(propagate_counts(net, x)) == [3, 1, 4, 1]
+
+    def test_single_balancer(self):
+        net = single_balancer_network(4)
+        out = propagate_counts(net, np.array([0, 0, 9, 0]))
+        assert list(out) == [3, 2, 2, 2]
+
+    def test_totals_preserved_through_network(self, rng):
+        net = k_network([2, 3, 2])
+        x = rng.integers(0, 30, size=(20, net.width))
+        y = propagate_counts(net, x)
+        assert np.array_equal(x.sum(axis=1), y.sum(axis=1))
+
+    def test_matches_reference(self, rng):
+        for factors in ([2, 2, 2], [3, 2, 2], [2, 3]):
+            net = k_network(factors)
+            for _ in range(10):
+                x = rng.integers(0, 25, size=net.width)
+                fast = propagate_counts(net, x)
+                slow = propagate_counts_reference(net, x)
+                assert list(fast) == list(slow)
+
+    def test_reference_matches_on_l_network(self, rng):
+        net = l_network([2, 3])
+        for _ in range(10):
+            x = rng.integers(0, 20, size=net.width)
+            assert list(propagate_counts(net, x)) == list(propagate_counts_reference(net, x))
+
+    def test_batch_shape_round_trip(self, rng):
+        net = k_network([2, 2])
+        x = rng.integers(0, 9, size=(7, 4))
+        y = propagate_counts(net, x)
+        assert y.shape == (7, 4)
+        single = propagate_counts(net, x[0])
+        assert single.shape == (4,)
+        assert list(single) == list(y[0])
+
+    def test_batch_rows_independent(self, rng):
+        net = k_network([2, 2, 2])
+        x = rng.integers(0, 12, size=(5, 8))
+        y = propagate_counts(net, x)
+        for i in range(5):
+            assert list(propagate_counts(net, x[i])) == list(y[i])
+
+    def test_wrong_width_rejected(self):
+        net = k_network([2, 2])
+        with pytest.raises(ValueError):
+            propagate_counts(net, np.zeros(5, dtype=np.int64))
+
+    def test_negative_counts_rejected(self):
+        net = k_network([2, 2])
+        with pytest.raises(ValueError):
+            propagate_counts(net, np.array([1, -1, 0, 0]))
+
+    def test_reference_requires_1d(self):
+        net = k_network([2, 2])
+        with pytest.raises(ValueError):
+            propagate_counts_reference(net, np.zeros((2, 4), dtype=np.int64))
+
+
+class TestOutputCounts:
+    def test_balanced_feed_gives_step(self):
+        net = k_network([2, 2, 2])
+        for total in (0, 1, 7, 8, 100):
+            out = output_counts(net, total)
+            assert is_step(out)
+            assert int(out.sum()) == total

@@ -1,0 +1,75 @@
+"""Unit tests for schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.schedulers import (
+    SCHEDULERS,
+    fifo,
+    get_scheduler,
+    lifo,
+    random_scheduler,
+    round_robin,
+    straggler,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestBasicSchedulers:
+    def test_fifo_picks_first(self, rng):
+        assert fifo([5, 2, 9], rng) == 5
+
+    def test_lifo_picks_last(self, rng):
+        assert lifo([5, 2, 9], rng) == 9
+
+    def test_round_robin_picks_min(self, rng):
+        assert round_robin([5, 2, 9], rng) == 2
+
+    def test_random_picks_member(self, rng):
+        pending = [4, 7, 1]
+        for _ in range(20):
+            assert random_scheduler(pending, rng) in pending
+
+
+class TestStraggler:
+    def test_freezes_fraction(self, rng):
+        s = straggler(0.5)
+        pending = list(range(10))
+        picks = {s(pending, rng) for _ in range(200)}
+        # The frozen half should never be picked while others are pending.
+        assert len(picks) <= 5
+
+    def test_releases_when_only_stragglers_remain(self, rng):
+        s = straggler(0.5)
+        pending = list(range(4))
+        s(pending, rng)  # initialize frozen set
+        frozen = sorted(s._frozen)
+        assert s(frozen, rng) in frozen
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            straggler(1.0)
+        with pytest.raises(ValueError):
+            straggler(-0.1)
+
+
+class TestRegistry:
+    def test_all_registered_names_instantiate(self):
+        for name in SCHEDULERS:
+            sched = get_scheduler(name)
+            assert callable(sched)
+
+    def test_stateful_schedulers_are_fresh(self):
+        a = get_scheduler("straggler")
+        b = get_scheduler("straggler")
+        assert a is not b
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            get_scheduler("nope")

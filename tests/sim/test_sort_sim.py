@@ -1,0 +1,89 @@
+"""Unit tests for comparator-network evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import identity_network, single_balancer_network
+from repro.networks import k_network
+from repro.sim import (
+    evaluate_comparators,
+    evaluate_comparators_reference,
+    sorted_outputs,
+    sorts_descending,
+)
+
+
+class TestEvaluate:
+    def test_single_comparator_sorts_descending(self):
+        net = single_balancer_network(4)
+        out = evaluate_comparators(net, np.array([2, 9, 1, 5]))
+        assert list(out) == [9, 5, 2, 1]
+
+    def test_identity(self):
+        net = identity_network(3)
+        assert list(evaluate_comparators(net, np.array([3, 1, 2]))) == [3, 1, 2]
+
+    def test_k_network_sorts(self, rng):
+        net = k_network([2, 2, 2])
+        vals = rng.permutation(8)
+        out = evaluate_comparators(net, vals)
+        assert list(out) == sorted(vals, reverse=True)
+
+    def test_multiset_preserved(self, rng):
+        net = k_network([3, 2, 2])
+        vals = rng.integers(0, 5, size=(10, net.width))
+        out = evaluate_comparators(net, vals)
+        for i in range(10):
+            assert sorted(out[i]) == sorted(vals[i])
+
+    def test_matches_reference(self, rng):
+        net = k_network([2, 3])
+        for _ in range(10):
+            vals = rng.integers(-50, 50, size=net.width)
+            assert list(evaluate_comparators(net, vals)) == list(
+                evaluate_comparators_reference(net, vals)
+            )
+
+    def test_float_dtype(self, rng):
+        net = k_network([2, 2])
+        vals = rng.random(4)
+        out = evaluate_comparators(net, vals)
+        assert list(out) == sorted(vals, reverse=True)
+        assert out.dtype == vals.dtype
+
+    def test_duplicate_values(self):
+        net = k_network([2, 2, 2])
+        out = evaluate_comparators(net, np.array([1, 1, 0, 0, 1, 0, 1, 1]))
+        assert list(out) == [1, 1, 1, 1, 1, 0, 0, 0]
+
+    def test_batch_shapes(self, rng):
+        net = k_network([2, 2])
+        vals = rng.integers(0, 10, size=(6, 4))
+        out = evaluate_comparators(net, vals)
+        assert out.shape == (6, 4)
+
+    def test_wrong_width(self):
+        net = k_network([2, 2])
+        with pytest.raises(ValueError):
+            evaluate_comparators(net, np.zeros(3))
+
+
+class TestHelpers:
+    def test_sorts_descending_mask(self, rng):
+        net = k_network([2, 2])
+        vals = rng.permutation(4)[None, :]
+        assert sorts_descending(net, vals).all()
+        assert sorts_descending(identity_network(4), np.array([[1, 2, 3, 4]]))[0] == False  # noqa: E712
+
+    def test_sorted_outputs_ascending_default(self, rng):
+        net = k_network([2, 2, 2])
+        vals = rng.permutation(8)
+        out = sorted_outputs(net, vals)
+        assert list(out) == sorted(vals)
+
+    def test_sorted_outputs_descending(self, rng):
+        net = k_network([2, 2, 2])
+        vals = rng.permutation(8)
+        assert list(sorted_outputs(net, vals, ascending=False)) == sorted(vals, reverse=True)

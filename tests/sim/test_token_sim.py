@@ -1,0 +1,183 @@
+"""Unit tests for the asynchronous token simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sequences import is_step
+from repro.networks import k_network, l_network
+from repro.sim import (
+    TokenSimulator,
+    fetch_and_increment_values,
+    propagate_counts,
+    run_tokens,
+)
+
+
+class TestBasics:
+    def test_no_tokens_is_quiescent(self):
+        sim = TokenSimulator(k_network([2, 2]))
+        result = sim.run()
+        assert list(result.output_counts) == [0, 0, 0, 0]
+        assert result.steps == 0
+
+    def test_single_token_exits_top(self):
+        net = k_network([2, 2])
+        result = run_tokens(net, [1, 0, 0, 0])
+        assert list(result.output_counts) == [1, 0, 0, 0]
+
+    def test_counts_match_arithmetic_model(self, rng):
+        """Quiescent token counts equal the deterministic count propagation,
+        under every scheduler."""
+        net = k_network([2, 3])
+        for sched in ("fifo", "lifo", "random", "round_robin", "straggler"):
+            x = rng.integers(0, 6, size=net.width)
+            result = run_tokens(net, list(x), scheduler=sched, seed=7)
+            assert list(result.output_counts) == list(propagate_counts(net, x)), sched
+
+    def test_schedule_independence(self, rng):
+        net = l_network([2, 2])
+        x = list(rng.integers(0, 8, size=4))
+        outs = {
+            tuple(run_tokens(net, x, scheduler=s, seed=3).output_counts)
+            for s in ("fifo", "lifo", "random", "straggler")
+        }
+        assert len(outs) == 1
+
+    def test_step_output_for_counting_network(self, rng):
+        net = k_network([2, 2, 2])
+        x = list(rng.integers(0, 5, size=8))
+        result = run_tokens(net, x, scheduler="random")
+        assert is_step(result.output_counts)
+
+    def test_injection_validation(self):
+        sim = TokenSimulator(k_network([2, 2]))
+        with pytest.raises(ValueError):
+            sim.inject([1, 2, 3])
+        with pytest.raises(ValueError):
+            sim.inject([1, -1, 0, 0])
+
+    def test_steps_bounded_by_tokens_times_depth(self):
+        net = k_network([2, 2, 2])
+        total = 10
+        result = run_tokens(net, [total] + [0] * 7)
+        assert result.steps <= total * (net.depth + 1)
+
+    def test_traces_record_balancers(self):
+        net = k_network([2, 2])
+        result = run_tokens(net, [1, 0, 0, 0])
+        tok = result.tokens[0]
+        assert tok.done
+        assert len(tok.trace) <= net.depth
+        assert all(0 <= b < net.size for b in tok.trace)
+
+
+class TestFetchAndIncrement:
+    def test_values_are_exact_range(self, rng):
+        """A counting network hands out exactly 0..T-1 (the Fetch&Increment
+        guarantee)."""
+        net = k_network([2, 2, 2])
+        x = list(rng.integers(0, 6, size=8))
+        total = sum(x)
+        result = run_tokens(net, x, scheduler="random", seed=1)
+        values = fetch_and_increment_values(result)
+        assert sorted(values.values()) == list(range(total))
+
+    def test_values_under_adversarial_schedule(self, rng):
+        net = l_network([3, 2])
+        x = list(rng.integers(0, 5, size=6))
+        result = run_tokens(net, x, scheduler="straggler", seed=5)
+        values = fetch_and_increment_values(result)
+        assert sorted(values.values()) == list(range(sum(x)))
+
+    def test_non_counting_network_can_skip_values(self):
+        """The bubble-sort network (Figure 3) used as a counter misses or
+        duplicates values for some input distribution."""
+        from repro.baselines import bubble_network
+        from repro.verify import find_counting_violation
+
+        net = bubble_network(4)
+        v = find_counting_violation(net)
+        assert v is not None
+        result = run_tokens(net, list(v.input_counts), scheduler="fifo")
+        values = fetch_and_increment_values(result)
+        assert sorted(values.values()) != list(range(int(v.input_counts.sum())))
+
+
+class TestSchedulerEdgeCases:
+    def test_bad_scheduler_return_detected(self):
+        net = k_network([2, 2])
+        sim = TokenSimulator(net)
+        sim.inject([2, 0, 0, 0])
+
+        def bad(pending, rng):
+            return -42
+
+        with pytest.raises(ValueError):
+            sim.run(bad)
+
+    def test_unknown_scheduler_name(self):
+        net = k_network([2, 2])
+        sim = TokenSimulator(net)
+        sim.inject([1, 0, 0, 0])
+        with pytest.raises(ValueError):
+            sim.run("warp-speed")
+
+    def test_fifo_wire_order_respected(self):
+        """Tokens on the same input wire cannot overtake before their first
+        balancer: exit order on a single-balancer network follows arrivals."""
+        from repro.core import single_balancer_network
+
+        net = single_balancer_network(2)
+        result = run_tokens(net, [3, 0], scheduler="fifo")
+        # Tokens 0,1,2 entered on wire 0 in order; balancer alternates wires.
+        assert result.exit_order[0] == [0, 2]
+        assert result.exit_order[1] == [1]
+
+
+class TestNonFifoWireModel:
+    def test_quiescent_counts_identical(self, rng):
+        """fifo_wires only changes token orderings, never the quiescent
+        counts."""
+        net = k_network([2, 3])
+        x = list(rng.integers(0, 6, size=6))
+        fifo_sim = TokenSimulator(net, seed=4, fifo_wires=True)
+        fifo_sim.inject(x)
+        free_sim = TokenSimulator(net, seed=4, fifo_wires=False)
+        free_sim.inject(x)
+        a = fifo_sim.run("random")
+        b = free_sim.run("random")
+        assert list(a.output_counts) == list(b.output_counts)
+
+    def test_all_pending_movable(self):
+        net = k_network([2, 2])
+        sim = TokenSimulator(net, seed=0, fifo_wires=False)
+        sim.inject([3, 0, 0, 0])
+        assert len(sim._movable()) == 3  # all three can move despite one wire
+
+    def test_fifo_restricts_to_wire_heads(self):
+        net = k_network([2, 2])
+        sim = TokenSimulator(net, seed=0, fifo_wires=True)
+        sim.inject([3, 0, 0, 0])
+        assert len(sim._movable()) == 1
+
+    def test_overtaking_possible_without_fifo(self):
+        """With free wires a later token can exit before an earlier one
+        that is parked on the same output wire."""
+        from repro.core import single_balancer_network
+
+        net = single_balancer_network(2)
+        sim = TokenSimulator(net, seed=0, fifo_wires=False)
+        a = sim.inject_one(0)
+        sim.advance(a)  # a passes the balancer, parks on output wire 0
+        b = sim.inject_one(0)
+        sim.advance(b)  # b -> output wire 1
+        sim.advance(b)  # b exits first
+        c = sim.inject_one(0)
+        sim.advance(c)  # c -> output wire 0, behind parked a
+        assert sim.advance(c)  # c EXITS past the parked a
+        values = sim.values_so_far()
+        assert values[c] == 0  # c took the slot a was parked on
+        sim.drain_token(a)
+        assert sim.values_so_far()[a] == 2

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestBuild:
+    def test_build_k(self, capsys):
+        assert main(["build", "K", "2", "3", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "K(2,3,4)" in out
+        assert "24" in out
+
+    def test_build_with_diagram(self, capsys):
+        assert main(["build", "K", "2", "2", "--diagram"]) == 0
+        assert "y0" in capsys.readouterr().out
+
+    def test_build_baseline(self, capsys):
+        assert main(["build", "bitonic", "8"]) == 0
+        assert "Bitonic[8]" in capsys.readouterr().out
+
+    def test_build_r(self, capsys):
+        assert main(["build", "R", "3", "4"]) == 0
+        assert "R(3,4)" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_verify_counting_network(self, capsys):
+        assert main(["verify", "K", "2", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "no violation found" in out
+
+    def test_verify_bubble_fails(self, capsys):
+        assert main(["verify", "bubble", "4"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out
+
+
+class TestFamily:
+    def test_family_table(self, capsys):
+        assert main(["family", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "3x2x2" in out
+        assert "Pareto" in out
+
+
+class TestCompare:
+    def test_compare(self, capsys):
+        assert main(["compare", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Bitonic[8]" in out
+
+
+class TestThroughput:
+    def test_throughput_table(self, capsys):
+        assert main(["throughput", "8", "--procs", "4", "--ops", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            main(["build", "Z", "2"])
+
+
+class TestExport:
+    def test_dot(self, capsys):
+        assert main(["export", "K", "2", "2"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_json(self, capsys):
+        assert main(["export", "K", "2", "3", "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        import json
+
+        assert json.loads(out)["width"] == 6
+
+
+class TestSmooth:
+    def test_counting_network_reports_one(self, capsys):
+        assert main(["smooth", "K", "2", "2", "2"]) == 0
+        assert "smoothness=1" in capsys.readouterr().out
+
+
+class TestLinearize:
+    def test_finds_counterexample(self, capsys):
+        assert main(["linearize", "K", "2", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sequential executions linearizable: True" in out
+        assert "counterexample" in out
+
+
+class TestAudit:
+    def test_profile_and_path(self, capsys):
+        assert main(["audit", "K", "2", "2", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "occupancy" in out
+
+
+class TestPlan:
+    def test_exact(self, capsys):
+        assert main(["plan", "64", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "K(4, 4, 4)" in out
+
+    def test_padded(self, capsys):
+        assert main(["plan", "34", "8"]) == 0
+        assert "padded from 34" in capsys.readouterr().out

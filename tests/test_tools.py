@@ -1,0 +1,25 @@
+"""Smoke tests for the repository tooling scripts."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+class TestGenApiDocs:
+    def test_generates_reference(self):
+        result = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "gen_api_docs.py")],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        api = (ROOT / "docs" / "api.md").read_text()
+        assert "# API reference" in api
+        # Spot-check key public entries made it in.
+        for needle in ("k_network", "l_network", "propagate_counts", "oblivious_sort"):
+            assert needle in api, needle

@@ -1,0 +1,76 @@
+"""Unit tests for contract generators and verifiers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import identity_network
+from repro.core.sequences import is_bitonic, is_staircase, is_step
+from repro.networks import bitonic_converter, merger_network, staircase_merger, two_merger
+from repro.verify import (
+    bitonic_inputs,
+    merger_inputs,
+    staircase_inputs,
+    two_merger_inputs,
+    verify_bitonic_converter,
+    verify_merger,
+    verify_staircase_merger,
+    verify_two_merger,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestGenerators:
+    def test_merger_inputs_are_step(self, rng):
+        batch = merger_inputs([4, 4, 4], 50, rng)
+        assert batch.shape == (50, 12)
+        for row in batch:
+            for i in range(3):
+                assert is_step(row[i * 4 : (i + 1) * 4])
+
+    def test_staircase_inputs_satisfy_contract(self, rng):
+        r, p, q = 3, 2, 4
+        batch = staircase_inputs(r, p, q, 50, rng)
+        ln = r * p
+        for row in batch:
+            xs = [row[i * ln : (i + 1) * ln] for i in range(q)]
+            assert all(is_step(x) for x in xs)
+            assert is_staircase(xs, p)
+
+    def test_two_merger_inputs_shapes(self, rng):
+        batch = two_merger_inputs(3, 2, 4, 10, rng)
+        assert batch.shape == (10, 18)
+
+    def test_bitonic_inputs_are_bitonic(self, rng):
+        batch = bitonic_inputs(9, 60, rng)
+        for row in batch:
+            assert is_bitonic(row)
+
+
+class TestVerifiers:
+    def test_two_merger_passes(self):
+        assert verify_two_merger(two_merger(3, 2, 2), 3, 2, 2) is None
+
+    def test_two_merger_violation_on_identity(self):
+        v = verify_two_merger(identity_network(8), 2, 2, 2)
+        assert v is not None
+        assert "two_merger" in str(v)
+
+    def test_merger_passes(self):
+        net = merger_network([2, 3])
+        assert verify_merger(net, [2, 2, 2]) is None
+
+    def test_staircase_passes(self):
+        net = staircase_merger(2, 2, 3)
+        assert verify_staircase_merger(net, 2, 2, 3) is None
+
+    def test_bitonic_converter_passes(self):
+        assert verify_bitonic_converter(bitonic_converter(3, 3)) is None
+
+    def test_bitonic_converter_violation_on_identity(self):
+        assert verify_bitonic_converter(identity_network(6)) is not None

@@ -1,0 +1,71 @@
+"""Unit tests for counting-property verification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import bubble_network, odd_even_network
+from repro.core import identity_network, single_balancer_network
+from repro.networks import k_network
+from repro.verify import check_step_batch, find_counting_violation, step_mask, verify_counting
+
+
+class TestStepMask:
+    def test_accepts_steps(self):
+        batch = np.array([[2, 2, 1, 1], [0, 0, 0, 0], [3, 3, 3, 2]])
+        assert step_mask(batch).all()
+
+    def test_rejects_non_steps(self):
+        batch = np.array([[1, 2, 1, 1], [3, 1, 1, 1]])
+        assert not step_mask(batch).any()
+
+    def test_1d_input(self):
+        assert step_mask(np.array([1, 1, 0]))[0]
+
+
+class TestCheckStepBatch:
+    def test_balancer_always_counts(self):
+        net = single_balancer_network(4)
+        batch = np.array([[9, 0, 0, 0], [1, 2, 3, 4]])
+        assert check_step_batch(net, batch) is None
+
+    def test_identity_violates(self):
+        net = identity_network(3)
+        v = check_step_batch(net, np.array([[0, 5, 0]]))
+        assert v is not None
+        assert list(v.input_counts) == [0, 5, 0]
+        assert "violation" in str(v)
+
+
+class TestFindViolation:
+    def test_k_networks_pass(self):
+        for factors in ([2, 2], [2, 3], [2, 2, 2], [3, 2, 2]):
+            assert find_counting_violation(k_network(factors)) is None
+
+    def test_bubble_fails(self):
+        v = find_counting_violation(bubble_network(4))
+        assert v is not None
+        # The witness must actually reproduce.
+        from repro.sim import propagate_counts
+
+        out = propagate_counts(bubble_network(4), v.input_counts)
+        assert not step_mask(out)[0]
+
+    def test_odd_even_fails(self):
+        assert find_counting_violation(odd_even_network(8)) is not None
+
+    def test_identity_fails_immediately(self):
+        assert find_counting_violation(identity_network(4)) is not None
+
+    def test_verify_counting_wrapper(self):
+        assert verify_counting(k_network([2, 2]))
+        assert not verify_counting(bubble_network(4))
+
+    def test_exhaustive_bound_respected(self):
+        # Tiny width triggers the exhaustive sweep path.
+        assert find_counting_violation(k_network([2, 2]), exhaustive_bound=10_000) is None
+
+    def test_custom_rng(self):
+        rng = np.random.default_rng(42)
+        assert find_counting_violation(k_network([2, 3]), rng=rng) is None

@@ -1,0 +1,67 @@
+"""Unit tests for verification input generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.verify import all_zero_one, exhaustive_counts, random_counts, structured_counts
+
+
+class TestExhaustive:
+    def test_covers_space(self):
+        batches = list(exhaustive_counts(3, 2, batch=5))
+        rows = np.concatenate(batches)
+        assert rows.shape == (27, 3)
+        assert len({tuple(r) for r in rows}) == 27
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            list(exhaustive_counts(30, 10))
+
+
+class TestStructured:
+    def test_contains_heavy_wire_vectors(self):
+        batch = structured_counts(4, heavy=9)
+        rows = {tuple(r) for r in batch}
+        assert (9, 0, 0, 0) in rows
+        assert (0, 0, 0, 9) in rows
+
+    def test_all_non_negative(self):
+        assert (structured_counts(6) >= 0).all()
+
+    def test_width_respected(self):
+        assert structured_counts(5).shape[1] == 5
+
+
+class TestRandom:
+    def test_shape_and_bounds(self, rng):
+        batch = random_counts(4, 100, rng, max_count=7)
+        assert batch.shape == (100, 4)
+        assert batch.min() >= 0
+        assert batch.max() <= 7
+
+    def test_sparse_half_present(self, rng):
+        batch = random_counts(8, 200, rng)
+        # The sparse half should contribute rows with many zeros.
+        zero_fracs = (batch == 0).mean(axis=1)
+        assert (zero_fracs > 0.5).any()
+
+    def test_tiny_batch(self, rng):
+        assert random_counts(3, 1, rng).shape == (1, 3)
+
+
+class TestZeroOne:
+    def test_all_vectors(self):
+        zo = all_zero_one(3)
+        assert zo.shape == (8, 3)
+        assert len({tuple(r) for r in zo}) == 8
+        assert set(np.unique(zo)) <= {0, 1}
+
+    def test_msb_first_encoding(self):
+        zo = all_zero_one(3)
+        assert list(zo[5]) == [1, 0, 1]
+
+    def test_width_limit(self):
+        with pytest.raises(ValueError):
+            all_zero_one(23)

@@ -1,0 +1,120 @@
+"""Mutation testing of the verifiers.
+
+The counting/sorting searches are only useful if they actually catch
+broken networks.  These tests generate mutants of known-good counting
+networks — dropped balancers, flipped balancer outputs, rewired inputs —
+and assert the verifier flags (nearly) all of them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Balancer, Network
+from repro.networks import k_network, r_network
+from repro.verify import find_counting_violation, find_sorting_violation
+
+
+def drop_balancer(net: Network, index: int) -> Network:
+    """Mutant: balancer ``index`` becomes a pass-through (inputs wired
+    straight to its outputs)."""
+    alias = {}
+    balancers = []
+    for b in net.balancers:
+        ins = tuple(alias.get(w, w) for w in b.inputs)
+        if b.index == index:
+            for w_in, w_out in zip(ins, b.outputs):
+                alias[w_out] = w_in
+            continue
+        balancers.append(Balancer(len(balancers), ins, b.outputs))
+    outputs = [alias.get(w, w) for w in net.outputs]
+    return Network(net.inputs, outputs, balancers, net.num_wires, f"{net.name}-drop{index}", validate=False)
+
+
+def flip_balancer(net: Network, index: int) -> Network:
+    """Mutant: balancer ``index``'s outputs reversed (most tokens to the
+    bottom wire)."""
+    balancers = [
+        Balancer(b.index, b.inputs, tuple(reversed(b.outputs))) if b.index == index else b
+        for b in net.balancers
+    ]
+    return Network(net.inputs, net.outputs, balancers, net.num_wires, f"{net.name}-flip{index}")
+
+
+def _final_layer_indices(net: Network) -> list[int]:
+    return [b.index for b in net.layers()[-1]]
+
+
+class TestDroppedBalancers:
+    @pytest.mark.parametrize("factors", [[2, 3, 2], [2, 2, 3]])
+    def test_final_layer_drops_detected(self, factors):
+        """For these shapes the final staircase repair layer is
+        load-bearing: dropping any of its balancers is caught."""
+        net = k_network(factors)
+        for i in _final_layer_indices(net):
+            assert find_counting_violation(drop_balancer(net, i)) is not None, i
+
+    @pytest.mark.parametrize("factors", [[2, 2, 2], [2, 3, 2]])
+    def test_some_drops_detected_overall(self, factors):
+        net = k_network(factors)
+        caught = sum(
+            1 for i in range(net.size) if find_counting_violation(drop_balancer(net, i)) is not None
+        )
+        assert caught >= len(_final_layer_indices(net))
+
+    def test_dropping_the_only_balancer(self):
+        net = k_network([2, 2])
+        assert find_counting_violation(drop_balancer(net, 0)) is not None
+
+    def test_equivalent_mutants_exist(self):
+        """Document the redundancy the formulas do not see: dropping a
+        front C(2,2) copy of K(2,2,2) leaves a network that still counts
+        (the downstream merger alone is a counting network at this size),
+        and even its final repair layer is redundant for p = q = 2 blocks.
+        The paper's depth formulas are exact for the *construction*, not
+        lower bounds for the width."""
+        net = k_network([2, 2, 2])
+        assert find_counting_violation(drop_balancer(net, 0)) is None
+        for i in _final_layer_indices(net):
+            assert find_counting_violation(drop_balancer(net, i)) is None
+
+
+class TestFlippedBalancers:
+    def test_flipped_top_balancer_detected(self):
+        net = k_network([2, 2])
+        mutant = flip_balancer(net, 0)
+        assert find_counting_violation(mutant) is not None
+
+    @pytest.mark.parametrize("factors", [[2, 2, 2], [2, 3, 2]])
+    def test_final_layer_flips_detected(self, factors):
+        net = k_network(factors)
+        for i in _final_layer_indices(net):
+            mutant = flip_balancer(net, i)
+            assert (
+                find_counting_violation(mutant) is not None
+                or find_sorting_violation(mutant) is not None
+            ), i
+
+    def test_flip_detection_majority(self):
+        net = k_network([2, 2, 2])
+        caught = sum(
+            1
+            for i in range(net.size)
+            if find_counting_violation(flip_balancer(net, i)) is not None
+            or find_sorting_violation(flip_balancer(net, i)) is not None
+        )
+        assert caught >= net.size // 2, f"{caught}/{net.size}"
+
+
+class TestMutantsStillConserve:
+    def test_mutants_conserve_tokens(self, rng):
+        """Mutations break ordering, never conservation — a cross-check
+        that the mutant builders themselves are sound."""
+        from repro.sim import propagate_counts
+
+        net = r_network(3, 3)
+        for i in (0, net.size // 2, net.size - 1):
+            for mutant in (drop_balancer(net, i), flip_balancer(net, i)):
+                x = rng.integers(0, 10, size=net.width)
+                assert int(propagate_counts(mutant, x).sum()) == int(x.sum())

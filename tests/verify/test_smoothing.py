@@ -1,0 +1,58 @@
+"""Tests for the smoothing-property verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import odd_even_network, periodic_network
+from repro.core import identity_network, single_balancer_network
+from repro.networks import k_network
+from repro.verify import find_smoothing_violation, is_smoother, observed_smoothness
+
+
+class TestSmoothers:
+    def test_counting_network_is_1_smoother(self):
+        assert is_smoother(k_network([2, 2, 2]), 1)
+
+    def test_single_balancer_is_1_smoother(self):
+        assert is_smoother(single_balancer_network(5), 1)
+
+    def test_identity_is_not_a_smoother(self):
+        v = find_smoothing_violation(identity_network(4), 10)
+        assert v is not None
+        assert v.smoothness > 10
+        assert "smoothing violation" in str(v)
+
+    def test_odd_even_smooths_better_than_it_counts(self):
+        """Odd-even fails counting but is still a decent smoother: its
+        observed smoothness is far below the identity's."""
+        net = odd_even_network(8)
+        sm = observed_smoothness(net)
+        assert sm >= 2  # not a counting network...
+        assert sm <= 4  # ...but a reasonable smoother
+
+    def test_truncated_periodic_block_smooths(self):
+        """One block of the periodic network does not count, yet smooths
+        substantially (the basis of its k-round convergence)."""
+        one_block = periodic_network(8, blocks=1)
+        sm = observed_smoothness(one_block)
+        full = observed_smoothness(periodic_network(8))
+        assert full <= 1
+        assert 1 < sm < observed_smoothness(identity_network(8))
+
+    def test_observed_never_exceeds_verified(self):
+        net = k_network([3, 2])
+        assert observed_smoothness(net) <= 1
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            find_smoothing_violation(k_network([2, 2]), -1)
+
+
+class TestMonotoneInK:
+    def test_smoother_hierarchy(self):
+        """k-smoother implies (k+1)-smoother."""
+        net = odd_even_network(8)
+        sm = observed_smoothness(net)
+        assert is_smoother(net, sm + 3)
+        assert not is_smoother(net, max(0, sm - 1))

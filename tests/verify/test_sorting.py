@@ -1,0 +1,60 @@
+"""Unit tests for sorting verification (0-1 principle)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import brick_network, bubble_network
+from repro.core import identity_network, single_balancer_network
+from repro.networks import k_network, l_network
+from repro.verify import find_sorting_violation, is_sorting_network, sorts_batch
+
+
+class TestSortsBatch:
+    def test_single_comparator(self):
+        net = single_balancer_network(3)
+        assert sorts_batch(net, np.array([[3, 1, 2]])) is None
+
+    def test_identity_fails(self):
+        v = sorts_batch(identity_network(2), np.array([[0, 1]]))
+        assert v is not None
+        assert list(v.input_values) == [0, 1]
+
+
+class TestZeroOnePrinciple:
+    def test_constructions_sort_exhaustively(self):
+        """Every construction is also a sorting network (the
+        counting -> sorting direction of the isomorphism), proven via the
+        0-1 principle for small widths."""
+        for net in (k_network([2, 2, 2]), k_network([2, 3]), k_network([2, 2, 2, 2])):
+            assert find_sorting_violation(net) is None
+
+    def test_l_network_sorts_exhaustively(self):
+        assert find_sorting_violation(l_network([2, 2, 2])) is None
+
+    def test_classic_sorters_pass(self):
+        assert is_sorting_network(bubble_network(5))
+        assert is_sorting_network(brick_network(6))
+
+    def test_broken_network_caught(self):
+        # Bubble with the last pass removed misses some orderings.
+        from repro.core import NetworkBuilder
+
+        b = NetworkBuilder(4)
+        wires = list(b.inputs)
+        for length in range(3, 1, -1):  # stop early: incomplete bubble
+            for i in range(length):
+                top, bottom = b.balancer([wires[i], wires[i + 1]])
+                wires[i], wires[i + 1] = top, bottom
+        net = b.finish(wires)
+        v = find_sorting_violation(net)
+        assert v is not None
+
+    def test_sampled_path_for_wide_networks(self):
+        """Width above the exhaustive limit exercises the sampling branch."""
+        net = k_network([2, 2, 2])
+        assert find_sorting_violation(net, exhaustive_limit=4, samples=500) is None
+
+    def test_sampled_path_catches_identity(self):
+        assert find_sorting_violation(identity_network(25), exhaustive_limit=4) is not None

@@ -1,0 +1,60 @@
+"""Tests for DOT / layered-JSON exports."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import identity_network, single_balancer_network
+from repro.networks import k_network
+from repro.viz import to_dot, to_layered_json
+
+
+class TestDot:
+    def test_contains_all_balancers(self):
+        net = k_network([2, 2, 2])
+        dot = to_dot(net)
+        assert dot.startswith("digraph")
+        for b in net.balancers:
+            assert f"b{b.index} [" in dot
+
+    def test_terminals_present(self):
+        net = single_balancer_network(3)
+        dot = to_dot(net)
+        for i in range(3):
+            assert f"x{i}" in dot and f"y{i}" in dot
+
+    def test_edge_count(self):
+        """Every balancer input and every network output is one edge."""
+        net = k_network([2, 3])
+        dot = to_dot(net)
+        edges = [l for l in dot.splitlines() if "->" in l and "[label=" in l]
+        expected = sum(b.width for b in net.balancers) + net.width
+        assert len(edges) == expected
+
+    def test_identity(self):
+        dot = to_dot(identity_network(2))
+        assert "in0 -> out0" in dot.replace(" ", "").replace('[label="0",fontsize=8];', "") or "->" in dot
+
+
+class TestLayeredJson:
+    def test_round_trip_parses(self):
+        net = k_network([2, 2, 2])
+        doc = json.loads(to_layered_json(net))
+        assert doc["width"] == 8
+        assert doc["depth"] == net.depth
+        assert len(doc["layers"]) == net.depth
+
+    def test_groups_cover_all_balancers(self):
+        net = k_network([3, 2, 2])
+        doc = json.loads(to_layered_json(net))
+        total = sum(g["count"] for layer in doc["layers"] for g in layer)
+        assert total == net.size
+
+    def test_wire_ids_consistent(self):
+        net = k_network([2, 3])
+        doc = json.loads(to_layered_json(net))
+        assert doc["inputs"] == list(net.inputs)
+        assert doc["outputs"] == list(net.outputs)
+
+    def test_indent_option(self):
+        assert "\n" in to_layered_json(single_balancer_network(2), indent=2)

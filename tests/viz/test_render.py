@@ -1,0 +1,62 @@
+"""Tests for ASCII rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import identity_network
+from repro.networks import k_network
+from repro.viz import render_matrix, render_network, render_sequence
+
+
+class TestRenderNetwork:
+    def test_contains_all_rows(self):
+        net = k_network([2, 2, 2])
+        text = render_network(net)
+        lines = text.splitlines()
+        assert len(lines) == net.width + 1  # header + one line per position
+        assert net.name in lines[0]
+
+    def test_output_labels_are_permutation(self):
+        net = k_network([2, 3])
+        text = render_network(net)
+        labels = sorted(int(line.rsplit("y", 1)[1]) for line in text.splitlines()[1:])
+        assert labels == list(range(net.width))
+
+    def test_identity_renders(self):
+        text = render_network(identity_network(3))
+        assert "width=3" in text
+
+    def test_width_limit(self):
+        net = k_network([8, 8])
+        assert "exceeds render limit" in render_network(net, max_width=4)
+
+    def test_depth_limit(self):
+        net = k_network([2, 2, 2])
+        assert "exceeds render limit" in render_network(net, max_layers=2)
+
+
+class TestRenderSequence:
+    def test_strip_length(self):
+        out = render_sequence([3, 3, 2, 2, 2], "x")
+        assert out.startswith("x[")
+        assert "min=2 max=3" in out
+
+    def test_empty(self):
+        assert render_sequence([]) == "[]"
+
+    def test_constant_sequence(self):
+        out = render_sequence([5, 5, 5])
+        assert "min=5 max=5" in out
+
+
+class TestRenderMatrix:
+    def test_shape(self):
+        text = render_matrix(np.arange(12), 3, 4, label="m")
+        lines = text.splitlines()
+        assert lines[0] == "m"
+        assert len(lines) == 4
+        assert all(len(l) == 4 for l in lines[1:])
+
+    def test_no_label(self):
+        assert len(render_matrix([1, 2, 3, 4], 2, 2).splitlines()) == 2

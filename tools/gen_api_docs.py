@@ -1,0 +1,100 @@
+"""Generate docs/api.md from the package's docstrings.
+
+Run from the repository root:  python tools/gen_api_docs.py
+
+Walks every ``repro`` submodule, collects the public API (``__all__``) and
+the first paragraph of each docstring plus the signature, and writes a
+compact markdown reference.  Committed output lives at ``docs/api.md``;
+re-run after changing public signatures or docstrings.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+import repro  # noqa: E402
+
+SKIP = {"repro.__main__"}
+
+
+def first_paragraph(doc: str | None) -> str:
+    if not doc:
+        return "*(no docstring)*"
+    para = doc.strip().split("\n\n")[0]
+    return " ".join(line.strip() for line in para.splitlines())
+
+
+def signature_of(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def document_module(name: str) -> list[str]:
+    mod = importlib.import_module(name)
+    exported = getattr(mod, "__all__", None)
+    if not exported:
+        return []
+    lines = [f"## `{name}`", ""]
+    lines.append(first_paragraph(mod.__doc__))
+    lines.append("")
+    for item in exported:
+        obj = getattr(mod, item, None)
+        if obj is None or inspect.ismodule(obj):
+            continue
+        qual = f"{name}.{item}"
+        if inspect.isclass(obj):
+            lines.append(f"### class `{item}`")
+            lines.append("")
+            lines.append(first_paragraph(inspect.getdoc(obj)))
+            lines.append("")
+            for mname, meth in sorted(vars(obj).items()):
+                if mname.startswith("_") or not callable(meth):
+                    continue
+                doc = first_paragraph(inspect.getdoc(meth))
+                lines.append(f"* `{item}.{mname}{signature_of(meth)}` — {doc}")
+            lines.append("")
+        elif callable(obj):
+            lines.append(f"### `{item}{signature_of(obj)}`")
+            lines.append("")
+            lines.append(first_paragraph(inspect.getdoc(obj)))
+            lines.append("")
+        else:
+            lines.append(f"### `{item}` (constant)")
+            lines.append("")
+    return lines
+
+
+def main() -> None:
+    out = [
+        "# API reference",
+        "",
+        "Generated from docstrings by `tools/gen_api_docs.py`; regenerate",
+        "after changing public signatures.  First paragraphs only — see the",
+        "source docstrings for full details.",
+        "",
+    ]
+    names = ["repro"]
+    for mod_info in pkgutil.walk_packages(repro.__path__, "repro."):
+        if mod_info.name not in SKIP and not mod_info.ispkg:
+            names.append(mod_info.name)
+        elif mod_info.ispkg:
+            names.append(mod_info.name)
+    for name in sorted(set(names)):
+        if name in SKIP:
+            continue
+        out.extend(document_module(name))
+    path = pathlib.Path(__file__).resolve().parents[1] / "docs" / "api.md"
+    path.write_text("\n".join(out) + "\n")
+    print(f"wrote {path} ({path.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()
