@@ -14,6 +14,7 @@ import pytest
 
 from repro.analysis import balanced_factorization, prime_factors
 from repro.networks import k_network, l_network
+from repro.obs import write_bench_json
 from repro.sim import propagate_counts
 
 
@@ -40,6 +41,8 @@ def test_scaling_table(save_table):
             }
         )
     save_table("E15_build_scale_k", rows)
+    # Machine-readable trajectory: BENCH_build_scale.json at the repo root.
+    write_bench_json("build_scale", {"family": "K", "rows": rows})
     # Size grows roughly like w * depth / mean-balancer-width: superlinear
     # in w but far from quadratic blow-up.
     sizes = {r["width"]: r["size"] for r in rows}
@@ -65,6 +68,7 @@ def test_l_scaling_table(save_table):
         )
         assert net.max_balancer_width <= cap
     save_table("E15b_build_scale_l", rows)
+    write_bench_json("build_scale_l", {"family": "L", "rows": rows})
 
 
 @pytest.mark.parametrize("w", [64, 256, 1024])

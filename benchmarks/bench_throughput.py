@@ -14,6 +14,7 @@ import pytest
 
 from repro.analysis import build_family
 from repro.networks import k_network
+from repro.obs import write_bench_json
 from repro.sim import ContentionSimulator
 
 
@@ -47,6 +48,8 @@ def test_throughput_sweep(save_table):
                 best = (stats.throughput, factors, net)
         winners[procs] = best
     save_table("E13_throughput_w64", rows)
+    # Machine-readable trajectory: BENCH_throughput.json at the repo root.
+    write_bench_json("throughput", {"width": w, "rows": rows})
 
     # Low concurrency: the single balancer (depth 1) is unbeatable.
     assert winners[1][2].depth == 1

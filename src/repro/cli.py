@@ -11,6 +11,8 @@ export      emit a network as Graphviz DOT or layered JSON
 smooth      measure a network's observed smoothing constant
 linearize   search for a non-linearizable execution (paper §6)
 audit       per-layer profile and critical path of a network
+profile     observability: run a workload, print hot-spot tables, emit
+            BENCH_profile.json + a JSON-lines trace
 """
 
 from __future__ import annotations
@@ -150,6 +152,49 @@ def _audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_widths(text: str) -> list[int]:
+    """Parse ``--widths 2,3,5`` (or space-separated) into factor list."""
+    factors = [int(tok) for tok in text.replace(",", " ").split()]
+    if not factors:
+        raise SystemExit("--widths needs at least one factor, e.g. --widths 2,3,5")
+    return factors
+
+
+def _profile(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from . import obs
+
+    factors = _parse_widths(args.widths)
+    report = obs.profile_network(
+        lambda: _BUILDERS[args.construction](factors),
+        workload=args.workload,
+        tokens=args.tokens,
+        scheduler=args.scheduler,
+        procs=args.procs,
+        ops=args.ops,
+        batch=args.batch,
+        seed=args.seed,
+    )
+    n = report.network
+    print(
+        f"{n['name']}: width={n['width']} depth={n['depth']} size={n['size']} "
+        f"workload={report.workload}"
+    )
+    print("  " + "  ".join(f"{k}={v}" for k, v in report.summary.items()))
+    print("\nper-layer hot spots:")
+    print(report.layer_table())
+    if report.balancer_rows:
+        print(f"\ntop {min(args.top, len(report.balancer_rows))} balancers:")
+        print(report.balancer_table(args.top))
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    json_path = obs.write_bench_json("profile", report.bench_payload(), directory=out_dir)
+    trace_path = report.tracer.export_jsonl(out_dir / "BENCH_profile_trace.jsonl")
+    print(f"\nwrote {json_path} and {trace_path}")
+    return 0
+
+
 def _plan(args: argparse.Namespace) -> int:
     from .analysis import plan_network
 
@@ -220,6 +265,26 @@ def main(argv: list[str] | None = None) -> int:
     pa.add_argument("family", choices=sorted(_BUILDERS))
     pa.add_argument("factors", type=int, nargs="+")
     pa.set_defaults(fn=_audit)
+
+    pr = sub.add_parser(
+        "profile",
+        help="observability: hot-spot profile of build + a workload",
+    )
+    pr.add_argument(
+        "--widths", required=True,
+        help="comma-separated balancer-width factors, e.g. 2,3,5",
+    )
+    pr.add_argument("--construction", choices=sorted(_BUILDERS), default="K")
+    pr.add_argument("--workload", choices=["tokens", "contention", "counts"], default="tokens")
+    pr.add_argument("--tokens", type=int, default=None, help="token count (tokens workload)")
+    pr.add_argument("--scheduler", default="random", help="scheduler name (tokens workload)")
+    pr.add_argument("--procs", type=int, default=8, help="processes (contention workload)")
+    pr.add_argument("--ops", type=int, default=4, help="ops per process (contention workload)")
+    pr.add_argument("--batch", type=int, default=64, help="batch size (counts workload)")
+    pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument("--top", type=int, default=10, help="balancer rows to print")
+    pr.add_argument("--out-dir", default=".", help="where BENCH_profile.json + trace land")
+    pr.set_defaults(fn=_profile)
 
     pp = sub.add_parser("plan", help="best family member for a width + balancer budget")
     pp.add_argument("width", type=int)

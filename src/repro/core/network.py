@@ -25,10 +25,13 @@ or width-0 balancers unless explicitly allowed).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
+
+from ..obs import runtime as _obs
 
 __all__ = ["Balancer", "Network", "NetworkBuilder", "identity_network", "single_balancer_network"]
 
@@ -274,6 +277,7 @@ class NetworkBuilder:
         self._balancers: list[Balancer] = []
         self._defined: list[bool] = [True] * width
         self._consumed: list[bool] = [False] * width
+        self._t_build_start = time.perf_counter()
 
     @property
     def width(self) -> int:
@@ -329,13 +333,29 @@ class NetworkBuilder:
     def finish(self, outputs: Sequence[int], name: str = "network") -> Network:
         """Freeze into a :class:`Network` whose output sequence order is
         ``outputs``."""
-        return Network(
+        net = Network(
             inputs=self.inputs,
             outputs=outputs,
             balancers=self._balancers,
             num_wires=self._next_wire,
             name=name,
         )
+        if _obs.enabled:
+            from ..obs.metrics import DEFAULT_TIME_BUCKETS, default_registry
+            from ..obs.tracer import default_tracer
+
+            dur = time.perf_counter() - self._t_build_start
+            reg = default_registry()
+            reg.counter("core.builds").inc()
+            reg.histogram("core.build_seconds", DEFAULT_TIME_BUCKETS).observe(dur)
+            default_tracer().record(
+                "build",
+                network=name,
+                width=net.width,
+                balancers=net.size,
+                dur_s=round(dur, 9),
+            )
+        return net
 
 
 def identity_network(width: int, name: str = "identity") -> Network:

@@ -1,0 +1,128 @@
+"""Observability: metrics, tracing, and profiling for networks & simulators.
+
+The paper's claims are quantitative (depth formulas, contention/latency
+behaviour under asynchronous schedules); this package is how the repo
+*measures* them.  Three pieces:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters, gauges,
+  fixed-bucket histograms, and dense per-index vector counters, plus a
+  process-global default registry;
+* :mod:`repro.obs.tracer` — a structured event :class:`Tracer` with a
+  bounded ring buffer and JSON-lines export (``Tracer.span("compile")``,
+  :func:`trace_event`);
+* :mod:`repro.obs.profiler` — the ``repro profile`` engine: build a
+  network, run a workload, return per-layer / per-balancer hot-spot tables
+  and a ``BENCH_profile.json`` payload.
+
+The whole layer is **off by default** and costs one boolean attribute read
+per instrumented block when off (see :mod:`repro.obs.runtime`): the
+vectorized simulators execute byte-identical code paths either way, and the
+tier-1 test suite runs un-instrumented.  Turn it on with ``REPRO_OBS=1`` in
+the environment, :func:`enable`, or scoped::
+
+    import repro.obs as obs
+
+    with obs.capture() as (registry, tracer):
+        propagate_counts(net, batch)
+    print(registry.snapshot()["sim.counts.batches"])
+    tracer.export_jsonl("trace.jsonl")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from . import runtime
+from .export import bench_json_payload, repo_root, write_bench_json, write_jsonl
+from .metrics import (
+    DEFAULT_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    VectorCounter,
+    default_registry,
+    set_default_registry,
+)
+from .tracer import (
+    Tracer,
+    TraceEvent,
+    default_tracer,
+    set_default_tracer,
+    span,
+    trace_event,
+)
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "capture",
+    "runtime",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "VectorCounter",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "default_registry",
+    "set_default_registry",
+    "Tracer",
+    "TraceEvent",
+    "default_tracer",
+    "set_default_tracer",
+    "trace_event",
+    "span",
+    "bench_json_payload",
+    "write_bench_json",
+    "write_jsonl",
+    "repo_root",
+    "profile_network",
+    "ProfileReport",
+]
+
+
+def enabled() -> bool:
+    """Is the observability layer currently recording?"""
+    return runtime.enabled
+
+
+def enable() -> None:
+    """Turn instrumentation on process-wide."""
+    runtime.enabled = True
+
+
+def disable() -> None:
+    """Turn instrumentation off process-wide (the default)."""
+    runtime.enabled = False
+
+
+@contextmanager
+def capture(
+    registry: MetricsRegistry | None = None, tracer: Tracer | None = None
+) -> Iterator[tuple[MetricsRegistry, Tracer]]:
+    """Enable observability into *fresh* default registry/tracer, scoped.
+
+    Swaps the process-global registry and tracer for the given (or new)
+    ones, enables recording, and restores everything — including the
+    previous enabled-state — on exit.  This is how the profiler and tests
+    observe a workload without inheriting or leaking global metric state.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    tracer = tracer if tracer is not None else Tracer()
+    prev_registry = set_default_registry(registry)
+    prev_tracer = set_default_tracer(tracer)
+    prev_enabled = runtime.enabled
+    runtime.enabled = True
+    try:
+        yield registry, tracer
+    finally:
+        runtime.enabled = prev_enabled
+        set_default_registry(prev_registry)
+        set_default_tracer(prev_tracer)
+
+
+from .profiler import ProfileReport, profile_network  # noqa: E402  (uses capture)

@@ -1,0 +1,88 @@
+"""Machine-readable exporters: ``BENCH_*.json`` files and JSON-lines traces.
+
+The benchmark harness historically dumped free-form ``.txt`` tables under
+``benchmarks/results/``; from this layer onward every benchmark that wants a
+machine-readable trajectory writes a ``BENCH_<name>.json`` file at the repo
+root through :func:`write_bench_json`.  The payload shape is deliberately
+small and stable::
+
+    {
+      "bench": "<name>",
+      "schema": 1,
+      "created_unix": <float>,
+      "repro_version": "<package version>",
+      ...caller payload (rows / summary / layers / ...)
+    }
+
+so downstream tooling can diff runs across commits without parsing tables.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Iterable
+
+__all__ = ["BENCH_SCHEMA_VERSION", "repo_root", "bench_json_payload", "write_bench_json", "write_jsonl"]
+
+BENCH_SCHEMA_VERSION = 1
+
+
+def repo_root() -> pathlib.Path:
+    """Best-effort repository root: the nearest ancestor of this file that
+    contains ``pyproject.toml`` (falls back to the current directory)."""
+    here = pathlib.Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            return parent
+    return pathlib.Path.cwd()
+
+
+def _json_default(obj):
+    """Serialize numpy scalars/arrays that leak into payloads."""
+    import numpy as np
+
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+def bench_json_payload(name: str, payload: dict) -> dict:
+    """Wrap ``payload`` in the standard ``BENCH_*.json`` envelope."""
+    from .. import __version__
+
+    return {
+        "bench": name,
+        "schema": BENCH_SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "repro_version": __version__,
+        **payload,
+    }
+
+
+def write_bench_json(name: str, payload: dict, directory=None) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` into ``directory`` (repo root by default).
+
+    ``payload`` supplies the benchmark-specific keys (typically ``rows`` —
+    a list of flat dicts mirroring the human-readable table — plus optional
+    ``summary``/``meta``).  Returns the written path.
+    """
+    directory = pathlib.Path(directory) if directory is not None else repo_root()
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(bench_json_payload(name, payload), indent=2, default=_json_default) + "\n"
+    )
+    return path
+
+
+def write_jsonl(path, records: Iterable[dict]) -> pathlib.Path:
+    """Write an iterable of dicts as JSON-lines to ``path``."""
+    p = pathlib.Path(path)
+    lines = [json.dumps(r, separators=(",", ":"), default=_json_default) for r in records]
+    p.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return p

@@ -1,0 +1,285 @@
+"""Metric instruments: counters, gauges, histograms, and vector counters.
+
+A :class:`MetricsRegistry` is a flat, name-keyed collection of instruments.
+Instrumented code gets-or-creates instruments by name (`registry.counter`,
+`registry.gauge`, `registry.histogram`, `registry.vector`) and updates them;
+reporting code reads :meth:`MetricsRegistry.snapshot` (JSON-serializable) or
+:meth:`MetricsRegistry.as_rows` (for :func:`repro.analysis.format_table`).
+
+Design notes
+------------
+* Instruments are deliberately plain Python objects with no locking: the
+  simulators update them from one thread, and the one genuinely threaded
+  consumer (:class:`repro.sim.ThreadedCounter`) accumulates privately under
+  its existing per-balancer locks and publishes aggregates once at the end
+  of a run.
+* Histograms use **fixed** bucket bounds chosen at creation so `observe` is
+  one ``bisect`` plus two adds — no dynamic resizing on the hot path.
+* :class:`VectorCounter` is an integer/float numpy array addressed by dense
+  index (balancer index, layer index).  Per-balancer accounting with one
+  dict lookup amortized over a whole run, not one string key per hop.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "VectorCounter",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "default_registry",
+    "set_default_registry",
+]
+
+#: General-purpose bucket bounds (counts, sizes, latencies in steps).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 100_000,
+)
+
+#: Bucket bounds for wall-clock durations in seconds.
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """Last-written value, with the observed extrema kept alongside."""
+
+    name: str
+    value: float = 0.0
+    max_value: float = float("-inf")
+    min_value: float = float("inf")
+    updates: int = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+        if value < self.min_value:
+            self.min_value = value
+        self.updates += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "gauge",
+            "value": self.value,
+            "max": self.max_value if self.updates else None,
+            "min": self.min_value if self.updates else None,
+            "updates": self.updates,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact sum/count/extrema.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    overflow bucket catches everything above the last bound.  Percentiles
+    are estimated by linear interpolation inside the winning bucket, which
+    is as good as fixed buckets allow and plenty for hot-spot ranking.
+    """
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a non-empty sorted sequence")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min_value = float("inf")
+        self.max_value = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else float("nan")
+
+    def percentile(self, pct: float) -> float:
+        """Approximate percentile from the bucket counts (nan when empty)."""
+        if not 0 <= pct <= 100:
+            raise ValueError("pct must be in [0, 100]")
+        if self.total == 0:
+            return float("nan")
+        target = pct / 100.0 * self.total
+        cum = 0
+        for i, c in enumerate(self.counts):
+            cum += c
+            if cum >= target and c:
+                lo = self.bounds[i - 1] if i > 0 else min(self.min_value, self.bounds[0])
+                hi = self.bounds[i] if i < len(self.bounds) else self.max_value
+                frac = (target - (cum - c)) / c
+                return float(min(max(lo + (hi - lo) * frac, self.min_value), self.max_value))
+        return self.max_value
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.total,
+            "sum": self.sum,
+            "mean": self.mean if self.total else None,
+            "min": self.min_value if self.total else None,
+            "max": self.max_value if self.total else None,
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.counts),
+        }
+
+
+class VectorCounter:
+    """A dense array of per-index counters (per balancer, per layer)."""
+
+    def __init__(self, name: str, size: int, dtype=np.int64):
+        if size <= 0:
+            raise ValueError("vector size must be positive")
+        self.name = name
+        self.values = np.zeros(size, dtype=dtype)
+
+    @property
+    def size(self) -> int:
+        return int(self.values.shape[0])
+
+    def inc(self, index: int, amount: float = 1) -> None:
+        self.values[index] += amount
+
+    def grow_to(self, size: int) -> None:
+        """Extend with zero entries so at least ``size`` indices exist
+        (values are preserved; vectors never shrink)."""
+        if size > self.size:
+            grown = np.zeros(size, dtype=self.values.dtype)
+            grown[: self.size] = self.values
+            self.values = grown
+
+    def add_array(self, values: np.ndarray) -> None:
+        """Accumulate a whole array at once (end-of-run publication)."""
+        arr = np.asarray(values, dtype=self.values.dtype)
+        self.grow_to(arr.shape[0])
+        self.values[: arr.shape[0]] += arr
+
+    def snapshot(self) -> dict:
+        return {"type": "vector", "values": self.values.tolist()}
+
+
+class MetricsRegistry:
+    """Flat name-keyed collection of instruments with get-or-create access."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, cls, factory):
+        inst = self._metrics.get(name)
+        if inst is None:
+            inst = factory()
+            self._metrics[name] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(inst).__name__}, "
+                f"requested {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(name, Histogram, lambda: Histogram(name, bounds))
+
+    def vector(self, name: str, size: int, dtype=np.int64) -> VectorCounter:
+        vec = self._get_or_create(name, VectorCounter, lambda: VectorCounter(name, size, dtype))
+        vec.grow_to(size)  # registries may outlive one network; never shrink
+        return vec
+
+    def get(self, name: str):
+        """The instrument registered under ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every instrument (fresh registry state)."""
+        self._metrics.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-serializable dump of every instrument."""
+        return {name: m.snapshot() for name, m in sorted(self._metrics.items())}
+
+    def as_rows(self) -> list[dict]:
+        """Flatten scalar instruments into table rows (vectors summarized)."""
+        rows = []
+        for name, snap in self.snapshot().items():
+            if snap["type"] == "counter":
+                rows.append({"metric": name, "type": "counter", "value": snap["value"]})
+            elif snap["type"] == "gauge":
+                rows.append(
+                    {"metric": name, "type": "gauge", "value": snap["value"], "max": snap["max"]}
+                )
+            elif snap["type"] == "histogram":
+                rows.append(
+                    {
+                        "metric": name,
+                        "type": "histogram",
+                        "value": snap["count"],
+                        "mean": None if snap["mean"] is None else round(snap["mean"], 6),
+                        "max": snap["max"],
+                    }
+                )
+            else:  # vector
+                vals = snap["values"]
+                rows.append(
+                    {
+                        "metric": name,
+                        "type": "vector",
+                        "value": float(sum(vals)),
+                        "max": max(vals) if vals else None,
+                    }
+                )
+        return rows
+
+
+_default = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry the instrumentation hooks write to."""
+    return _default
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global registry; returns the previous one."""
+    global _default
+    prev = _default
+    _default = registry
+    return prev

@@ -1,0 +1,284 @@
+"""The ``repro profile`` engine: build, run a workload, rank hot spots.
+
+:func:`profile_network` builds a network under a scoped observability
+capture, drives one of three workloads through it, and folds the recorded
+metrics into per-layer and per-balancer tables:
+
+* ``tokens`` — the asynchronous :class:`~repro.sim.TokenSimulator` under a
+  named scheduler; hot spots are balancer visit counts, plus a token
+  latency histogram in steps;
+* ``contention`` — the discrete-event
+  :class:`~repro.sim.ContentionSimulator`; hot spots are balancer visits
+  and the time processes spent queued at each balancer;
+* ``counts`` — the vectorized :func:`~repro.sim.propagate_counts` batch
+  evaluator; hot spots are per-layer wall-clock times of the numpy sweep.
+
+The result carries everything the CLI needs: table rows for
+:func:`repro.analysis.format_table`, a JSON payload for
+``BENCH_profile.json``, and the tracer whose ring buffer becomes the
+JSON-lines trace file.
+
+Heavy imports (:mod:`repro.sim`, :mod:`repro.networks`) are deferred into
+the function bodies: this module is imported by ``repro.obs.__init__``,
+which the instrumented core modules import in turn, so its import footprint
+must stay acyclic and tiny.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+__all__ = ["ProfileReport", "profile_network", "WORKLOADS"]
+
+WORKLOADS = ("tokens", "contention", "counts")
+
+
+@dataclass
+class ProfileReport:
+    """Hot-spot profile of one network under one workload."""
+
+    network: dict
+    workload: str
+    summary: dict
+    layer_rows: list[dict]
+    balancer_rows: list[dict]
+    registry: MetricsRegistry
+    tracer: Tracer
+    metric_rows: list[dict] = field(default_factory=list)
+
+    def layer_table(self) -> str:
+        """Per-layer hot-spot table (aligned plain text)."""
+        from ..analysis.stats import format_table
+
+        return format_table(self.layer_rows)
+
+    def balancer_table(self, top: int | None = None) -> str:
+        """Per-balancer hot-spot table, hottest first, optionally truncated."""
+        from ..analysis.stats import format_table
+
+        rows = self.balancer_rows if top is None else self.balancer_rows[:top]
+        return format_table(rows)
+
+    def bench_payload(self) -> dict:
+        """The ``BENCH_profile.json`` body (sans envelope)."""
+        return {
+            "network": self.network,
+            "workload": self.workload,
+            "summary": self.summary,
+            "layers": self.layer_rows,
+            "balancers": self.balancer_rows,
+            "metrics": self.registry.snapshot(),
+        }
+
+
+def _vector_values(registry: MetricsRegistry, name: str, size: int) -> np.ndarray:
+    vec = registry.get(name)
+    if vec is None:
+        return np.zeros(size)
+    values = vec.values  # type: ignore[union-attr]
+    out = np.zeros(size, dtype=values.dtype)
+    out[: min(size, len(values))] = values[:size]
+    return out
+
+
+def _histogram_stats(registry: MetricsRegistry, name: str) -> dict:
+    hist = registry.get(name)
+    if hist is None or hist.total == 0:  # type: ignore[union-attr]
+        return {}
+    return {
+        "count": hist.total,
+        "mean": round(hist.mean, 6),
+        "p50": round(hist.percentile(50), 6),
+        "p95": round(hist.percentile(95), 6),
+        "max": hist.max_value,
+    }
+
+
+def profile_network(
+    build: "Callable[[], object] | object",
+    workload: str = "tokens",
+    *,
+    tokens: int | None = None,
+    scheduler: str = "random",
+    procs: int = 8,
+    ops: int = 4,
+    batch: int = 64,
+    seed: int = 0,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> ProfileReport:
+    """Profile ``build()`` (or an existing network) under ``workload``.
+
+    Runs inside :func:`repro.obs.capture`, so the process-global registry
+    and tracer are swapped for fresh ones and restored afterwards; the
+    returned report owns the captured instruments.
+    """
+    from . import capture  # late: repro.obs.__init__ finishes before first call
+    from ..core.compiled import compile_network
+    from ..core.network import Network
+
+    if workload not in WORKLOADS:
+        raise ValueError(f"unknown workload {workload!r}; choose from {WORKLOADS}")
+
+    with capture(registry, tracer) as (reg, tr):
+        with tr.span("profile.build") as build_info:
+            net = build() if callable(build) else build
+            if not isinstance(net, Network):
+                raise TypeError(f"build must produce a Network, got {type(net).__name__}")
+            build_info["network"] = net.name
+        with tr.span("profile.compile", network=net.name):
+            compile_network(net)
+
+        t0 = time.perf_counter()
+        workload_summary = _run_workload(
+            net, workload, tokens=tokens, scheduler=scheduler, procs=procs, ops=ops,
+            batch=batch, seed=seed,
+        )
+        workload_s = time.perf_counter() - t0
+
+    build_ev = next((e for e in tr.events("profile.build")), None)
+    compile_ev = next((e for e in tr.events("profile.compile")), None)
+    layer_rows, balancer_rows = _hotspot_rows(net, workload, reg)
+
+    summary = {
+        "build_s": build_ev.fields["dur_s"] if build_ev else None,
+        "compile_s": compile_ev.fields["dur_s"] if compile_ev else None,
+        "workload_s": round(workload_s, 6),
+        "trace_events": len(tr),
+        "trace_dropped": tr.dropped,
+        **workload_summary,
+    }
+    if workload == "tokens":
+        for key, val in _histogram_stats(reg, "sim.token.latency_steps").items():
+            summary[f"latency_steps_{key}"] = val
+    network = {
+        "name": net.name,
+        "width": net.width,
+        "depth": net.depth,
+        "size": net.size,
+        "max_balancer_width": net.max_balancer_width,
+    }
+    return ProfileReport(
+        network=network,
+        workload=workload,
+        summary=summary,
+        layer_rows=layer_rows,
+        balancer_rows=balancer_rows,
+        registry=reg,
+        tracer=tr,
+        metric_rows=reg.as_rows(),
+    )
+
+
+def _run_workload(
+    net, workload: str, *, tokens, scheduler, procs, ops, batch, seed
+) -> dict:
+    """Drive one workload; returns its contribution to the summary dict."""
+    if workload == "tokens":
+        from ..sim.count_sim import balancer_outputs
+        from ..sim.token_sim import TokenSimulator
+
+        total = tokens if tokens is not None else 8 * net.width
+        sim = TokenSimulator(net, seed=seed)
+        sim.inject(balancer_outputs(total, net.width))
+        result = sim.run(scheduler)
+        return {
+            "scheduler": scheduler,
+            "tokens": int(total),
+            "steps": result.steps,
+        }
+    if workload == "contention":
+        from ..sim.concurrent import ContentionSimulator
+
+        stats = ContentionSimulator(net).run(procs, ops, collect_latencies=True)
+        return {
+            "n_procs": procs,
+            "ops": stats.ops,
+            "makespan": round(stats.makespan, 6),
+            "throughput": round(stats.throughput, 6),
+            "mean_latency": round(stats.mean_latency, 6),
+            "p95_latency": round(stats.latency_percentile(95), 6),
+            "mean_wait": round(stats.mean_wait, 6),
+        }
+    # workload == "counts"
+    from ..sim.count_sim import propagate_counts
+
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 100, size=(batch, net.width))
+    propagate_counts(net, x)
+    return {"batch": int(batch)}
+
+
+def _hotspot_rows(net, workload: str, reg: MetricsRegistry) -> tuple[list[dict], list[dict]]:
+    """Fold captured per-balancer/per-layer vectors into table rows."""
+    layers = net.layers()
+    layer_of = {b.index: d for d, layer in enumerate(layers) for b in layer}
+
+    if workload == "tokens":
+        visits = _vector_values(reg, "sim.token.balancer_visits", net.size)
+        waits = None
+    elif workload == "contention":
+        visits = _vector_values(reg, "sim.contention.balancer_visits", net.size)
+        waits = _vector_values(reg, "sim.contention.balancer_wait", net.size)
+    else:  # counts: every balancer sees the whole batch, vectorized per layer
+        batches = reg.get("sim.counts.vectors")
+        per_balancer = batches.value if batches is not None else 0  # type: ignore[union-attr]
+        visits = np.full(net.size, per_balancer)
+        waits = None
+    layer_seconds = (
+        _vector_values(reg, "sim.counts.layer_seconds", max(net.depth, 1))
+        if workload == "counts"
+        else None
+    )
+
+    total_visits = float(visits.sum()) or 1.0
+    balancer_rows = []
+    for b in net.balancers:
+        row = {
+            "balancer": b.index,
+            "layer": layer_of.get(b.index, 0),
+            "width": b.width,
+            "visits": int(visits[b.index]),
+            "share": f"{float(visits[b.index]) / total_visits:.3f}",
+        }
+        if waits is not None:
+            row["wait"] = round(float(waits[b.index]), 3)
+        balancer_rows.append(row)
+    sort_key = (lambda r: (r["wait"], r["visits"])) if waits is not None else (
+        lambda r: r["visits"]
+    )
+    balancer_rows.sort(key=sort_key, reverse=True)
+
+    layer_rows = []
+    for d, layer in enumerate(layers):
+        idx = [b.index for b in layer]
+        lv = float(visits[idx].sum()) if idx else 0.0
+        row = {
+            "layer": d,
+            "balancers": len(layer),
+            "widths": ",".join(
+                f"{w}x{c}" for w, c in sorted(_width_hist(layer).items())
+            ),
+            "visits": int(lv),
+            "share": f"{lv / total_visits:.3f}",
+        }
+        if waits is not None:
+            row["wait"] = round(float(waits[idx].sum()), 3) if idx else 0.0
+        if layer_seconds is not None:
+            row["time_ms"] = round(float(layer_seconds[d]) * 1e3, 3)
+        layer_rows.append(row)
+    return layer_rows, balancer_rows
+
+
+def _width_hist(layer) -> dict[int, int]:
+    hist: dict[int, int] = {}
+    for b in layer:
+        hist[b.width] = hist.get(b.width, 0) + 1
+    return hist

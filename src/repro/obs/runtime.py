@@ -1,0 +1,42 @@
+"""Global on/off switch for the observability layer.
+
+Instrumented blocks across :mod:`repro.core` and :mod:`repro.sim` guard all
+observability work behind a single module-attribute read::
+
+    from ..obs import runtime as _obs
+    ...
+    if _obs.enabled:
+        <record metrics / trace events>
+
+so that with observability off the hot paths execute *exactly* the code they
+executed before instrumentation existed — one boolean attribute lookup per
+instrumented block, no calls into :mod:`repro.obs`, no allocation.  This is
+the no-op guarantee the tier-1 test suite (and the overhead regression test
+in ``tests/obs/test_overhead.py``) relies on.
+
+The initial state comes from the ``REPRO_OBS`` environment variable:
+unset/``0``/``false``/``no``/``off`` (case-insensitive) means disabled,
+anything else means enabled.  :func:`repro.obs.enable` /
+:func:`repro.obs.disable` / :func:`repro.obs.capture` flip it at runtime.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["enabled", "env_default"]
+
+
+def env_default() -> bool:
+    """The enabled-state implied by the current ``REPRO_OBS`` env var."""
+    return os.environ.get("REPRO_OBS", "0").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "no",
+        "off",
+    )
+
+
+#: Module-level flag read (once per instrumented block) by the hot paths.
+enabled: bool = env_default()

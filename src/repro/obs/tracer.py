@@ -1,0 +1,155 @@
+"""Structured event tracing with a bounded in-memory ring buffer.
+
+Every event is a ``kind`` plus free-form scalar fields, stamped with a
+monotonic timestamp (``time.perf_counter``) and a per-tracer sequence
+number.  Events land in a ``deque(maxlen=capacity)`` so a long simulation
+cannot exhaust memory — the newest ``capacity`` events win.  Export is
+JSON-lines (one event object per line), the machine-readable format the
+benchmark trajectory and the ``repro profile`` subcommand consume.
+
+Spans are sugar for paired events::
+
+    with tracer.span("compile", network="K(2,3,5)"):
+        ...          # records kind="compile" with dur_s on exit
+
+Module-level :func:`trace_event` / :func:`span` write to the process-global
+default tracer and no-op when observability is disabled, so call sites that
+are not themselves on a hot path can use them unguarded.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from . import runtime
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "default_tracer",
+    "set_default_tracer",
+    "trace_event",
+    "span",
+]
+
+#: Default ring-buffer capacity (events).
+DEFAULT_CAPACITY = 65_536
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event: sequence number, monotonic time, kind, fields."""
+
+    seq: int
+    t: float
+    kind: str
+    fields: dict
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "t": round(self.t, 9), "kind": self.kind, **self.fields}
+
+
+class Tracer:
+    """Bounded event recorder with JSON-lines export."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        self._dropped = 0
+        self._t0 = time.perf_counter()
+
+    def record(self, kind: str, **fields) -> TraceEvent:
+        """Append one event (unconditionally — callers on hot paths guard
+        with ``runtime.enabled`` themselves)."""
+        if len(self._events) == self.capacity:
+            self._dropped += 1
+        ev = TraceEvent(self._seq, time.perf_counter() - self._t0, kind, fields)
+        self._seq += 1
+        self._events.append(ev)
+        return ev
+
+    @contextmanager
+    def span(self, kind: str, **fields) -> Iterator[dict]:
+        """Record ``kind`` with a measured ``dur_s`` field on exit.
+
+        Yields a mutable dict; entries added inside the block are attached
+        to the recorded event (e.g. result sizes discovered mid-span).
+        """
+        extra: dict = {}
+        t0 = time.perf_counter()
+        try:
+            yield extra
+        finally:
+            self.record(kind, dur_s=round(time.perf_counter() - t0, 9), **fields, **extra)
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """Recorded events, oldest first, optionally filtered by kind."""
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer since the last clear."""
+        return self._dropped
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._dropped = 0
+
+    def to_jsonl(self) -> str:
+        """All events as JSON-lines text (one compact object per line)."""
+        return "\n".join(json.dumps(e.to_dict(), separators=(",", ":")) for e in self._events)
+
+    def export_jsonl(self, path) -> pathlib.Path:
+        """Write :meth:`to_jsonl` to ``path``; returns the resolved path."""
+        p = pathlib.Path(path)
+        text = self.to_jsonl()
+        p.write_text(text + "\n" if text else "")
+        return p
+
+
+_default = Tracer()
+
+
+def default_tracer() -> Tracer:
+    """The process-global tracer the instrumentation hooks write to."""
+    return _default
+
+
+def set_default_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-global tracer; returns the previous one."""
+    global _default
+    prev = _default
+    _default = tracer
+    return prev
+
+
+def trace_event(kind: str, **fields) -> TraceEvent | None:
+    """Record into the default tracer — no-op while observability is off."""
+    if not runtime.enabled:
+        return None
+    return _default.record(kind, **fields)
+
+
+@contextmanager
+def span(kind: str, **fields) -> Iterator[dict]:
+    """Span on the default tracer — still yields (but records nothing)
+    while observability is off."""
+    if not runtime.enabled:
+        yield {}
+        return
+    with _default.span(kind, **fields) as extra:
+        yield extra

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.network import Network
+from ..obs import runtime as _obs
 
 __all__ = [
     "ThreadedCounter",
@@ -77,9 +78,14 @@ class ThreadedCounter:
             self._terminal[w] = pos
         self._entry = threading.Lock()
         self._entry_count = 0
+        # Per-balancer traversal counts, maintained under the balancer locks
+        # only while repro.obs is enabled and published once per run_threads
+        # (instruments themselves are not thread-safe).
+        self._obs_visits = [0] * net.size
 
     def fetch_and_increment(self) -> int:
         """Traverse the network once and return the dispensed value."""
+        obs_on = _obs.enabled
         with self._entry:
             pos = self._entry_count % self.net.width
             self._entry_count += 1
@@ -89,6 +95,8 @@ class ThreadedCounter:
             with self._locks[b.index]:
                 port = self._state[b.index] % b.width
                 self._state[b.index] += 1
+                if obs_on:
+                    self._obs_visits[b.index] += 1
             wire = b.outputs[port]
         out_pos = self._terminal[wire]
         with self._out_locks[out_pos]:
@@ -100,6 +108,7 @@ class ThreadedCounter:
         """Spawn ``n_threads`` threads each performing ``ops_per_thread``
         fetch-and-increments; returns every value handed out."""
         results: list[list[int]] = [[] for _ in range(n_threads)]
+        self._obs_visits = [0] * self.net.size
 
         def worker(tid: int) -> None:
             vals = results[tid]
@@ -111,6 +120,22 @@ class ThreadedCounter:
             t.start()
         for t in threads:
             t.join()
+        if _obs.enabled:
+            from ..obs.metrics import default_registry
+            from ..obs.tracer import default_tracer
+
+            reg = default_registry()
+            reg.counter("sim.threaded.ops").inc(n_threads * ops_per_thread)
+            if self.net.size:
+                reg.vector("sim.threaded.balancer_visits", self.net.size).add_array(
+                    self._obs_visits
+                )
+            default_tracer().record(
+                "threaded_run",
+                network=self.net.name,
+                threads=n_threads,
+                ops=n_threads * ops_per_thread,
+            )
         return ThreadedRunStats(results, n_threads * ops_per_thread)
 
 
@@ -169,22 +194,29 @@ class ContentionStats:
 
     @property
     def throughput(self) -> float:
-        """Completed operations per unit time."""
+        """Completed operations per unit time (nan for an empty run)."""
+        if self.ops == 0:
+            return float("nan")
         return self.ops / self.makespan if self.makespan > 0 else float("inf")
 
     @property
     def mean_latency(self) -> float:
-        return self.total_latency / self.ops if self.ops else 0.0
+        """Mean completed-operation latency (nan for an empty run)."""
+        return self.total_latency / self.ops if self.ops else float("nan")
 
     @property
     def mean_wait(self) -> float:
-        """Mean time spent queued behind other processes at balancers."""
-        return self.total_wait / self.ops if self.ops else 0.0
+        """Mean time spent queued behind other processes at balancers
+        (nan for an empty run)."""
+        return self.total_wait / self.ops if self.ops else float("nan")
 
     def latency_percentile(self, pct: float) -> float:
-        """Latency percentile (requires ``collect_latencies=True``)."""
+        """Latency percentile (requires ``collect_latencies=True``; nan for
+        an empty run)."""
         if self.latencies is None:
             raise ValueError("run with collect_latencies=True to get percentiles")
+        if len(self.latencies) == 0:
+            return float("nan")
         return float(np.percentile(self.latencies, pct))
 
 
@@ -219,6 +251,12 @@ class ContentionSimulator:
             raise ValueError("n_procs and ops_per_proc must be positive")
         lat_list: list[float] | None = [] if collect_latencies else None
         net = self.net
+        # Observability: checked once per run; the per-event accounting below
+        # reads simulation state but never alters it, so results are
+        # byte-identical with the layer on or off.
+        obs_on = _obs.enabled
+        obs_visits = np.zeros(net.size, dtype=np.int64) if obs_on else None
+        obs_waits = np.zeros(net.size, dtype=np.float64) if obs_on else None
         busy_until = np.zeros(net.size, dtype=np.float64)
         state = np.zeros(net.size, dtype=np.int64)
         # Event heap: (time, seq, proc, wire, ops_left, op_start_time)
@@ -256,12 +294,52 @@ class ContentionSimulator:
             busy_until[b_idx] = finish
             port = int(state[b_idx]) % b.width
             state[b_idx] += 1
+            if obs_on:
+                obs_visits[b_idx] += 1  # type: ignore[index]
+                obs_waits[b_idx] += start - t  # type: ignore[index]
             heapq.heappush(heap, (finish + self.hop_cost, seq, proc, b.outputs[port], ops_left, op_start))
             seq += 1
+        if obs_on:
+            self._obs_publish(n_procs, ops, makespan, obs_visits, obs_waits, lat_list)
         return ContentionStats(
             ops,
             makespan,
             total_latency,
             total_wait,
             np.array(lat_list) if lat_list is not None else None,
+        )
+
+    def _obs_publish(
+        self,
+        n_procs: int,
+        ops: int,
+        makespan: float,
+        visits: np.ndarray,
+        waits: np.ndarray,
+        lat_list: list[float] | None,
+    ) -> None:
+        """Publish one run's per-balancer accounting into the default
+        registry/tracer (only reached while :mod:`repro.obs` is enabled)."""
+        from ..obs.metrics import default_registry
+        from ..obs.tracer import default_tracer
+
+        reg = default_registry()
+        reg.counter("sim.contention.runs").inc()
+        reg.counter("sim.contention.ops").inc(ops)
+        if self.net.size:
+            reg.vector("sim.contention.balancer_visits", self.net.size).add_array(visits)
+            reg.vector(
+                "sim.contention.balancer_wait", self.net.size, dtype=np.float64
+            ).add_array(waits)
+        if lat_list:
+            hist = reg.histogram("sim.contention.latency")
+            for v in lat_list:
+                hist.observe(v)
+        default_tracer().record(
+            "contention_run",
+            network=self.net.name,
+            n_procs=n_procs,
+            ops=ops,
+            makespan=round(makespan, 9),
+            total_wait=round(float(waits.sum()), 9),
         )

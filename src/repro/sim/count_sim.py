@@ -18,10 +18,13 @@ Two evaluators are provided:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from ..core.compiled import compile_network
+from ..core.compiled import CompiledNetwork, compile_network
 from ..core.network import Network
+from ..obs import runtime as _obs
 
 __all__ = [
     "balancer_outputs",
@@ -61,15 +64,55 @@ def propagate_counts(net: Network, x: np.ndarray) -> np.ndarray:
     state = np.zeros((comp.num_wires, batch), dtype=np.int64)
     state[comp.input_idx] = x.T
 
-    for layer in comp.layers:
+    if _obs.enabled:
+        _propagate_instrumented(net, comp, state, batch)
+    else:
+        for layer in comp.layers:
+            for group in layer:
+                p = group.width
+                vals = state[group.in_idx]  # (k, p, B)
+                totals = vals.sum(axis=1, keepdims=True)  # (k, 1, B)
+                state[group.out_idx] = (totals - group.offsets + p - 1) // p
+
+    out = state[comp.output_idx].T  # (B, w)
+    return out[0] if single else out
+
+
+def _propagate_instrumented(
+    net: Network, comp: CompiledNetwork, state: np.ndarray, batch: int
+) -> None:
+    """The same layer sweep as the fast path, with per-layer timing.
+
+    Only reached while :mod:`repro.obs` is enabled; the arithmetic is
+    identical to the un-instrumented branch, so outputs are byte-identical
+    either way — instrumentation observes, it never participates.
+    """
+    from ..obs.metrics import default_registry
+    from ..obs.tracer import default_tracer
+
+    reg = default_registry()
+    tracer = default_tracer()
+    reg.counter("sim.counts.batches").inc()
+    reg.counter("sim.counts.vectors").inc(batch)
+    reg.histogram("sim.counts.batch_size").observe(batch)
+    layer_time = (
+        reg.vector("sim.counts.layer_seconds", comp.depth, dtype=np.float64)
+        if comp.depth
+        else None
+    )
+    for d, layer in enumerate(comp.layers):
+        t0 = time.perf_counter()
         for group in layer:
             p = group.width
             vals = state[group.in_idx]  # (k, p, B)
             totals = vals.sum(axis=1, keepdims=True)  # (k, 1, B)
             state[group.out_idx] = (totals - group.offsets + p - 1) // p
-
-    out = state[comp.output_idx].T  # (B, w)
-    return out[0] if single else out
+        dt = time.perf_counter() - t0
+        layer_time.inc(d, dt)  # type: ignore[union-attr]
+        tracer.record(
+            "count_layer", network=net.name, layer=d, groups=len(layer), batch=batch,
+            dur_s=round(dt, 9),
+        )
 
 
 def propagate_counts_reference(net: Network, x: np.ndarray) -> np.ndarray:

@@ -22,6 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.network import Network
+from ..obs import runtime as _obs
 from .schedulers import Scheduler, get_scheduler
 
 __all__ = ["Token", "RunResult", "TokenSimulator", "run_tokens", "fetch_and_increment_values"]
@@ -192,16 +193,61 @@ class TokenSimulator:
             tok.exit_step = self._steps
             self._exit_order[pos].append(tid)
             self._pending.remove(tid)
+            if _obs.enabled:
+                self._obs_record_exit(tok, pos)
         else:
             b = self.net.balancers[self._consumer[wire]]
             port = self._arrivals[b.index] % b.width
             self._arrivals[b.index] += 1
             tok.trace.append(b.index)
             tok.wire = b.outputs[port]
+            if _obs.enabled:
+                self._obs_record_hop(tok, b, port)
         self._steps += 1
+
+    def _obs_record_exit(self, tok: Token, pos: int) -> None:
+        """Observability bookkeeping for a token leaving the network (only
+        reached while :mod:`repro.obs` is enabled; reads state, never
+        changes simulation behaviour)."""
+        from ..obs.metrics import default_registry
+        from ..obs.tracer import default_tracer
+
+        reg = default_registry()
+        reg.counter("sim.token.exits").inc()
+        reg.histogram("sim.token.latency_steps").observe(self._steps - tok.entry_step)
+        reg.gauge("sim.token.pending").set(len(self._pending))
+        default_tracer().record(
+            "token_exit",
+            network=self.net.name,
+            token=tok.token_id,
+            pos=pos,
+            latency_steps=self._steps - tok.entry_step,
+        )
+
+    def _obs_record_hop(self, tok: Token, b, port: int) -> None:
+        """Observability bookkeeping for one balancer traversal."""
+        from ..obs.metrics import default_registry
+        from ..obs.tracer import default_tracer
+
+        reg = default_registry()
+        reg.counter("sim.token.hops").inc()
+        reg.vector("sim.token.balancer_visits", self.net.size).inc(b.index)
+        reg.gauge("sim.token.pending").set(len(self._pending))
+        default_tracer().record(
+            "token_hop",
+            network=self.net.name,
+            token=tok.token_id,
+            balancer=b.index,
+            port=port,
+        )
 
     def run(self, scheduler: Scheduler | str = "random", max_steps: int | None = None) -> RunResult:
         """Drain all injected tokens to quiescence."""
+        sched_name = (
+            scheduler
+            if isinstance(scheduler, str)
+            else getattr(scheduler, "__name__", type(scheduler).__name__)
+        )
         if isinstance(scheduler, str):
             scheduler = get_scheduler(scheduler)
         limit = max_steps if max_steps is not None else len(self.tokens) * (self.net.depth + 1) + 1
@@ -209,6 +255,16 @@ class TokenSimulator:
             if self._steps > limit:
                 raise RuntimeError("simulation exceeded step budget — network not draining?")
         counts = np.array([len(order) for order in self._exit_order], dtype=np.int64)
+        if _obs.enabled:
+            from ..obs.tracer import default_tracer
+
+            default_tracer().record(
+                "token_run",
+                network=self.net.name,
+                scheduler=sched_name,
+                tokens=len(self.tokens),
+                steps=self._steps,
+            )
         return RunResult(counts, [list(o) for o in self._exit_order], list(self.tokens), self._steps)
 
 

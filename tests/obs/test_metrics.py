@@ -1,0 +1,158 @@
+"""Unit tests for the metric instruments and registry."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    VectorCounter,
+    default_registry,
+    set_default_registry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("ops")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_snapshot(self):
+        c = Counter("ops")
+        c.inc(3)
+        assert c.snapshot() == {"type": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_tracks_extrema(self):
+        g = Gauge("depth")
+        for v in (3, 9, 1):
+            g.set(v)
+        assert g.value == 1
+        assert g.max_value == 9
+        assert g.min_value == 1
+        assert g.updates == 3
+
+    def test_snapshot_before_update(self):
+        snap = Gauge("depth").snapshot()
+        assert snap["max"] is None and snap["min"] is None
+
+
+class TestHistogram:
+    def test_observe_and_mean(self):
+        h = Histogram("lat", bounds=(1, 10, 100))
+        for v in (0.5, 5, 50, 500):
+            h.observe(v)
+        assert h.total == 4
+        assert h.counts == [1, 1, 1, 1]  # one per bucket incl. overflow
+        assert h.mean == pytest.approx(555.5 / 4)
+        assert h.min_value == 0.5 and h.max_value == 500
+
+    def test_percentiles_monotone_and_bounded(self):
+        h = Histogram("lat")
+        rng = np.random.default_rng(0)
+        vals = rng.exponential(scale=30.0, size=500)
+        for v in vals:
+            h.observe(v)
+        p50, p90, p99 = h.percentile(50), h.percentile(90), h.percentile(99)
+        assert p50 <= p90 <= p99
+        assert h.min_value <= p50 and p99 <= h.max_value
+        # Fixed-bucket estimate should land in the right ballpark.
+        assert abs(p50 - float(np.percentile(vals, 50))) < 30.0
+
+    def test_empty_percentile_is_nan(self):
+        assert math.isnan(Histogram("lat").percentile(95))
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(5, 1))
+
+    def test_invalid_pct(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").percentile(101)
+
+
+class TestVectorCounter:
+    def test_inc_and_grow(self):
+        v = VectorCounter("visits", 3)
+        v.inc(1)
+        v.inc(2, 5)
+        v.grow_to(5)
+        assert v.values.tolist() == [0, 1, 5, 0, 0]
+        v.grow_to(2)  # never shrinks
+        assert v.size == 5
+
+    def test_add_array_grows(self):
+        v = VectorCounter("visits", 2)
+        v.add_array(np.array([1, 2, 3]))
+        assert v.values.tolist() == [1, 2, 3]
+
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            VectorCounter("visits", 0)
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.get("a") is not None
+        assert reg.get("missing") is None
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_vector_grows_across_networks(self):
+        reg = MetricsRegistry()
+        reg.vector("visits", 3).inc(0)
+        vec = reg.vector("visits", 6)
+        assert vec.size == 6
+        assert vec.values[0] == 1
+
+    def test_snapshot_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", DEFAULT_TIME_BUCKETS).observe(0.01)
+        reg.vector("v", 2).inc(1)
+        text = json.dumps(reg.snapshot())
+        assert "bucket_counts" in text
+
+    def test_as_rows_covers_all_types(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(3)
+        reg.vector("v", 2).inc(0, 4)
+        rows = reg.as_rows()
+        assert {r["type"] for r in rows} == {"counter", "gauge", "histogram", "vector"}
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.names() == []
+
+    def test_default_registry_swap(self):
+        fresh = MetricsRegistry()
+        prev = set_default_registry(fresh)
+        try:
+            assert default_registry() is fresh
+        finally:
+            set_default_registry(prev)
+        assert default_registry() is prev

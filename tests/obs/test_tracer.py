@@ -1,0 +1,144 @@
+"""Unit tests for the event tracer, ring buffer, and JSONL export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.tracer import Tracer, default_tracer, set_default_tracer, trace_event
+
+
+class TestTracer:
+    def test_record_sequencing(self):
+        tr = Tracer()
+        tr.record("a", x=1)
+        tr.record("b", y="z")
+        evs = tr.events()
+        assert [e.kind for e in evs] == ["a", "b"]
+        assert evs[0].seq == 0 and evs[1].seq == 1
+        assert evs[0].t <= evs[1].t
+        assert evs[1].fields == {"y": "z"}
+
+    def test_kind_filter(self):
+        tr = Tracer()
+        tr.record("hop")
+        tr.record("exit")
+        tr.record("hop")
+        assert len(tr.events("hop")) == 2
+
+    def test_ring_buffer_evicts_oldest(self):
+        tr = Tracer(capacity=4)
+        for i in range(10):
+            tr.record("e", i=i)
+        assert len(tr) == 4
+        assert [e.fields["i"] for e in tr.events()] == [6, 7, 8, 9]
+        assert tr.dropped == 6
+
+    def test_clear(self):
+        tr = Tracer(capacity=2)
+        for _ in range(5):
+            tr.record("e")
+        tr.clear()
+        assert len(tr) == 0 and tr.dropped == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_span_records_duration_and_extras(self):
+        tr = Tracer()
+        with tr.span("compile", network="K") as extra:
+            extra["layers"] = 5
+        (ev,) = tr.events("compile")
+        assert ev.fields["network"] == "K"
+        assert ev.fields["layers"] == 5
+        assert ev.fields["dur_s"] >= 0
+
+    def test_span_records_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("boom"):
+                raise RuntimeError("x")
+        assert len(tr.events("boom")) == 1
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tr = Tracer()
+        tr.record("a", n=1)
+        tr.record("b", s="t")
+        path = tr.export_jsonl(tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        objs = [json.loads(line) for line in lines]
+        assert objs[0]["kind"] == "a" and objs[0]["n"] == 1
+        assert {"seq", "t", "kind"} <= set(objs[1])
+
+    def test_empty_jsonl(self, tmp_path):
+        path = Tracer().export_jsonl(tmp_path / "empty.jsonl")
+        assert path.read_text() == ""
+
+
+class TestModuleLevelHelpers:
+    def test_trace_event_noop_when_disabled(self):
+        tr = Tracer()
+        prev = set_default_tracer(tr)
+        try:
+            obs.disable()
+            assert trace_event("nope") is None
+            assert len(tr) == 0
+        finally:
+            set_default_tracer(prev)
+
+    def test_trace_event_records_when_enabled(self):
+        tr = Tracer()
+        prev = set_default_tracer(tr)
+        try:
+            obs.enable()
+            ev = trace_event("yes", k=1)
+            assert ev is not None and len(tr) == 1
+        finally:
+            obs.disable()
+            set_default_tracer(prev)
+
+    def test_module_span_noop_when_disabled(self):
+        tr = Tracer()
+        prev = set_default_tracer(tr)
+        try:
+            obs.disable()
+            with obs.span("quiet"):
+                pass
+            assert len(tr) == 0
+        finally:
+            set_default_tracer(prev)
+
+
+class TestCapture:
+    def test_capture_swaps_and_restores(self):
+        before_tr = default_tracer()
+        assert not obs.enabled()
+        with obs.capture() as (reg, tr):
+            assert obs.enabled()
+            assert default_tracer() is tr
+            trace_event("inside")
+            reg.counter("c").inc()
+        assert not obs.enabled()
+        assert default_tracer() is before_tr
+        assert len(tr.events("inside")) == 1
+
+    def test_capture_restores_on_exception(self):
+        before = default_tracer()
+        with pytest.raises(RuntimeError):
+            with obs.capture():
+                raise RuntimeError("x")
+        assert default_tracer() is before
+        assert not obs.enabled()
+
+    def test_nested_capture(self):
+        with obs.capture() as (_, outer_tr):
+            trace_event("outer")
+            with obs.capture() as (_, inner_tr):
+                trace_event("inner")
+            trace_event("outer")
+        assert len(outer_tr) == 2
+        assert [e.kind for e in inner_tr.events()] == ["inner"]

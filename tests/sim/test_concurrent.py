@@ -109,6 +109,29 @@ class TestLatencyPercentiles:
         with pytest.raises(ValueError):
             stats.latency_percentile(95)
 
+    def test_empty_run_returns_nan_not_raise(self):
+        """Regression: zero completed ops must yield nan, not IndexError
+        from np.percentile / ZeroDivisionError from the means."""
+        import math
+
+        import numpy as np
+
+        from repro.sim import ContentionStats
+
+        empty = ContentionStats(0, 0.0, 0.0, 0.0, np.array([], dtype=np.float64))
+        assert math.isnan(empty.latency_percentile(50))
+        assert math.isnan(empty.latency_percentile(95))
+        assert math.isnan(empty.mean_latency)
+        assert math.isnan(empty.mean_wait)
+        assert math.isnan(empty.throughput)
+
+    def test_empty_run_without_latencies_still_raises_for_percentile(self):
+        from repro.sim import ContentionStats
+
+        empty = ContentionStats(0, 0.0, 0.0, 0.0, None)
+        with pytest.raises(ValueError):
+            empty.latency_percentile(95)
+
 
 class TestSingleLockBaseline:
     def test_exact_range(self):

@@ -106,6 +106,67 @@ class TestAudit:
         assert "occupancy" in out
 
 
+class TestProfile:
+    def test_tokens_workload_writes_artifacts(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        assert (
+            main(
+                [
+                    "profile", "--widths", "2,3,5", "--construction", "K",
+                    "--workload", "tokens", "--out-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "K(2,3,5)" in out
+        assert "per-layer hot spots" in out
+        assert "balancers" in out
+        data = json.loads((tmp_path / "BENCH_profile.json").read_text())
+        assert data["bench"] == "profile"
+        assert data["network"]["width"] == 30
+        assert len(data["layers"]) == data["network"]["depth"]
+        trace_lines = (tmp_path / "BENCH_profile_trace.jsonl").read_text().splitlines()
+        assert trace_lines
+        for line in trace_lines:
+            json.loads(line)
+
+    def test_contention_workload(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "profile", "--widths", "2,3", "--workload", "contention",
+                    "--procs", "4", "--ops", "2", "--out-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert "throughput" in capsys.readouterr().out
+
+    def test_counts_workload(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "profile", "--widths", "2,2", "--workload", "counts",
+                    "--batch", "8", "--out-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert "time_ms" in capsys.readouterr().out
+
+    def test_profile_leaves_obs_disabled(self, tmp_path):
+        import repro.obs as obs
+
+        main(["profile", "--widths", "2,2", "--out-dir", str(tmp_path)])
+        assert not obs.enabled()
+
+    def test_bad_widths(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["profile", "--widths", " ", "--out-dir", str(tmp_path)])
+
+
 class TestPlan:
     def test_exact(self, capsys):
         assert main(["plan", "64", "16"]) == 0
