@@ -49,7 +49,7 @@ def test_throughput_sweep(save_table):
         winners[procs] = best
     save_table("E13_throughput_w64", rows)
     # Machine-readable trajectory: BENCH_throughput.json at the repo root.
-    write_bench_json("throughput", {"width": w, "rows": rows})
+    write_bench_json("throughput", {"width": w, "rows": rows}, family="K")
 
     # Low concurrency: the single balancer (depth 1) is unbeatable.
     assert winners[1][2].depth == 1

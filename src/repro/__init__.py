@@ -57,7 +57,7 @@ from .verify import (
 )
 from .analysis import build_family, comparison_table, factorizations, pareto_frontier
 from .highlevel import make_counter, oblivious_sort
-from . import baselines, obs, viz
+from . import baselines, obs, serve, viz
 
 __version__ = "1.0.0"
 

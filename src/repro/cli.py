@@ -13,6 +13,9 @@ linearize   search for a non-linearizable execution (paper §6)
 audit       per-layer profile and critical path of a network
 profile     observability: run a workload, print hot-spot tables, emit
             BENCH_profile.json + a JSON-lines trace
+serve       run the TCP counting service (repro.serve)
+loadgen     drive a counting service with open/closed-loop load and emit
+            BENCH_serve.json
 """
 
 from __future__ import annotations
@@ -44,8 +47,29 @@ _BUILDERS = {
 }
 
 
+def _check_factors(factors: list[int]) -> list[int]:
+    """Reject degenerate factors: every width/factor must be >= 2.
+
+    Factors of 0 or 1 (or negative) would "build" trivial or broken
+    networks — e.g. ``k_network([1, 6])`` is a width-6 single balancer and
+    ``bitonic_network(0)`` is empty — which silently invalidates the
+    depth/size tables every other subcommand prints.
+    """
+    bad = [f for f in factors if f < 2]
+    if bad:
+        raise SystemExit(
+            f"error: factors must be integers >= 2, got {', '.join(map(str, bad))} "
+            f"(widths are products of balancer widths, and a balancer needs >= 2 wires)"
+        )
+    return factors
+
+
+def _make_network(family: str, factors: list[int]):
+    return _BUILDERS[family](_check_factors(factors))
+
+
 def _build(args: argparse.Namespace):
-    net = _BUILDERS[args.family](args.factors)
+    net = _make_network(args.family, args.factors)
     s = network_stats(net)
     print(format_table([s.as_dict()]))
     if args.diagram:
@@ -55,7 +79,7 @@ def _build(args: argparse.Namespace):
 
 
 def _verify(args: argparse.Namespace) -> int:
-    net = _BUILDERS[args.family](args.factors)
+    net = _make_network(args.family, args.factors)
     cv = find_counting_violation(net, rng=np.random.default_rng(args.seed))
     sv = find_sorting_violation(net)
     print(f"{net.name}: width={net.width} depth={net.depth}")
@@ -100,7 +124,7 @@ def _throughput(args: argparse.Namespace) -> int:
 def _export(args: argparse.Namespace) -> int:
     from .viz import to_dot, to_layered_json
 
-    net = _BUILDERS[args.family](args.factors)
+    net = _make_network(args.family, args.factors)
     print(to_dot(net) if args.format == "dot" else to_layered_json(net, indent=2))
     return 0
 
@@ -108,7 +132,7 @@ def _export(args: argparse.Namespace) -> int:
 def _smooth(args: argparse.Namespace) -> int:
     from .verify import observed_smoothness
 
-    net = _BUILDERS[args.family](args.factors)
+    net = _make_network(args.family, args.factors)
     sm = observed_smoothness(net)
     print(f"{net.name}: width={net.width} depth={net.depth} observed smoothness={sm}")
     print("(1 means counting-grade balance; identity would be unbounded)")
@@ -118,7 +142,7 @@ def _smooth(args: argparse.Namespace) -> int:
 def _linearize(args: argparse.Namespace) -> int:
     from .analysis import check_history, find_nonlinearizable_execution, run_sequential_history
 
-    net = _BUILDERS[args.family](args.factors)
+    net = _make_network(args.family, args.factors)
     seq_ok = check_history(run_sequential_history(net, 2 * net.width)) is None
     print(f"{net.name}: sequential executions linearizable: {seq_ok}")
     found = find_nonlinearizable_execution(net)
@@ -134,7 +158,7 @@ def _linearize(args: argparse.Namespace) -> int:
 def _audit(args: argparse.Namespace) -> int:
     from .analysis import critical_path, layer_profile, occupancy
 
-    net = _BUILDERS[args.family](args.factors)
+    net = _make_network(args.family, args.factors)
     print(f"{net.name}: width={net.width} depth={net.depth} size={net.size} "
           f"occupancy={occupancy(net):.3f}")
     rows = [
@@ -154,10 +178,13 @@ def _audit(args: argparse.Namespace) -> int:
 
 def _parse_widths(text: str) -> list[int]:
     """Parse ``--widths 2,3,5`` (or space-separated) into factor list."""
-    factors = [int(tok) for tok in text.replace(",", " ").split()]
+    try:
+        factors = [int(tok) for tok in text.replace(",", " ").split()]
+    except ValueError:
+        raise SystemExit(f"--widths needs integer factors, got {text!r}") from None
     if not factors:
         raise SystemExit("--widths needs at least one factor, e.g. --widths 2,3,5")
-    return factors
+    return _check_factors(factors)
 
 
 def _profile(args: argparse.Namespace) -> int:
@@ -189,9 +216,139 @@ def _profile(args: argparse.Namespace) -> int:
         print(report.balancer_table(args.top))
     out_dir = pathlib.Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
-    json_path = obs.write_bench_json("profile", report.bench_payload(), directory=out_dir)
+    json_path = obs.write_bench_json(
+        "profile", report.bench_payload(), directory=out_dir, family=args.construction
+    )
     trace_path = report.tracer.export_jsonl(out_dir / "BENCH_profile_trace.jsonl")
     print(f"\nwrote {json_path} and {trace_path}")
+    return 0
+
+
+def _make_service(args: argparse.Namespace):
+    """Build the CountingService a serve/loadgen invocation asked for:
+    explicit factors (``--widths``) or a planner query (``--width`` +
+    ``--max-balancer``)."""
+    from .serve import CountingService
+
+    kwargs = dict(
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+        queue_limit=args.queue_limit,
+        validate=not args.no_validate,
+    )
+    if args.width is not None:
+        return CountingService.from_plan(
+            args.width, args.max_balancer, family=args.construction, **kwargs
+        )
+    factors = _parse_widths(args.widths)
+    return CountingService(_BUILDERS[args.construction](factors), **kwargs)
+
+
+def _add_service_args(p: argparse.ArgumentParser) -> None:
+    """The network/batching flags shared by ``serve`` and ``loadgen``."""
+    p.add_argument(
+        "--widths", default="2,3",
+        help="comma-separated balancer-width factors, e.g. 2,3,5 (default 2,3)",
+    )
+    p.add_argument(
+        "--width", type=int, default=None,
+        help="plan mode: serve this width (needs --max-balancer; overrides --widths)",
+    )
+    p.add_argument(
+        "--max-balancer", type=int, default=8,
+        help="plan mode: widest balancer the plan may use (default 8)",
+    )
+    p.add_argument("--construction", choices=["K", "L", "C"], default="K")
+    p.add_argument("--max-batch", type=int, default=64, help="requests per vectorized batch")
+    p.add_argument(
+        "--max-delay", type=float, default=0.001,
+        help="seconds to linger for batch company after the first request",
+    )
+    p.add_argument(
+        "--queue-limit", type=int, default=1024,
+        help="pending requests before submissions are rejected (backpressure)",
+    )
+    p.add_argument(
+        "--no-validate", action="store_true",
+        help="skip the per-batch contiguous-range check",
+    )
+
+
+def _serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import CountingServer
+
+    service = _make_service(args)
+    server = CountingServer(service, host=args.host, port=args.port)
+
+    async def run() -> None:
+        await server.start()
+        host, port = server.address
+        net = service.net
+        print(
+            f"serving {net.name} (width={net.width} depth={net.depth}) "
+            f"on {host}:{port}  max_batch={service._batcher.max_batch} "
+            f"max_delay={service._batcher.max_delay} queue_limit={service._batcher.queue_limit}",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    return 0
+
+
+def _loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import pathlib
+
+    from . import obs
+    from .serve import LoadGenerator
+
+    gen = LoadGenerator(
+        mode=args.mode,
+        clients=args.clients,
+        ops=args.ops,
+        amount=args.amount,
+        rate=args.rate,
+        seed=args.seed,
+    )
+
+    async def run():
+        if args.connect:
+            host, _, port = args.connect.rpartition(":")
+            if not host or not port.isdigit():
+                raise SystemExit(f"--connect needs HOST:PORT, got {args.connect!r}")
+            return await gen.run_tcp(host, int(port))
+        service = _make_service(args)
+        async with service:
+            return await gen.run_service(service)
+
+    report = asyncio.run(run())
+    summary = report.summary()
+    net = report.service_stats.get("network", {})
+    family = str(net.get("name", "")).partition("(")[0] or None
+    print(f"target: {net.get('name', args.connect)} width={net.get('width')} depth={net.get('depth')}")
+    for k, v in summary.items():
+        print(f"  {k} = {v}")
+    hist = report.service_stats.get("batch_size_hist", {})
+    if hist:
+        print("  batch-size histogram:")
+        for size, count in sorted(hist.items(), key=lambda kv: int(kv[0])):
+            print(f"    {size:>5} : {count}")
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = obs.write_bench_json("serve", report.bench_payload(), directory=out_dir, family=family)
+    print(f"wrote {path}")
+    if not report.exactly_once:
+        print("ERROR: exactly-once violated (values not one contiguous distinct range)")
+        return 1
     return 0
 
 
@@ -285,6 +442,33 @@ def main(argv: list[str] | None = None) -> int:
     pr.add_argument("--top", type=int, default=10, help="balancer rows to print")
     pr.add_argument("--out-dir", default=".", help="where BENCH_profile.json + trace land")
     pr.set_defaults(fn=_profile)
+
+    pserve = sub.add_parser("serve", help="run the TCP counting service")
+    _add_service_args(pserve)
+    pserve.add_argument("--host", default="127.0.0.1")
+    pserve.add_argument("--port", type=int, default=0, help="0 binds an ephemeral port")
+    pserve.set_defaults(fn=_serve)
+
+    plg = sub.add_parser(
+        "loadgen",
+        help="drive a counting service with load; writes BENCH_serve.json",
+    )
+    _add_service_args(plg)
+    plg.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="drive a running server instead of an in-process service",
+    )
+    plg.add_argument("--mode", choices=["closed", "open"], default="closed")
+    plg.add_argument("--clients", type=int, default=16, help="workers / connection pool size")
+    plg.add_argument(
+        "--ops", type=int, default=50,
+        help="closed: requests per client; open: total requests",
+    )
+    plg.add_argument("--amount", type=int, default=1, help="values per INC request")
+    plg.add_argument("--rate", type=float, default=2000.0, help="open-loop arrivals/second")
+    plg.add_argument("--seed", type=int, default=0)
+    plg.add_argument("--out-dir", default=".", help="where BENCH_serve.json lands")
+    plg.set_defaults(fn=_loadgen)
 
     pp = sub.add_parser("plan", help="best family member for a width + balancer budget")
     pp.add_argument("width", type=int)

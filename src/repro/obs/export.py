@@ -8,25 +8,39 @@ small and stable::
 
     {
       "bench": "<name>",
-      "schema": 1,
+      "schema": 2,
       "created_unix": <float>,
       "repro_version": "<package version>",
+      "git_commit": "<hex sha or null>",
+      "family": "<network family or null>",
       ...caller payload (rows / summary / layers / ...)
     }
 
 so downstream tooling can diff runs across commits without parsing tables.
+Schema 2 adds the ``git_commit`` / ``family`` stamps: a trajectory of
+``BENCH_*.json`` files collected across PRs is attributable to the commit
+and the network family that produced each point.
 """
 
 from __future__ import annotations
 
+import functools
 import json
 import pathlib
+import subprocess
 import time
 from typing import Iterable
 
-__all__ = ["BENCH_SCHEMA_VERSION", "repo_root", "bench_json_payload", "write_bench_json", "write_jsonl"]
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "repo_root",
+    "git_commit",
+    "bench_json_payload",
+    "write_bench_json",
+    "write_jsonl",
+]
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 
 def repo_root() -> pathlib.Path:
@@ -37,6 +51,24 @@ def repo_root() -> pathlib.Path:
         if (parent / "pyproject.toml").exists():
             return parent
     return pathlib.Path.cwd()
+
+
+@functools.lru_cache(maxsize=1)
+def git_commit() -> str | None:
+    """The repo's current commit hash, or ``None`` outside a git checkout
+    (e.g. an installed wheel).  Cached for the process lifetime."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root(),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
 
 
 def _json_default(obj):
@@ -52,30 +84,45 @@ def _json_default(obj):
     raise TypeError(f"not JSON serializable: {type(obj).__name__}")
 
 
-def bench_json_payload(name: str, payload: dict) -> dict:
-    """Wrap ``payload`` in the standard ``BENCH_*.json`` envelope."""
+def bench_json_payload(name: str, payload: dict, family: str | None = None) -> dict:
+    """Wrap ``payload`` in the standard ``BENCH_*.json`` envelope.
+
+    Every envelope is stamped with the producing ``git_commit`` and the
+    network ``family`` the numbers describe.  ``family`` resolution, in
+    precedence order: the explicit argument, then a ``family`` key already
+    present in ``payload``, then ``None``.
+    """
     from .. import __version__
 
-    return {
+    out = {
         "bench": name,
         "schema": BENCH_SCHEMA_VERSION,
         "created_unix": time.time(),
         "repro_version": __version__,
+        "git_commit": git_commit(),
+        "family": None,
         **payload,
     }
+    if family is not None:
+        out["family"] = family
+    return out
 
 
-def write_bench_json(name: str, payload: dict, directory=None) -> pathlib.Path:
+def write_bench_json(
+    name: str, payload: dict, directory=None, family: str | None = None
+) -> pathlib.Path:
     """Write ``BENCH_<name>.json`` into ``directory`` (repo root by default).
 
     ``payload`` supplies the benchmark-specific keys (typically ``rows`` —
     a list of flat dicts mirroring the human-readable table — plus optional
-    ``summary``/``meta``).  Returns the written path.
+    ``summary``/``meta``); ``family`` stamps the envelope (see
+    :func:`bench_json_payload`).  Returns the written path.
     """
     directory = pathlib.Path(directory) if directory is not None else repo_root()
     path = directory / f"BENCH_{name}.json"
     path.write_text(
-        json.dumps(bench_json_payload(name, payload), indent=2, default=_json_default) + "\n"
+        json.dumps(bench_json_payload(name, payload, family), indent=2, default=_json_default)
+        + "\n"
     )
     return path
 

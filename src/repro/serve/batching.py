@@ -1,0 +1,225 @@
+"""Asyncio micro-batching with bounded-queue backpressure.
+
+The serving layer's throughput story rests on *coalescing*: many concurrent
+``fetch_and_increment`` requests become one vectorized pass over the
+compiled network (one ``propagate_counts`` call per batch instead of one
+lock-protected traversal per token).  :class:`Batcher` is the generic
+engine: callers :meth:`~Batcher.submit` requests, a single worker task
+drains the queue into batches of at most ``max_batch`` items, waiting at
+most ``max_delay`` seconds after the first item of a batch for company, and
+applies the caller's ``apply_batch`` function to each batch.
+
+Backpressure is load-shedding, not blocking: the queue holds at most
+``queue_limit`` pending requests and :meth:`~Batcher.submit` raises
+:class:`OverloadedError` immediately when it is full.  A rejected request
+has no side effects — the caller can retry, back off, or surface the error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+__all__ = ["OverloadedError", "BatcherStats", "Batcher"]
+
+
+class OverloadedError(RuntimeError):
+    """The pending-request queue is full; the request was rejected."""
+
+
+@dataclass
+class BatcherStats:
+    """Counters maintained by a :class:`Batcher` across its lifetime.
+
+    ``batch_size_hist`` maps batch size (requests coalesced into one
+    ``apply_batch`` call) to the number of batches of that size.
+    """
+
+    submitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    batches: int = 0
+    batch_size_hist: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean requests per batch (nan before the first batch)."""
+        if not self.batches:
+            return float("nan")
+        return sum(s * n for s, n in self.batch_size_hist.items()) / self.batches
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "batch_size_hist": {str(k): v for k, v in sorted(self.batch_size_hist.items())},
+        }
+
+
+class Batcher:
+    """Coalesce concurrent submissions into bounded batches.
+
+    ``apply_batch`` receives the list of submitted request objects and must
+    return one result per request, in order; it runs on the event loop (the
+    serving use case is vectorized numpy, which releases nothing and
+    finishes in microseconds).  If it raises, every request of that batch
+    receives the exception.
+
+    The batcher must be started (``await batcher.start()`` or
+    ``async with batcher:``) before :meth:`submit` is called.
+    """
+
+    def __init__(
+        self,
+        apply_batch: Callable[[list[Any]], Sequence[Any]],
+        *,
+        max_batch: int = 64,
+        max_delay: float = 0.001,
+        queue_limit: int = 1024,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self._apply = apply_batch
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self.queue_limit = int(queue_limit)
+        self.stats = BatcherStats()
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_limit)
+        self._worker: asyncio.Task | None = None
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the drain worker (idempotent)."""
+        if self._worker is None:
+            self._closed = False
+            self._worker = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Stop accepting work, drain what is queued, and join the worker."""
+        if self._worker is None:
+            return
+        self._closed = True
+        # Sentinel wakes the worker even when the queue is empty.  The queue
+        # may be full of real work; put_nowait would raise, so use put().
+        await self._queue.put(_STOP)
+        await self._worker
+        self._worker = None
+
+    async def __aenter__(self) -> "Batcher":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._worker is not None and not self._worker.done()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued (waiting for a batch slot)."""
+        return self._queue.qsize()
+
+    # -- submission ---------------------------------------------------------
+
+    async def submit(self, request: Any) -> Any:
+        """Enqueue ``request`` and await its result.
+
+        Raises :class:`OverloadedError` immediately if the queue is full,
+        and ``RuntimeError`` if the batcher is not running.
+        """
+        if self._closed or self._worker is None:
+            raise RuntimeError("batcher is not running; call start() first")
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait((request, fut))
+        except asyncio.QueueFull:
+            self.stats.rejected += 1
+            raise OverloadedError(
+                f"pending queue full ({self.queue_limit} requests); retry later"
+            ) from None
+        self.stats.submitted += 1
+        return await fut
+
+    # -- worker -------------------------------------------------------------
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if first is _STOP:
+                return
+            batch = [first]
+            # Drain whatever is already queued, then (if still under
+            # max_batch and a delay budget exists) linger for stragglers.
+            stop = self._drain_available(batch)
+            if not stop and len(batch) < self.max_batch and self.max_delay > 0:
+                stop = await self._linger(batch, loop)
+            self._dispatch(batch)
+            if stop:
+                return
+
+    def _drain_available(self, batch: list) -> bool:
+        """Move already-queued items into ``batch``; True if _STOP was hit."""
+        while len(batch) < self.max_batch and not self._queue.empty():
+            item = self._queue.get_nowait()
+            if item is _STOP:
+                return True
+            batch.append(item)
+        return False
+
+    async def _linger(self, batch: list, loop: asyncio.AbstractEventLoop) -> bool:
+        """Wait up to ``max_delay`` (from now) for more items; True on _STOP."""
+        deadline = loop.time() + self.max_delay
+        while len(batch) < self.max_batch:
+            timeout = deadline - loop.time()
+            if timeout <= 0:
+                return False
+            try:
+                item = await asyncio.wait_for(self._queue.get(), timeout)
+            except asyncio.TimeoutError:
+                return False
+            if item is _STOP:
+                return True
+            batch.append(item)
+        return False
+
+    def _dispatch(self, batch: list) -> None:
+        """Apply one batch and complete its futures."""
+        requests = [req for req, _ in batch]
+        self.stats.batches += 1
+        size = len(batch)
+        self.stats.batch_size_hist[size] = self.stats.batch_size_hist.get(size, 0) + 1
+        try:
+            results = self._apply(requests)
+        except Exception as exc:  # noqa: BLE001 — propagate to every waiter
+            for _, fut in batch:
+                if not fut.done():
+                    fut.set_exception(exc)
+            return
+        if len(results) != size:
+            err = RuntimeError(
+                f"apply_batch returned {len(results)} results for {size} requests"
+            )
+            for _, fut in batch:
+                if not fut.done():
+                    fut.set_exception(err)
+            return
+        for (_, fut), res in zip(batch, results):
+            if not fut.done():  # waiter may have been cancelled
+                fut.set_result(res)
+        self.stats.completed += size
+
+
+_STOP = object()

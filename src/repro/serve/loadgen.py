@@ -1,0 +1,286 @@
+"""Load generation for the counting service: open- and closed-loop clients.
+
+Two canonical load models (Schroeder et al.'s open-vs-closed distinction):
+
+* **closed loop** — ``clients`` workers, each issuing ``ops`` requests
+  back-to-back; offered load adapts to service speed.  This is the model of
+  the paper's cited shared-memory experiment [9] and of
+  :class:`repro.sim.ContentionSimulator`.
+* **open loop** — requests arrive on a *seeded Poisson schedule* at
+  ``rate`` requests/second regardless of completions; overload shows up as
+  rejected requests rather than falling throughput.
+
+Both models run against an in-process :class:`CountingService`
+(:meth:`LoadGenerator.run_service`) or a TCP server
+(:meth:`LoadGenerator.run_tcp`, one connection per client).  The result is
+a :class:`LoadReport` with throughput, latency percentiles, the server's
+batch-size histogram, and the exactly-once verdict over every value the
+clients received.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+
+import numpy as np
+
+from .batching import OverloadedError
+from .protocol import encode_request, parse_response
+from .service import CountingService
+
+__all__ = ["TCPCounterClient", "LoadReport", "LoadGenerator"]
+
+
+class TCPCounterClient:
+    """Minimal asyncio client for the line protocol (one connection)."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "TCPCounterClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def inc(self, amount: int = 1) -> list[int]:
+        """``INC <amount>`` → the dispensed values."""
+        self._writer.write(encode_request(amount))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return parse_response(line.decode("ascii", errors="replace"))
+
+    async def stats(self) -> dict:
+        """``STATS`` → the server's stats snapshot."""
+        import json
+
+        self._writer.write(b"STATS\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        body = line.decode("ascii", errors="replace").strip()
+        if not body.startswith("OK "):
+            raise ConnectionError(f"unexpected STATS response: {body!r}")
+        return json.loads(body[3:])
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured."""
+
+    mode: str
+    clients: int
+    requests: int
+    rejected: int
+    values: list[int]
+    latencies_s: np.ndarray
+    duration_s: float
+    service_stats: dict = field(default_factory=dict)
+    seed: int = 0
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def tokens(self) -> int:
+        return len(self.values)
+
+    @property
+    def throughput(self) -> float:
+        """Dispensed values per second (nan for an empty run)."""
+        if not self.duration_s or not self.values:
+            return float("nan")
+        return self.tokens / self.duration_s
+
+    def latency_percentile(self, pct: float) -> float:
+        if len(self.latencies_s) == 0:
+            return float("nan")
+        return float(np.percentile(self.latencies_s, pct))
+
+    @property
+    def distinct(self) -> bool:
+        return len(set(self.values)) == len(self.values)
+
+    @property
+    def contiguous(self) -> bool:
+        """Values form a gap-free range (from their own minimum)."""
+        if not self.values:
+            return False
+        return self.distinct and max(self.values) - min(self.values) + 1 == len(self.values)
+
+    @property
+    def exactly_once(self) -> bool:
+        """Every request got distinct values forming one contiguous range."""
+        return self.contiguous
+
+    def summary(self) -> dict:
+        lat = self.latencies_s
+        return {
+            "mode": self.mode,
+            "clients": self.clients,
+            "requests": self.requests,
+            "rejected": self.rejected,
+            "tokens": self.tokens,
+            "duration_s": round(self.duration_s, 6),
+            "throughput": round(self.throughput, 3) if self.values else None,
+            "latency_mean_s": round(float(lat.mean()), 9) if len(lat) else None,
+            "latency_p50_s": round(self.latency_percentile(50), 9) if len(lat) else None,
+            "latency_p99_s": round(self.latency_percentile(99), 9) if len(lat) else None,
+            "latency_max_s": round(float(lat.max()), 9) if len(lat) else None,
+            "mean_batch_size": self.service_stats.get("mean_batch_size"),
+            "distinct": self.distinct,
+            "contiguous": self.contiguous,
+            "exactly_once": self.exactly_once,
+            "first_value": min(self.values) if self.values else None,
+            "seed": self.seed,
+        }
+
+    def bench_payload(self) -> dict:
+        """The ``BENCH_serve.json`` body (sans envelope)."""
+        return {
+            "summary": self.summary(),
+            "batch_size_hist": self.service_stats.get("batch_size_hist", {}),
+            "service": self.service_stats,
+        }
+
+
+class LoadGenerator:
+    """Seeded open-/closed-loop driver for a counting service.
+
+    Parameters
+    ----------
+    mode:
+        ``"closed"`` (default) or ``"open"``.
+    clients:
+        Closed loop: concurrent workers.  Open loop: connection-pool size
+        for TCP targets (arrivals beyond the pool queue per connection).
+    ops:
+        Closed loop: requests *per client*.  Open loop: total requests.
+    amount:
+        Values requested per ``INC`` (vector requests stress splitting).
+    rate:
+        Open loop: mean arrival rate, requests/second (Poisson).
+    seed:
+        Seeds the arrival-schedule RNG; two runs with equal config and seed
+        offer identical schedules.
+    """
+
+    def __init__(
+        self,
+        *,
+        mode: str = "closed",
+        clients: int = 16,
+        ops: int = 50,
+        amount: int = 1,
+        rate: float = 2000.0,
+        seed: int = 0,
+    ) -> None:
+        if mode not in ("closed", "open"):
+            raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+        if clients < 1 or ops < 1 or amount < 1:
+            raise ValueError("clients, ops, and amount must be >= 1")
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.mode = mode
+        self.clients = clients
+        self.ops = ops
+        self.amount = amount
+        self.rate = rate
+        self.seed = seed
+
+    # -- targets --------------------------------------------------------------
+
+    async def run_service(self, service: CountingService) -> LoadReport:
+        """Drive an in-process service (must already be started)."""
+        submit = service.fetch_and_increment_many
+        report = await self._drive(lambda _i: submit)
+        report.service_stats = service.stats()
+        return report
+
+    async def run_tcp(self, host: str, port: int) -> LoadReport:
+        """Drive a TCP server: one connection per client slot."""
+        pool = [await TCPCounterClient.connect(host, port) for _ in range(self.clients)]
+        locks = [asyncio.Lock() for _ in pool]
+
+        def make_submit(i: int) -> Callable[[int], Awaitable[list[int]]]:
+            client, lock = pool[i % len(pool)], locks[i % len(pool)]
+
+            async def submit(amount: int) -> list[int]:
+                async with lock:  # a connection carries one request at a time
+                    return await client.inc(amount)
+
+            return submit
+
+        try:
+            report = await self._drive(make_submit)
+            report.service_stats = await pool[0].stats()
+        finally:
+            for c in pool:
+                await c.close()
+        return report
+
+    # -- load models ------------------------------------------------------------
+
+    async def _drive(self, make_submit) -> LoadReport:
+        values: list[int] = []
+        latencies: list[float] = []
+        rejected = 0
+        loop = asyncio.get_running_loop()
+
+        async def one_request(submit) -> None:
+            nonlocal rejected
+            t0 = loop.time()
+            try:
+                got = await submit(self.amount)
+            except OverloadedError:
+                rejected += 1
+                return
+            latencies.append(loop.time() - t0)
+            values.extend(got)
+
+        t_start = time.perf_counter()
+        if self.mode == "closed":
+
+            async def worker(i: int) -> None:
+                submit = make_submit(i)
+                for _ in range(self.ops):
+                    await one_request(submit)
+
+            await asyncio.gather(*(worker(i) for i in range(self.clients)))
+            requests = self.clients * self.ops
+        else:
+            rng = np.random.default_rng(self.seed)
+            offsets = np.cumsum(rng.exponential(1.0 / self.rate, size=self.ops))
+            start = loop.time()
+            tasks = []
+            for i in range(self.ops):
+                delay = start + float(offsets[i]) - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                tasks.append(loop.create_task(one_request(make_submit(i))))
+            await asyncio.gather(*tasks)
+            requests = self.ops
+        duration = time.perf_counter() - t_start
+
+        return LoadReport(
+            mode=self.mode,
+            clients=self.clients,
+            requests=requests,
+            rejected=rejected,
+            values=values,
+            latencies_s=np.asarray(latencies, dtype=np.float64),
+            duration_s=duration,
+            seed=self.seed,
+        )

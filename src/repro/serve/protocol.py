@@ -1,0 +1,131 @@
+"""Line protocol for the TCP counting server.
+
+One request per line, one response line per request, ASCII, ``\\n``
+terminated (a trailing ``\\r`` is tolerated).  Deliberately minimal — the
+interesting machinery is the batching underneath, not the framing:
+
+============================  ==============================================
+Request                       Response
+============================  ==============================================
+``INC``                       ``OK <v>`` — one counter value
+``INC <n>``                   ``OK <v0> <v1> ... <v(n-1)>`` — ``n`` values
+``STATS``                     ``OK <json>`` — service stats, one JSON object
+``PING``                      ``OK pong``
+(anything else)               ``ERR bad-request <detail>``
+(queue full)                  ``ERR overloaded <detail>``
+(server bug)                  ``ERR internal <detail>``
+============================  ==============================================
+
+``parse_request``/``encode_*`` are pure functions shared by the server and
+the load-generator client, so both sides agree by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .batching import OverloadedError
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "MAX_AMOUNT",
+    "ProtocolError",
+    "Request",
+    "parse_request",
+    "encode_request",
+    "encode_values",
+    "encode_stats",
+    "encode_error",
+    "parse_response",
+]
+
+#: Hard cap on one protocol line; longer lines are a protocol error.
+MAX_LINE_BYTES = 1 << 16
+
+#: Hard cap on ``INC <n>`` — bounds per-request memory on the server.
+MAX_AMOUNT = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A malformed request or response line."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """A parsed request: ``verb`` is ``inc``/``stats``/``ping``."""
+
+    verb: str
+    amount: int = 1
+
+
+def parse_request(line: str) -> Request:
+    """Parse one request line (without the newline)."""
+    parts = line.strip().split()
+    if not parts:
+        raise ProtocolError("empty request")
+    verb = parts[0].upper()
+    if verb == "INC":
+        if len(parts) == 1:
+            return Request("inc", 1)
+        if len(parts) != 2:
+            raise ProtocolError(f"INC takes at most one argument, got {len(parts) - 1}")
+        try:
+            amount = int(parts[1])
+        except ValueError:
+            raise ProtocolError(f"INC amount must be an integer, got {parts[1]!r}") from None
+        if not 1 <= amount <= MAX_AMOUNT:
+            raise ProtocolError(f"INC amount must be in [1, {MAX_AMOUNT}], got {amount}")
+        return Request("inc", amount)
+    if verb == "STATS" and len(parts) == 1:
+        return Request("stats")
+    if verb == "PING" and len(parts) == 1:
+        return Request("ping")
+    raise ProtocolError(f"unknown request {line.strip()!r}")
+
+
+def encode_request(amount: int = 1) -> bytes:
+    """Client side: the ``INC`` line for ``amount`` values."""
+    if amount == 1:
+        return b"INC\n"
+    return f"INC {amount}\n".encode("ascii")
+
+
+def encode_values(values) -> bytes:
+    """Server side: the ``OK`` line for a sequence of dispensed values."""
+    return ("OK " + " ".join(str(int(v)) for v in values) + "\n").encode("ascii")
+
+
+def encode_stats(stats: dict) -> bytes:
+    """Server side: the ``OK`` line for a stats snapshot (compact JSON)."""
+    import json
+
+    return ("OK " + json.dumps(stats, separators=(",", ":")) + "\n").encode("ascii")
+
+
+def encode_error(code: str, message: str) -> bytes:
+    """Server side: an ``ERR`` line (message flattened to one line)."""
+    flat = " ".join(str(message).split()) or code
+    return f"ERR {code} {flat}\n".encode("ascii", errors="replace")
+
+
+def parse_response(line: str) -> list[int]:
+    """Client side: decode an ``INC`` response into its values.
+
+    Raises :class:`~repro.serve.batching.OverloadedError` for
+    ``ERR overloaded``, :class:`ProtocolError` otherwise on any error.
+    """
+    line = line.strip()
+    if line.startswith("OK"):
+        body = line[2:].strip()
+        try:
+            return [int(tok) for tok in body.split()]
+        except ValueError:
+            raise ProtocolError(f"non-integer OK payload: {body!r}") from None
+    if line.startswith("ERR"):
+        parts = line.split(maxsplit=2)
+        code = parts[1] if len(parts) > 1 else "unknown"
+        detail = parts[2] if len(parts) > 2 else ""
+        if code == "overloaded":
+            raise OverloadedError(detail or "server overloaded")
+        raise ProtocolError(f"server error {code}: {detail}")
+    raise ProtocolError(f"unparseable response line: {line!r}")

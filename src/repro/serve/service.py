@@ -1,0 +1,222 @@
+"""An asyncio Fetch&Increment service backed by a counting network.
+
+This is the serving-layer realization of the paper's thesis: a counting
+network *is* a low-contention shared counter.  :class:`CountingService`
+owns one network (built directly, or planned with
+:func:`repro.analysis.plan_network`) and exposes ``fetch_and_increment``
+over an async API; concurrent requests are coalesced by a
+:class:`~repro.serve.batching.Batcher` into vectorized batches.
+
+Batched issuance uses the quiescent-state identity that powers all the
+repo's verification (see :mod:`repro.sim.count_sim`): tokens enter
+round-robin, so after ``T`` total tokens the input count vector is the
+step sequence ``make_step(w, T)`` and the per-wire output counts follow
+from one :func:`propagate_counts` pass over the compiled network.  The
+values dispensed by a batch of ``n`` tokens are, per output wire ``i``,
+``i + w*k`` for each newly dispensed ``k`` — and because a counting
+network's outputs have the step property, their union is *exactly* the
+contiguous range ``[T, T+n)``.  Exactly-once issuance is therefore not a
+locking discipline here; it is the counting property itself, and the
+service re-verifies it on every batch (``validate=True``) so a non-counting
+network is caught immediately rather than corrupting clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Sequence
+
+import numpy as np
+
+from ..core.network import Network
+from ..core.sequences import make_step
+from ..obs import runtime as _obs
+from ..sim.count_sim import propagate_counts
+from .batching import Batcher, BatcherStats, OverloadedError
+
+__all__ = ["ExactlyOnceError", "CountingService", "OverloadedError"]
+
+
+class ExactlyOnceError(RuntimeError):
+    """A batch's dispensed values were not the expected contiguous range.
+
+    Raised when the served network violates the counting property — e.g. a
+    sorting-only or deliberately broken network was plugged in.  The batch
+    that trips this is *not* issued.
+    """
+
+
+class CountingService:
+    """Exactly-once ``fetch_and_increment`` over a counting network.
+
+    Parameters
+    ----------
+    net:
+        The backing network.  Must be a counting network for the
+        exactly-once guarantee to hold; violations raise
+        :class:`ExactlyOnceError` at issue time when ``validate`` is on.
+    max_batch / max_delay / queue_limit:
+        Batching and backpressure knobs, passed to
+        :class:`~repro.serve.batching.Batcher`: at most ``max_batch``
+        requests per vectorized pass, at most ``max_delay`` seconds of
+        lingering after the first request of a batch, at most
+        ``queue_limit`` requests pending before submissions are rejected
+        with :class:`~repro.serve.batching.OverloadedError`.
+    validate:
+        Re-check per batch that dispensed values form the contiguous range
+        ``[issued, issued + n)``.  Costs one O(n) comparison per batch.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        *,
+        max_batch: int = 64,
+        max_delay: float = 0.001,
+        queue_limit: int = 1024,
+        validate: bool = True,
+    ) -> None:
+        self.net = net
+        self.validate = bool(validate)
+        self._total = 0
+        self._out_counts = np.zeros(net.width, dtype=np.int64)
+        self._wire_ids = np.arange(net.width, dtype=np.int64)
+        self._batcher = Batcher(
+            self._apply_batch,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            queue_limit=queue_limit,
+        )
+
+    @classmethod
+    def from_plan(
+        cls,
+        width: int,
+        max_balancer: int,
+        family: str = "K",
+        **kwargs,
+    ) -> "CountingService":
+        """Plan the shallowest in-budget family member and serve it.
+
+        Accepts the same constraints as :func:`repro.analysis.plan_network`
+        (the served width may be padded up when ``width`` has no in-budget
+        factorization — padding is sound for counting).
+        """
+        from ..analysis.planner import plan_network
+
+        plan = plan_network(width, max_balancer, family)
+        return cls(plan.build(), **kwargs)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        await self._batcher.start()
+
+    async def stop(self) -> None:
+        await self._batcher.stop()
+
+    async def __aenter__(self) -> "CountingService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.stop()
+
+    # -- async API ----------------------------------------------------------
+
+    async def fetch_and_increment(self) -> int:
+        """Take the next counter value (one token through the network)."""
+        values = await self._batcher.submit(1)
+        return int(values[0])
+
+    async def fetch_and_increment_many(self, n: int) -> list[int]:
+        """Take ``n`` values in one request (still one queue slot)."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        values = await self._batcher.submit(int(n))
+        return [int(v) for v in values]
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def issued(self) -> int:
+        """Total values dispensed so far."""
+        return self._total
+
+    @property
+    def batcher_stats(self) -> BatcherStats:
+        return self._batcher.stats
+
+    def stats(self) -> dict:
+        """One JSON-friendly snapshot: network, issuance, batching."""
+        return {
+            "network": {
+                "name": self.net.name,
+                "width": self.net.width,
+                "depth": self.net.depth,
+                "size": self.net.size,
+            },
+            "issued": self._total,
+            "queue_depth": self._batcher.queue_depth,
+            "max_batch": self._batcher.max_batch,
+            "max_delay": self._batcher.max_delay,
+            "queue_limit": self._batcher.queue_limit,
+            **self._batcher.stats.as_dict(),
+        }
+
+    # -- issuance core ------------------------------------------------------
+
+    def issue_batch(self, n: int) -> np.ndarray:
+        """Synchronously dispense the next ``n`` values (ascending).
+
+        This is the vectorized kernel behind the async API; it is also
+        usable directly from synchronous code (tests, benchmarks).  Not
+        thread-safe — the async API serializes all calls on the batcher
+        worker.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        w = self.net.width
+        t0 = self._total
+        t1 = t0 + n
+        out_after = propagate_counts(self.net, make_step(w, t1))
+        delta = out_after - self._out_counts
+        if self.validate and (np.any(delta < 0) or int(delta.sum()) != n):
+            raise ExactlyOnceError(
+                f"{self.net.name}: batch of {n} produced per-wire deltas "
+                f"summing to {int(delta.sum())}"
+            )
+        # Wire i dispenses values i + w*k for k in [out_before[i], out_after[i]).
+        reps = np.repeat(self._wire_ids, delta)
+        offs = np.arange(n, dtype=np.int64) - np.repeat(np.cumsum(delta) - delta, delta)
+        values = np.sort(reps + w * (self._out_counts[reps] + offs))
+        if self.validate and not np.array_equal(values, np.arange(t0, t1)):
+            raise ExactlyOnceError(
+                f"{self.net.name} is not serving exactly-once: batch after "
+                f"{t0} tokens dispensed {values[:8].tolist()}... expected "
+                f"[{t0}, {t1})"
+            )
+        self._total = t1
+        self._out_counts = out_after
+        return values
+
+    def _apply_batch(self, amounts: list[int]) -> Sequence[np.ndarray]:
+        """Batcher callback: one vectorized pass serves every request."""
+        n = int(sum(amounts))
+        values = self.issue_batch(n)
+        if _obs.enabled:
+            self._obs_record(len(amounts), n)
+        bounds = np.cumsum(amounts[:-1])
+        return np.split(values, bounds)
+
+    def _obs_record(self, requests: int, tokens: int) -> None:
+        """Publish one batch's accounting (only reached while obs is on)."""
+        from ..obs.metrics import default_registry
+
+        reg = default_registry()
+        reg.counter("serve.batches").inc()
+        reg.counter("serve.requests").inc(requests)
+        reg.counter("serve.tokens").inc(tokens)
+        reg.histogram("serve.batch_size", tuple(float(2**i) for i in range(11))).observe(
+            requests
+        )

@@ -1,0 +1,87 @@
+"""Tests for BENCH_*.json envelope stamping: git commit + network family."""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+
+import pytest
+
+from repro.obs.export import (
+    BENCH_SCHEMA_VERSION,
+    bench_json_payload,
+    git_commit,
+    repo_root,
+    write_bench_json,
+)
+
+
+def in_git_checkout() -> bool:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=repo_root(), capture_output=True, text=True
+        )
+    except OSError:
+        return False
+    return out.returncode == 0
+
+
+class TestGitCommit:
+    def test_matches_head_when_in_a_checkout(self):
+        sha = git_commit()
+        if not in_git_checkout():
+            assert sha is None
+            return
+        assert sha is not None
+        assert re.fullmatch(r"[0-9a-f]{40}", sha), sha
+        head = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=repo_root(), capture_output=True, text=True
+        ).stdout.strip()
+        assert sha == head
+
+    def test_cached(self):
+        assert git_commit() is git_commit()
+
+
+class TestEnvelope:
+    def test_schema_and_stamps_present(self):
+        env = bench_json_payload("demo", {"rows": []})
+        assert env["schema"] == BENCH_SCHEMA_VERSION == 2
+        assert "git_commit" in env
+        assert env["family"] is None
+
+    def test_family_argument_stamps(self):
+        env = bench_json_payload("demo", {"rows": []}, family="K")
+        assert env["family"] == "K"
+
+    def test_family_argument_beats_payload_key(self):
+        env = bench_json_payload("demo", {"family": "L"}, family="K")
+        assert env["family"] == "K"
+
+    def test_payload_family_used_when_no_argument(self):
+        # bench_build_scale passes family inside its payload; it must survive.
+        env = bench_json_payload("demo", {"family": "L", "rows": []})
+        assert env["family"] == "L"
+
+    def test_payload_keys_preserved(self):
+        env = bench_json_payload("demo", {"rows": [1, 2], "summary": {"x": 1}})
+        assert env["rows"] == [1, 2]
+        assert env["summary"] == {"x": 1}
+
+
+class TestWriteBenchJson:
+    def test_written_file_carries_the_stamps(self, tmp_path):
+        path = write_bench_json("stamptest", {"rows": []}, directory=tmp_path, family="R")
+        data = json.loads(path.read_text())
+        assert path.name == "BENCH_stamptest.json"
+        assert data["bench"] == "stamptest"
+        assert data["schema"] == 2
+        assert data["family"] == "R"
+        assert data["git_commit"] == git_commit()
+        assert "repro_version" in data and "created_unix" in data
+
+    def test_default_family_is_null_not_missing(self, tmp_path):
+        path = write_bench_json("stamptest2", {"rows": []}, directory=tmp_path)
+        data = json.loads(path.read_text())
+        assert "family" in data and data["family"] is None

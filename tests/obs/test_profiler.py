@@ -193,9 +193,10 @@ class TestBenchExport:
         assert path.name == "BENCH_unittest.json"
         data = json.loads(path.read_text())
         assert data["bench"] == "unittest"
-        assert data["schema"] == 1
+        assert data["schema"] == obs.export.BENCH_SCHEMA_VERSION
         assert data["rows"] == [{"a": 1, "b": 2}]
         assert "created_unix" in data and "repro_version" in data
+        assert "git_commit" in data and "family" in data  # schema-2 stamps
 
     def test_write_jsonl(self, tmp_path):
         path = obs.write_jsonl(tmp_path / "x.jsonl", [{"a": 1}, {"b": np.float64(2.5)}])

@@ -1,0 +1,142 @@
+"""Tests for the load generator: both loops, both targets, the report."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.networks import k_network
+from repro.serve import CountingServer, CountingService, LoadGenerator, LoadReport
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestClosedLoop:
+    def test_in_process_report(self):
+        async def main():
+            async with CountingService(k_network([2, 3])) as svc:
+                gen = LoadGenerator(mode="closed", clients=8, ops=10, seed=2)
+                return await gen.run_service(svc)
+
+        rep = run(main())
+        assert rep.requests == 80
+        assert rep.tokens == 80
+        assert rep.rejected == 0
+        assert rep.exactly_once
+        assert rep.throughput > 0
+        assert len(rep.latencies_s) == 80
+        assert rep.latency_percentile(50) <= rep.latency_percentile(99)
+        # High client counts must drive mean batch size above 1.
+        assert rep.service_stats["mean_batch_size"] > 1
+
+    def test_vector_amounts(self):
+        async def main():
+            async with CountingService(k_network([2, 2])) as svc:
+                gen = LoadGenerator(mode="closed", clients=4, ops=5, amount=3)
+                return await gen.run_service(svc)
+
+        rep = run(main())
+        assert rep.tokens == 4 * 5 * 3
+        assert rep.exactly_once
+
+    def test_tcp_target(self):
+        async def main():
+            svc = CountingService(k_network([2, 3]))
+            async with CountingServer(svc, port=0) as server:
+                gen = LoadGenerator(mode="closed", clients=6, ops=8, seed=0)
+                return await gen.run_tcp(*server.address)
+
+        rep = run(main())
+        assert rep.tokens == 48
+        assert rep.exactly_once
+        # service stats came over the wire
+        assert rep.service_stats["issued"] == 48
+
+
+class TestOpenLoop:
+    def test_open_loop_accounting(self):
+        async def main():
+            async with CountingService(k_network([2, 3])) as svc:
+                gen = LoadGenerator(mode="open", clients=4, ops=60, rate=5000.0, seed=9)
+                return await gen.run_service(svc)
+
+        rep = run(main())
+        assert rep.requests == 60
+        assert len(rep.latencies_s) + rep.rejected == 60
+        assert rep.tokens == 60 - rep.rejected
+        assert rep.exactly_once  # whatever was accepted is contiguous
+
+    def test_overload_counted_not_raised(self):
+        async def main():
+            svc = CountingService(
+                k_network([2, 2]), max_batch=1, max_delay=0.0, queue_limit=1
+            )
+            async with svc:
+                gen = LoadGenerator(mode="open", clients=2, ops=200, rate=1e6, seed=5)
+                return await gen.run_service(svc)
+
+        rep = run(main())
+        assert rep.rejected > 0
+        assert rep.exactly_once
+
+    def test_seeded_schedule_is_deterministic(self):
+        # The arrival schedule is a pure function of (seed, rate, ops).
+        g1 = LoadGenerator(mode="open", ops=50, rate=1000.0, seed=42)
+        g2 = LoadGenerator(mode="open", ops=50, rate=1000.0, seed=42)
+        s1 = np.cumsum(np.random.default_rng(g1.seed).exponential(1 / g1.rate, g1.ops))
+        s2 = np.cumsum(np.random.default_rng(g2.seed).exponential(1 / g2.rate, g2.ops))
+        assert np.array_equal(s1, s2)
+
+
+class TestReport:
+    def test_bench_payload_shape(self):
+        async def main():
+            async with CountingService(k_network([2, 3])) as svc:
+                gen = LoadGenerator(mode="closed", clients=4, ops=6, seed=1)
+                return await gen.run_service(svc)
+
+        payload = run(main()).bench_payload()
+        summary = payload["summary"]
+        for key in (
+            "throughput",
+            "latency_p50_s",
+            "latency_p99_s",
+            "mean_batch_size",
+            "exactly_once",
+            "seed",
+        ):
+            assert key in summary, key
+        assert isinstance(payload["batch_size_hist"], dict)
+        assert payload["service"]["issued"] == 24
+
+    def test_empty_report_is_nan_not_crash(self):
+        rep = LoadReport(
+            mode="closed",
+            clients=1,
+            requests=0,
+            rejected=0,
+            values=[],
+            latencies_s=np.array([]),
+            duration_s=0.0,
+        )
+        assert rep.throughput != rep.throughput  # nan
+        assert not rep.exactly_once
+        assert rep.summary()["latency_p50_s"] is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode": "sideways"},
+            {"clients": 0},
+            {"ops": 0},
+            {"amount": 0},
+            {"rate": 0.0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LoadGenerator(**kwargs)

@@ -1,0 +1,83 @@
+"""Tests for the line protocol: parsing, encoding, and roundtrips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.batching import OverloadedError
+from repro.serve.protocol import (
+    MAX_AMOUNT,
+    ProtocolError,
+    Request,
+    encode_error,
+    encode_request,
+    encode_stats,
+    encode_values,
+    parse_request,
+    parse_response,
+)
+
+
+class TestParseRequest:
+    def test_bare_inc(self):
+        assert parse_request("INC") == Request("inc", 1)
+
+    def test_inc_with_amount(self):
+        assert parse_request("INC 17") == Request("inc", 17)
+
+    def test_case_and_whitespace_insensitive(self):
+        assert parse_request("  inc 3 \r") == Request("inc", 3)
+
+    def test_stats_and_ping(self):
+        assert parse_request("STATS").verb == "stats"
+        assert parse_request("ping").verb == "ping"
+
+    @pytest.mark.parametrize(
+        "line",
+        ["", "   ", "INC x", "INC 0", "INC -3", f"INC {MAX_AMOUNT + 1}",
+         "INC 1 2", "GET", "STATS now", "PING PING"],
+    )
+    def test_malformed_lines_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            parse_request(line)
+
+
+class TestRoundtrips:
+    def test_request_roundtrip(self):
+        for amount in (1, 2, 999):
+            req = parse_request(encode_request(amount).decode())
+            assert req == Request("inc", amount)
+
+    def test_values_roundtrip(self):
+        line = encode_values([5, 6, 7]).decode()
+        assert parse_response(line) == [5, 6, 7]
+
+    def test_stats_line_is_one_json_object(self):
+        line = encode_stats({"issued": 4, "network": {"name": "K(2,3)"}}).decode()
+        assert line.startswith("OK ") and line.endswith("\n")
+        assert json.loads(line[3:]) == {"issued": 4, "network": {"name": "K(2,3)"}}
+
+
+class TestParseResponse:
+    def test_overloaded_becomes_typed_error(self):
+        line = encode_error("overloaded", "pending queue full (8 requests)").decode()
+        with pytest.raises(OverloadedError, match="queue full"):
+            parse_response(line)
+
+    def test_other_errors_are_protocol_errors(self):
+        with pytest.raises(ProtocolError, match="bad-request"):
+            parse_response("ERR bad-request unknown verb")
+        with pytest.raises(ProtocolError):
+            parse_response("ERR")
+
+    def test_error_messages_are_flattened_to_one_line(self):
+        line = encode_error("internal", "multi\nline\tmessage")
+        assert line.count(b"\n") == 1 and line.endswith(b"\n")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_response("HELLO WORLD")
+        with pytest.raises(ProtocolError):
+            parse_response("OK 1 two 3")

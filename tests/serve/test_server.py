@@ -1,0 +1,130 @@
+"""End-to-end tests for the TCP server (localhost, ephemeral ports)."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.networks import k_network
+from repro.serve import CountingServer, CountingService, TCPCounterClient
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_server(**service_kwargs) -> CountingServer:
+    return CountingServer(CountingService(k_network([2, 3]), **service_kwargs), port=0)
+
+
+class TestEndToEnd:
+    def test_exactly_once_across_connections(self):
+        n_conns, m_ops = 8, 15
+
+        async def main():
+            async with make_server() as server:
+                host, port = server.address
+
+                async def client() -> list[int]:
+                    c = await TCPCounterClient.connect(host, port)
+                    try:
+                        out = []
+                        for _ in range(m_ops):
+                            out.extend(await c.inc())
+                        return out
+                    finally:
+                        await c.close()
+
+                per_conn = await asyncio.gather(*(client() for _ in range(n_conns)))
+                values = [v for vs in per_conn for v in vs]
+                assert sorted(values) == list(range(n_conns * m_ops))
+                assert server.connections == n_conns
+
+        run(main())
+
+    def test_vector_requests(self):
+        async def main():
+            async with make_server() as server:
+                c = await TCPCounterClient.connect(*server.address)
+                try:
+                    assert await c.inc(5) == [0, 1, 2, 3, 4]
+                    assert await c.inc(3) == [5, 6, 7]
+                finally:
+                    await c.close()
+
+        run(main())
+
+    def test_stats_over_the_wire(self):
+        async def main():
+            async with make_server(max_batch=32) as server:
+                c = await TCPCounterClient.connect(*server.address)
+                try:
+                    await c.inc(4)
+                    stats = await c.stats()
+                    assert stats["issued"] == 4
+                    assert stats["network"]["name"] == "K(2,3)"
+                    assert stats["max_batch"] == 32
+                finally:
+                    await c.close()
+
+        run(main())
+
+
+class TestProtocolEdges:
+    async def _raw_roundtrip(self, server: CountingServer, payload: bytes) -> bytes:
+        reader, writer = await asyncio.open_connection(*server.address)
+        try:
+            writer.write(payload)
+            await writer.drain()
+            return await reader.readline()
+        finally:
+            writer.close()
+            await writer.wait_closed()
+
+    def test_bad_request_keeps_connection_usable(self):
+        async def main():
+            async with make_server() as server:
+                reader, writer = await asyncio.open_connection(*server.address)
+                try:
+                    writer.write(b"BOGUS\n")
+                    await writer.drain()
+                    line = await reader.readline()
+                    assert line.startswith(b"ERR bad-request")
+                    writer.write(b"INC\n")
+                    await writer.drain()
+                    assert (await reader.readline()).startswith(b"OK ")
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+
+        run(main())
+
+    def test_ping(self):
+        async def main():
+            async with make_server() as server:
+                assert await self._raw_roundtrip(server, b"PING\n") == b"OK pong\n"
+
+        run(main())
+
+    def test_oversized_amount_is_a_clean_error(self):
+        async def main():
+            async with make_server() as server:
+                line = await self._raw_roundtrip(server, b"INC 99999999999\n")
+                assert line.startswith(b"ERR bad-request")
+
+        run(main())
+
+    def test_pipelined_requests_answered_in_order(self):
+        async def main():
+            async with make_server() as server:
+                reader, writer = await asyncio.open_connection(*server.address)
+                try:
+                    writer.write(b"INC 2\nPING\nINC\n")
+                    await writer.drain()
+                    assert (await reader.readline()) == b"OK 0 1\n"
+                    assert (await reader.readline()) == b"OK pong\n"
+                    assert (await reader.readline()) == b"OK 2\n"
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+
+        run(main())

@@ -176,3 +176,143 @@ class TestPlan:
     def test_padded(self, capsys):
         assert main(["plan", "34", "8"]) == 0
         assert "padded from 34" in capsys.readouterr().out
+
+
+class TestFactorValidation:
+    """Degenerate factors (< 2) must be rejected with a clear message."""
+
+    @pytest.mark.parametrize("argv", [
+        ["build", "K", "2", "1", "3"],
+        ["build", "K", "0"],
+        ["build", "L", "-2", "3"],
+        ["build", "bitonic", "1"],
+        ["verify", "K", "1", "2"],
+        ["verify", "R", "0", "4"],
+        ["export", "K", "2", "0"],
+        ["smooth", "K", "1"],
+        ["audit", "K", "2", "-1"],
+    ])
+    def test_factors_below_two_exit(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert "factors must be integers >= 2" in str(exc.value)
+
+    def test_profile_widths_below_two_exit(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["profile", "--widths", "1,2", "--out-dir", str(tmp_path)])
+        assert "factors must be integers >= 2" in str(exc.value)
+
+    def test_non_integer_widths_exit(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["profile", "--widths", "2,x", "--out-dir", str(tmp_path)])
+        assert "integer" in str(exc.value)
+
+    def test_valid_factors_still_work(self, capsys):
+        assert main(["build", "K", "2", "2"]) == 0
+
+
+class TestLoadgen:
+    def test_in_process_writes_bench_serve(self, capsys, tmp_path):
+        import json
+
+        assert (
+            main(
+                [
+                    "loadgen", "--widths", "2,3", "--clients", "6", "--ops", "8",
+                    "--seed", "1", "--out-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "exactly_once = True" in out
+        data = json.loads((tmp_path / "BENCH_serve.json").read_text())
+        assert data["bench"] == "serve"
+        assert data["family"] == "K"
+        summary = data["summary"]
+        assert summary["exactly_once"] is True
+        assert summary["tokens"] == 48
+        assert summary["throughput"] > 0
+        assert summary["latency_p50_s"] is not None
+        assert summary["latency_p99_s"] is not None
+        assert summary["mean_batch_size"] > 1
+        assert data["batch_size_hist"]
+
+    def test_open_loop_mode(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "loadgen", "--mode", "open", "--ops", "30", "--rate", "5000",
+                    "--clients", "4", "--seed", "2", "--out-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert "mode = open" in capsys.readouterr().out
+
+    def test_plan_mode_pads_width(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "loadgen", "--width", "34", "--max-balancer", "8",
+                    "--clients", "4", "--ops", "4", "--out-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # 34 = 2*17 has no in-budget K factorization; the plan pads up.
+        assert "width=34" not in out
+        assert "exactly_once = True" in out
+
+    def test_bad_connect_spec_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["loadgen", "--connect", "nonsense", "--out-dir", str(tmp_path)])
+
+
+class TestServeLoadgenTCP:
+    def test_serve_then_loadgen_over_tcp(self, capsys, tmp_path):
+        """End-to-end: a real server process driven via --connect."""
+        import json
+        import os
+        import socket
+        import subprocess
+        import sys
+        import time
+
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src") + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--widths", "2,3", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "serving" in line, line
+            port = int(line.split(" on ")[1].split()[0].rsplit(":", 1)[1])
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                try:
+                    socket.create_connection(("127.0.0.1", port), 0.2).close()
+                    break
+                except OSError:
+                    time.sleep(0.05)
+            assert (
+                main(
+                    [
+                        "loadgen", "--connect", f"127.0.0.1:{port}",
+                        "--clients", "4", "--ops", "6", "--out-dir", str(tmp_path),
+                    ]
+                )
+                == 0
+            )
+            data = json.loads((tmp_path / "BENCH_serve.json").read_text())
+            assert data["summary"]["exactly_once"] is True
+            assert data["summary"]["tokens"] == 24
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)

@@ -1,0 +1,120 @@
+"""Property tests: the contract input generators satisfy their preconditions.
+
+``verify/contracts.py`` verifies each family's *conclusion* (step outputs)
+over inputs its generators promise satisfy the *precondition* (step inputs,
+the p-staircase property, bitonicity, ...).  If a generator quietly drifted
+off its precondition, every downstream contract check would be vacuous —
+so the generators themselves get hypothesis properties here, across random
+shapes and seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sequences import is_step
+from repro.verify.contracts import (
+    bitonic_inputs,
+    merger_inputs,
+    staircase_inputs,
+    two_merger_inputs,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+batches = st.integers(min_value=1, max_value=8)
+
+
+def is_bitonic_counts(row: np.ndarray) -> bool:
+    """A count vector is bitonic here iff it is a rotation of a step
+    sequence (the generator's documented characterization)."""
+    w = len(row)
+    return any(is_step(np.roll(row, k)) for k in range(w))
+
+
+class TestMergerInputs:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        lengths=st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=4),
+        batch=batches,
+        seed=seeds,
+    )
+    def test_every_block_is_a_step_sequence(self, lengths, batch, seed):
+        out = merger_inputs(lengths, batch, np.random.default_rng(seed))
+        assert out.shape == (batch, sum(lengths))
+        assert np.all(out >= 0)
+        for row in out:
+            pos = 0
+            for ln in lengths:
+                assert is_step(row[pos : pos + ln]), (lengths, row.tolist())
+                pos += ln
+
+
+class TestStaircaseInputs:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        r=st.integers(min_value=1, max_value=4),
+        p=st.integers(min_value=2, max_value=5),
+        q=st.integers(min_value=1, max_value=5),
+        batch=batches,
+        seed=seeds,
+    )
+    def test_p_staircase_property(self, r, p, q, batch, seed):
+        out = staircase_inputs(r, p, q, batch, np.random.default_rng(seed))
+        ln = r * p
+        assert out.shape == (batch, ln * q)
+        for row in out:
+            blocks = [row[i * ln : (i + 1) * ln] for i in range(q)]
+            # Each X_i is a step sequence...
+            assert all(is_step(b) for b in blocks)
+            sums = [int(b.sum()) for b in blocks]
+            # ...with sums S_0 >= S_1 >= ... >= S_{q-1} >= S_0 - p.
+            assert all(sums[i] >= sums[i + 1] for i in range(q - 1)), sums
+            assert sums[-1] >= sums[0] - p, (sums, p)
+
+
+class TestTwoMergerInputs:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        p=st.integers(min_value=1, max_value=4),
+        q0=st.integers(min_value=1, max_value=4),
+        q1=st.integers(min_value=1, max_value=4),
+        batch=batches,
+        seed=seeds,
+    )
+    def test_two_step_blocks(self, p, q0, q1, batch, seed):
+        out = two_merger_inputs(p, q0, q1, batch, np.random.default_rng(seed))
+        assert out.shape == (batch, p * (q0 + q1))
+        for row in out:
+            assert is_step(row[: p * q0])
+            assert is_step(row[p * q0 :])
+
+
+class TestBitonicInputs:
+    @settings(max_examples=40, deadline=None)
+    @given(width=st.integers(min_value=1, max_value=12), batch=batches, seed=seeds)
+    def test_rows_are_rotated_step_sequences(self, width, batch, seed):
+        out = bitonic_inputs(width, batch, np.random.default_rng(seed))
+        assert out.shape == (batch, width)
+        assert np.all(out >= 0)
+        for row in out:
+            assert is_bitonic_counts(row), row.tolist()
+
+    @settings(max_examples=20, deadline=None)
+    @given(width=st.integers(min_value=2, max_value=12), seed=seeds)
+    def test_rows_are_one_smooth(self, width, seed):
+        # Rotations of step sequences are exactly the 1-smooth sequences
+        # with at most two cyclic transitions; check the smoothness half.
+        out = bitonic_inputs(width, 16, np.random.default_rng(seed))
+        assert int((out.max(axis=1) - out.min(axis=1)).max()) <= 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_batch(self):
+        a = merger_inputs([3, 4], 5, np.random.default_rng(123))
+        b = merger_inputs([3, 4], 5, np.random.default_rng(123))
+        assert np.array_equal(a, b)
+        c = staircase_inputs(2, 3, 4, 5, np.random.default_rng(7))
+        d = staircase_inputs(2, 3, 4, 5, np.random.default_rng(7))
+        assert np.array_equal(c, d)
