@@ -57,7 +57,7 @@ from .verify import (
 )
 from .analysis import build_family, comparison_table, factorizations, pareto_frontier
 from .highlevel import make_counter, oblivious_sort
-from . import baselines, obs, serve, viz
+from . import baselines, faults, obs, serve, viz
 
 __version__ = "1.0.0"
 
@@ -97,6 +97,7 @@ __all__ = [
     "make_counter",
     "oblivious_sort",
     "baselines",
+    "faults",
     "obs",
     "viz",
     "__version__",

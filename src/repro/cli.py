@@ -16,6 +16,11 @@ profile     observability: run a workload, print hot-spot tables, emit
 serve       run the TCP counting service (repro.serve)
 loadgen     drive a counting service with open/closed-loop load and emit
             BENCH_serve.json
+fuzz        fault injection (repro.faults): ``mutate`` checks that every
+            verifier catches every fault class (kill matrix), ``inputs``
+            fuzzes the step property with corpus + shrinking, ``chaos``
+            stress-tests the counting service's exactly-once guarantee;
+            all three emit BENCH_fuzz.json
 """
 
 from __future__ import annotations
@@ -79,12 +84,20 @@ def _build(args: argparse.Namespace):
 
 
 def _verify(args: argparse.Namespace) -> int:
+    from .verify import minimize_violation
+
     net = _make_network(args.family, args.factors)
     cv = find_counting_violation(net, rng=np.random.default_rng(args.seed))
     sv = find_sorting_violation(net)
     print(f"{net.name}: width={net.width} depth={net.depth}")
     print(f"  sorting: {'OK (0-1 principle)' if sv is None else f'VIOLATION: {sv}'}")
-    print(f"  counting: {'no violation found' if cv is None else f'VIOLATION: {cv}'}")
+    if cv is None:
+        print("  counting: no violation found")
+    else:
+        small = minimize_violation(net, cv)
+        print(f"  counting: VIOLATION: {cv}")
+        print(f"  minimized witness: input {small.input_counts.tolist()} "
+              f"-> output {small.output_counts.tolist()}")
     return 0 if (cv is None and sv is None) else 1
 
 
@@ -352,6 +365,120 @@ def _loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fuzz_mutate(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from . import obs
+    from .faults import run_conformance
+
+    km = run_conformance(seed=args.seed, sites_per_fault=args.sites)
+    d = km.as_dict()
+    rows = [
+        {k: str(v) for k, v in row.items()}
+        for row in d["matrix"]
+    ]
+    print(f"kill matrix (seed={args.seed}, sites/fault={args.sites}):")
+    print(format_table(rows))
+    s = d["summary"]
+    print(
+        f"mutants={s['mutants']} live={s['live']} equivalent={s['equivalent']} "
+        f"escaped={s['escaped']} complete={s['complete']}"
+    )
+    for t in km.escapes():
+        print(f"  ESCAPE: {t.origin} {t.fault}@{','.join(map(str, t.site))} "
+              f"(applicable: {', '.join(t.applicable)})")
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = obs.write_bench_json("fuzz", {"mode": "mutate", **d}, directory=out_dir)
+    print(f"wrote {path}")
+    return 0 if km.complete() else 1
+
+
+def _fuzz_inputs(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from . import obs
+    from .faults import fuzz_inputs
+
+    net = _make_network(args.family, args.factors)
+    baseline = None
+    if args.differential:
+        if net.width & (net.width - 1) == 0:
+            baseline = bitonic_network(net.width)
+        else:  # bitonic needs a power-of-two width; fall back to general Batcher
+            from .baselines import batcher_any_network
+
+            baseline = batcher_any_network(net.width)
+    report = fuzz_inputs(
+        net,
+        rounds=args.rounds,
+        seed=args.seed,
+        corpus_dir=args.corpus or None,
+        baseline=baseline,
+        max_violations=args.max_violations,
+    )
+    print(
+        f"{net.name}: trials={report.trials} corpus_seeds={report.corpus_seeds} "
+        f"violations={len(report.violations)} "
+        f"differential_mismatches={report.differential_mismatches}"
+    )
+    for v in report.violations:
+        print(f"  VIOLATION ({v.source}): input {list(v.input_counts)} "
+              f"-> output {list(v.output_counts)} (shrunk from {list(v.original_input)})")
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = obs.write_bench_json(
+        "fuzz", {"mode": "inputs", **report.as_dict()}, directory=out_dir
+    )
+    print(f"wrote {path}")
+    return 0 if report.clean else 1
+
+
+def _fuzz_chaos(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from . import obs
+    from .faults import chaos_token_check, run_chaos
+    from .serve import CountingService
+
+    factors = _parse_widths(args.widths)
+    net = _BUILDERS[args.construction](factors)
+    service = CountingService(net, max_batch=args.max_batch, max_delay=args.max_delay)
+    report = run_chaos(
+        service,
+        requests=args.requests,
+        clients=args.clients,
+        seed=args.seed,
+        drop_before_rate=args.drop_before,
+        drop_after_rate=args.drop_after,
+        delay_rate=args.delay_rate,
+        dup_rate=args.dup_rate,
+        cancel_rate=args.cancel_rate,
+    )
+    d = report.as_dict()
+    print(f"{net.name}: chaos over {report.requests} requests (seed={args.seed})")
+    print(
+        f"  issued={report.issued} delivered={report.delivered} "
+        f"lost_to_drops={report.lost_to_drops} cancelled={report.cancelled_requests} "
+        f"retries={report.retries}"
+    )
+    print("  injected: " + "  ".join(f"{k}={v}" for k, v in sorted(report.injected.items())))
+    for e in report.escapes:
+        print(f"  FAULT ESCAPE [{e.kind}]: {e.detail}")
+    token_escape = chaos_token_check(net, seed=args.seed)
+    d["token_check"] = token_escape.as_dict() if token_escape else None
+    if token_escape:
+        print(f"  FAULT ESCAPE [{token_escape.kind}]: {token_escape.detail}")
+    print(f"  exactly-once: {report.exactly_once and token_escape is None}")
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = obs.write_bench_json(
+        "fuzz", {"mode": "chaos", **d}, directory=out_dir, family=args.construction
+    )
+    print(f"wrote {path}")
+    return 0 if (report.exactly_once and token_escape is None) else 1
+
+
 def _plan(args: argparse.Namespace) -> int:
     from .analysis import plan_network
 
@@ -469,6 +596,48 @@ def main(argv: list[str] | None = None) -> int:
     plg.add_argument("--seed", type=int, default=0)
     plg.add_argument("--out-dir", default=".", help="where BENCH_serve.json lands")
     plg.set_defaults(fn=_loadgen)
+
+    pz = sub.add_parser(
+        "fuzz",
+        help="fault injection: mutation kill-matrix, input fuzzing, chaos service",
+    )
+    zsub = pz.add_subparsers(dest="fuzz_command", required=True)
+
+    zm = zsub.add_parser("mutate", help="inject faults; assert every class is caught")
+    zm.add_argument("--seed", type=int, default=0)
+    zm.add_argument("--sites", type=int, default=2, help="injection sites per fault class")
+    zm.add_argument("--out-dir", default=".", help="where BENCH_fuzz.json lands")
+    zm.set_defaults(fn=_fuzz_mutate)
+
+    zi = zsub.add_parser("inputs", help="fuzz a network's step property with shrinking")
+    zi.add_argument("family", choices=sorted(_BUILDERS))
+    zi.add_argument("factors", type=int, nargs="+")
+    zi.add_argument("--rounds", type=int, default=200)
+    zi.add_argument("--seed", type=int, default=0)
+    zi.add_argument("--corpus", default=None, help="corpus directory (default tests/corpus)")
+    zi.add_argument("--max-violations", type=int, default=5)
+    zi.add_argument(
+        "--differential", action="store_true",
+        help="also run the differential sorting oracle against a bitonic baseline",
+    )
+    zi.add_argument("--out-dir", default=".", help="where BENCH_fuzz.json lands")
+    zi.set_defaults(fn=_fuzz_inputs)
+
+    zc = zsub.add_parser("chaos", help="chaos-inject a counting service; audit exactly-once")
+    zc.add_argument("--widths", default="2,3", help="balancer-width factors, e.g. 2,2,2")
+    zc.add_argument("--construction", choices=["K", "L", "C"], default="K")
+    zc.add_argument("--requests", type=int, default=1000)
+    zc.add_argument("--clients", type=int, default=16)
+    zc.add_argument("--seed", type=int, default=0)
+    zc.add_argument("--max-batch", type=int, default=64)
+    zc.add_argument("--max-delay", type=float, default=0.0005)
+    zc.add_argument("--drop-before", type=float, default=0.03)
+    zc.add_argument("--drop-after", type=float, default=0.02)
+    zc.add_argument("--delay-rate", type=float, default=0.05)
+    zc.add_argument("--dup-rate", type=float, default=0.02)
+    zc.add_argument("--cancel-rate", type=float, default=0.03)
+    zc.add_argument("--out-dir", default=".", help="where BENCH_fuzz.json lands")
+    zc.set_defaults(fn=_fuzz_chaos)
 
     pp = sub.add_parser("plan", help="best family member for a width + balancer budget")
     pp.add_argument("width", type=int)

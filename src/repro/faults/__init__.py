@@ -1,0 +1,102 @@
+"""Fault injection & conformance fuzzing for networks and the serving layer.
+
+The verifiers in :mod:`repro.verify` are only trustworthy if they actually
+catch broken networks, and the serving layer's exactly-once guarantee is
+only trustworthy if it survives adverse conditions.  This package turns
+both claims into running code:
+
+* :mod:`repro.faults.mutator` — seeded structural/semantic faults applied
+  to any :class:`~repro.core.network.Network` (stuck balancer, dropped
+  balancer, flipped or rotated outputs, misrouted wires, duplicated layer);
+* :mod:`repro.faults.harness` — the conformance harness: inject every fault
+  class into known-good networks, run every verifier on every mutant, and
+  report a kill-matrix (fault class x verifier -> caught/missed), with
+  equivalent mutants detected and excluded as in classic mutation testing;
+* :mod:`repro.faults.fuzzer` — input fuzzing with a persistent seed corpus
+  (``tests/corpus/``), violation shrinking to locally-minimal witnesses,
+  and differential oracles against the :mod:`repro.baselines` sorters;
+* :mod:`repro.faults.chaos` — a chaos layer over
+  :class:`~repro.serve.service.CountingService` and the token simulator:
+  dropped batches, delayed completions, duplicate deliveries and mid-batch
+  cancellations, with a typed :class:`FaultEscape` report when the
+  exactly-once accounting does not close.
+
+From the shell: ``python -m repro fuzz {mutate,inputs,chaos}`` (see
+``docs/testing.md``).
+"""
+
+from .mutator import (
+    FAULT_CLASSES,
+    FaultyNetwork,
+    Mutant,
+    StuckOverride,
+    drop_balancer,
+    duplicate_layer,
+    enumerate_sites,
+    flip_balancer,
+    mutate,
+    sample_mutants,
+    stuck_balancer,
+    swap_layer_inputs,
+    swap_outputs,
+    toggle_balancer,
+)
+from .harness import KillMatrix, FaultTrial, VERIFIERS, default_networks, run_conformance
+from .fuzzer import (
+    CorpusEntry,
+    FuzzReport,
+    FuzzViolation,
+    differential_sort_check,
+    fuzz_inputs,
+    load_corpus,
+    mutate_input,
+    save_corpus_entry,
+    shrink_vector,
+)
+from .chaos import (
+    ChaosReport,
+    ChaosService,
+    FaultEscape,
+    InjectedFault,
+    audit_exactly_once,
+    chaos_token_check,
+    run_chaos,
+)
+
+__all__ = [
+    "FAULT_CLASSES",
+    "FaultyNetwork",
+    "Mutant",
+    "StuckOverride",
+    "drop_balancer",
+    "duplicate_layer",
+    "enumerate_sites",
+    "flip_balancer",
+    "mutate",
+    "sample_mutants",
+    "stuck_balancer",
+    "swap_layer_inputs",
+    "swap_outputs",
+    "toggle_balancer",
+    "KillMatrix",
+    "FaultTrial",
+    "VERIFIERS",
+    "default_networks",
+    "run_conformance",
+    "CorpusEntry",
+    "FuzzReport",
+    "FuzzViolation",
+    "differential_sort_check",
+    "fuzz_inputs",
+    "load_corpus",
+    "mutate_input",
+    "save_corpus_entry",
+    "shrink_vector",
+    "ChaosReport",
+    "ChaosService",
+    "FaultEscape",
+    "InjectedFault",
+    "audit_exactly_once",
+    "chaos_token_check",
+    "run_chaos",
+]

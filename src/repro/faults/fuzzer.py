@@ -1,0 +1,330 @@
+"""Input fuzzing with a persistent seed corpus and violation shrinking.
+
+The counting verifiers search a fixed input family; this fuzzer adds the
+classic coverage-guided ingredients around them:
+
+* a **seed corpus** (``tests/corpus/`` by default): JSON files of count
+  vectors that have historically been interesting (past violations, shapes
+  that exercise rare carry patterns).  Corpus entries are replayed first,
+  then mutated, then supplemented with random batches;
+* **mutation operators** over count vectors (increment/decrement, zero a
+  coordinate, double a coordinate, swap coordinates, splice two parents);
+* **shrinking**: a violating vector is reduced to a locally-minimal
+  witness before reporting — no single coordinate can be zeroed,
+  decremented or halved without losing the violation;
+* a **differential oracle** against the :mod:`repro.baselines` sorters:
+  the same batch goes through the target network and a baseline sorting
+  network, and both are compared to ``np.sort``.
+
+Everything is seeded; a report's ``seed`` plus the corpus reproduce the run
+bit-for-bit (see ``docs/testing.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..core.network import Network
+from ..sim.count_sim import propagate_counts
+from ..sim.sort_sim import evaluate_comparators
+from ..verify.counting import step_mask
+from ..verify.inputs import random_counts, structured_counts
+
+__all__ = [
+    "DEFAULT_CORPUS_DIR",
+    "CorpusEntry",
+    "FuzzViolation",
+    "FuzzReport",
+    "load_corpus",
+    "save_corpus_entry",
+    "mutate_input",
+    "shrink_vector",
+    "differential_sort_check",
+    "fuzz_inputs",
+]
+
+
+def DEFAULT_CORPUS_DIR() -> pathlib.Path:
+    """``tests/corpus/`` under the repo root (resolved lazily so installed
+    wheels fall back to the current directory)."""
+    from ..obs.export import repo_root
+
+    return repo_root() / "tests" / "corpus"
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One persisted seed input: a count vector plus provenance."""
+
+    width: int
+    counts: tuple[int, ...]
+    note: str = ""
+
+    def as_dict(self) -> dict:
+        return {"width": self.width, "counts": list(self.counts), "note": self.note}
+
+
+@dataclass(frozen=True)
+class FuzzViolation:
+    """A step-property violation found by the fuzzer, already shrunk."""
+
+    input_counts: tuple[int, ...]
+    output_counts: tuple[int, ...]
+    original_input: tuple[int, ...]
+    source: str  # "corpus" | "mutation" | "structured" | "random"
+
+    def as_dict(self) -> dict:
+        return {
+            "input": list(self.input_counts),
+            "output": list(self.output_counts),
+            "original_input": list(self.original_input),
+            "source": self.source,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one :func:`fuzz_inputs` run."""
+
+    network: str
+    width: int
+    seed: int
+    trials: int = 0
+    corpus_seeds: int = 0
+    violations: list[FuzzViolation] = field(default_factory=list)
+    differential_mismatches: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations and self.differential_mismatches == 0
+
+    def as_dict(self) -> dict:
+        return {
+            "network": self.network,
+            "width": self.width,
+            "seed": self.seed,
+            "trials": self.trials,
+            "corpus_seeds": self.corpus_seeds,
+            "violations": [v.as_dict() for v in self.violations],
+            "differential_mismatches": self.differential_mismatches,
+            "clean": self.clean,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Corpus persistence
+# ---------------------------------------------------------------------------
+
+
+def load_corpus(directory=None, width: int | None = None) -> list[CorpusEntry]:
+    """Read every ``*.json`` corpus file under ``directory``.
+
+    Each file holds either one entry object or a list of them; entries not
+    matching ``width`` (when given) are skipped.  Missing directories yield
+    an empty corpus — the fuzzer degrades to mutation + random search.
+    """
+    directory = pathlib.Path(directory) if directory is not None else DEFAULT_CORPUS_DIR()
+    if not directory.is_dir():
+        return []
+    entries: list[CorpusEntry] = []
+    for path in sorted(directory.glob("*.json")):
+        data = json.loads(path.read_text())
+        for item in data if isinstance(data, list) else [data]:
+            entry = CorpusEntry(
+                width=int(item["width"]),
+                counts=tuple(int(c) for c in item["counts"]),
+                note=str(item.get("note", "")),
+            )
+            if width is None or entry.width == width:
+                entries.append(entry)
+    return entries
+
+
+def save_corpus_entry(entry: CorpusEntry, directory=None, name: str | None = None) -> pathlib.Path:
+    """Append ``entry`` to ``<directory>/<name>.json`` (created if absent)."""
+    directory = pathlib.Path(directory) if directory is not None else DEFAULT_CORPUS_DIR()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name or f'width{entry.width}'}.json"
+    existing = json.loads(path.read_text()) if path.exists() else []
+    if not isinstance(existing, list):
+        existing = [existing]
+    existing.append(entry.as_dict())
+    path.write_text(json.dumps(existing, indent=2) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Mutation & shrinking
+# ---------------------------------------------------------------------------
+
+
+def mutate_input(
+    vec: np.ndarray, rng: np.random.Generator, partner: np.ndarray | None = None
+) -> np.ndarray:
+    """One seeded mutation of a count vector (always stays non-negative)."""
+    out = np.array(vec, dtype=np.int64, copy=True)
+    w = out.shape[0]
+    op = int(rng.integers(0, 6 if partner is not None else 5))
+    i = int(rng.integers(0, w))
+    if op == 0:  # nudge
+        out[i] = max(0, int(out[i]) + int(rng.integers(-2, 3)))
+    elif op == 1:  # zero a coordinate
+        out[i] = 0
+    elif op == 2:  # double a coordinate (plus one so zeros move)
+        out[i] = 2 * int(out[i]) + 1
+    elif op == 3:  # swap two coordinates
+        j = int(rng.integers(0, w))
+        out[i], out[j] = out[j], out[i]
+    elif op == 4:  # heavy spike
+        out[i] = int(out[i]) + int(rng.integers(8, 64))
+    else:  # splice with a corpus partner
+        cut = int(rng.integers(1, w)) if w > 1 else 0
+        out[cut:] = partner[cut:]
+    return out
+
+
+def shrink_vector(
+    vec: Sequence[int],
+    still_fails: Callable[[np.ndarray], bool],
+    max_passes: int = 64,
+) -> np.ndarray:
+    """Greedy local minimization of a failing input.
+
+    Repeatedly tries, per coordinate, the reductions *zero*, *halve*,
+    *decrement* (in that order — biggest first), keeping any change under
+    which ``still_fails`` holds, until a full pass makes no progress.  The
+    result is locally minimal: no single-coordinate reduction preserves the
+    failure.  ``still_fails(vec)`` must be True on entry.
+    """
+    cur = np.array(vec, dtype=np.int64, copy=True)
+    if not still_fails(cur):
+        raise ValueError("shrink_vector needs a failing input to start from")
+    for _ in range(max_passes):
+        progressed = False
+        for i in range(cur.shape[0]):
+            for candidate_value in (0, int(cur[i]) // 2, int(cur[i]) - 1):
+                if candidate_value < 0 or candidate_value >= cur[i]:
+                    continue
+                candidate = cur.copy()
+                candidate[i] = candidate_value
+                if still_fails(candidate):
+                    cur = candidate
+                    progressed = True
+                    break
+        if not progressed:
+            return cur
+    return cur
+
+
+def _violates_step(net: Network) -> Callable[[np.ndarray], bool]:
+    def check(vec: np.ndarray) -> bool:
+        return not bool(step_mask(propagate_counts(net, vec[None, :]))[0])
+
+    return check
+
+
+# ---------------------------------------------------------------------------
+# Oracles
+# ---------------------------------------------------------------------------
+
+
+def differential_sort_check(
+    net: Network, baseline: Network, batch: np.ndarray
+) -> int:
+    """Differential oracle: rows where ``net`` and ``baseline`` disagree
+    with ``np.sort`` (descending) — counts rows where *either* side is
+    wrong, so a buggy baseline cannot mask a buggy target."""
+    if net.width != baseline.width:
+        raise ValueError(f"width mismatch: {net.width} vs {baseline.width}")
+    want = -np.sort(-np.asarray(batch), axis=1)
+    got_net = evaluate_comparators(net, batch)
+    got_base = evaluate_comparators(baseline, batch)
+    bad = ~np.all(got_net == want, axis=1) | ~np.all(got_base == want, axis=1)
+    return int(bad.sum())
+
+
+# ---------------------------------------------------------------------------
+# Main loop
+# ---------------------------------------------------------------------------
+
+
+def fuzz_inputs(
+    net: Network,
+    rounds: int = 200,
+    seed: int = 0,
+    corpus_dir=None,
+    baseline: Network | None = None,
+    max_violations: int = 5,
+    batch_size: int = 64,
+) -> FuzzReport:
+    """Fuzz ``net``'s step property; shrink and report violations.
+
+    Order of attack: structured adversarial vectors, corpus replay, corpus
+    mutation, then random batches — ``rounds`` counts the mutation/random
+    iterations.  When ``baseline`` is given, each random batch also runs
+    the differential sorting oracle.  Stops early after
+    ``max_violations`` distinct shrunk witnesses.
+    """
+    rng = np.random.default_rng(seed)
+    w = net.width
+    report = FuzzReport(network=net.name, width=w, seed=seed)
+    fails = _violates_step(net)
+    seen: set[tuple[int, ...]] = set()
+
+    def record(vec: np.ndarray, source: str) -> None:
+        shrunk = shrink_vector(vec, fails)
+        key = tuple(int(v) for v in shrunk)
+        if key in seen:
+            return
+        seen.add(key)
+        out = propagate_counts(net, shrunk)
+        report.violations.append(
+            FuzzViolation(
+                input_counts=key,
+                output_counts=tuple(int(v) for v in out),
+                original_input=tuple(int(v) for v in vec),
+                source=source,
+            )
+        )
+
+    def sweep(batch: np.ndarray, source: str) -> None:
+        if len(report.violations) >= max_violations:
+            return
+        report.trials += batch.shape[0]
+        ok = step_mask(propagate_counts(net, batch))
+        for idx in np.nonzero(~ok)[0]:
+            record(batch[int(idx)], source)
+            if len(report.violations) >= max_violations:
+                return
+
+    sweep(structured_counts(w), "structured")
+
+    corpus = load_corpus(corpus_dir, width=w)
+    report.corpus_seeds = len(corpus)
+    pool = [np.array(e.counts, dtype=np.int64) for e in corpus]
+    if pool:
+        sweep(np.stack(pool), "corpus")
+
+    for _ in range(rounds):
+        if len(report.violations) >= max_violations:
+            break
+        if pool and rng.random() < 0.5:
+            parent = pool[int(rng.integers(0, len(pool)))]
+            partner = pool[int(rng.integers(0, len(pool)))]
+            batch = np.stack(
+                [mutate_input(parent, rng, partner) for _ in range(min(batch_size, 16))]
+            )
+            sweep(batch, "mutation")
+        else:
+            batch = random_counts(w, batch_size, rng)
+            sweep(batch, "random")
+            if baseline is not None:
+                report.differential_mismatches += differential_sort_check(
+                    net, baseline, rng.integers(0, 100, size=(min(batch_size, 32), w))
+                )
+    return report

@@ -1,0 +1,285 @@
+"""Conformance harness: does every verifier catch every fault class?
+
+Classic mutation testing, aimed at the verifiers instead of the networks:
+inject each fault class of :mod:`repro.faults.mutator` into known-good
+networks, run every verifier on every mutant, and tabulate a **kill
+matrix** (fault class x verifier -> caught / total).  A mutant no verifier
+catches is re-checked for *semantic equivalence* against the pristine
+network (balancing networks have redundancy — e.g. a duplicated layer is
+quiescently idempotent, and some dropped balancers are genuinely unused);
+equivalent mutants are excluded from the kill score exactly as in classic
+mutation testing.  A non-equivalent mutant that no verifier catches is a
+**silent escape** — the harness's whole purpose is to keep that set empty.
+
+Verifier columns:
+
+``counting``
+    :func:`repro.verify.find_counting_violation` — the step-property search.
+``sorting``
+    :func:`repro.verify.find_sorting_violation` — the 0-1 principle.
+``smoothing``
+    :func:`repro.verify.find_smoothing_violation` with ``k=1`` (counting
+    networks are 1-smoothers).
+``contract``
+    The merger contract specialized to one input: step in, step out
+    (:func:`repro.verify.verify_merger` with ``lengths=[w]``).
+``structure``
+    A depth/size audit against the pristine network — the only verifier
+    able to catch quiescently-equivalent faults like ``dup_layer``.
+
+Verifiers the *pristine* network already fails (e.g. ``sorting`` for a
+counting-only construction) are excluded per-network, so the matrix never
+blames a fault for a pre-existing failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..core.network import Network
+from ..sim.count_sim import propagate_counts
+from ..sim.sort_sim import evaluate_comparators
+from ..verify import (
+    find_counting_violation,
+    find_smoothing_violation,
+    find_sorting_violation,
+    verify_merger,
+)
+from .mutator import FAULT_CLASSES, Mutant, sample_mutants
+
+__all__ = [
+    "VERIFIERS",
+    "FaultTrial",
+    "KillMatrix",
+    "default_networks",
+    "semantically_equivalent",
+    "run_conformance",
+]
+
+
+# Each verifier: (mutant, pristine, rng) -> bool (True = fault detected).
+Verifier = Callable[[Network, Network, np.random.Generator], bool]
+
+
+def _v_counting(mutant: Network, pristine: Network, rng: np.random.Generator) -> bool:
+    return find_counting_violation(mutant, rng=rng) is not None
+
+
+def _v_sorting(mutant: Network, pristine: Network, rng: np.random.Generator) -> bool:
+    return find_sorting_violation(mutant, rng=rng) is not None
+
+
+def _v_smoothing(mutant: Network, pristine: Network, rng: np.random.Generator) -> bool:
+    return find_smoothing_violation(mutant, 1, rng=rng) is not None
+
+
+def _v_contract(mutant: Network, pristine: Network, rng: np.random.Generator) -> bool:
+    seed = int(rng.integers(0, 2**31 - 1))
+    return verify_merger(mutant, [mutant.width], seed=seed) is not None
+
+
+def _v_structure(mutant: Network, pristine: Network, rng: np.random.Generator) -> bool:
+    return mutant.depth != pristine.depth or mutant.size != pristine.size
+
+
+VERIFIERS: dict[str, Verifier] = {
+    "counting": _v_counting,
+    "sorting": _v_sorting,
+    "smoothing": _v_smoothing,
+    "contract": _v_contract,
+    "structure": _v_structure,
+}
+
+
+def default_networks() -> list[Network]:
+    """The harness's stock targets: K/L/R families plus a classic baseline."""
+    from ..baselines import bitonic_network
+    from ..networks import k_network, l_network, r_network
+
+    return [
+        k_network([2, 3]),
+        k_network([2, 2, 2]),
+        l_network([2, 2, 2]),
+        r_network(2, 3),
+        bitonic_network(8),
+    ]
+
+
+def semantically_equivalent(
+    a: Network, b: Network, rng: np.random.Generator, batches: int = 4, batch_size: int = 256
+) -> bool:
+    """Evidence-based equivalence: identical quiescent counts on structured
+    plus random batches, and identical comparator outputs on random 0-1
+    vectors.  Used only to classify mutants *no* verifier caught."""
+    from ..verify.inputs import structured_counts
+
+    if a.width != b.width:
+        return False
+    w = a.width
+    if not np.array_equal(propagate_counts(a, structured_counts(w)), propagate_counts(b, structured_counts(w))):
+        return False
+    for _ in range(batches):
+        x = rng.integers(0, 32, size=(batch_size, w))
+        if not np.array_equal(propagate_counts(a, x), propagate_counts(b, x)):
+            return False
+    zo = (rng.random((batch_size, w)) < rng.random((batch_size, 1))).astype(np.int8)
+    return bool(np.array_equal(evaluate_comparators(a, zo), evaluate_comparators(b, zo)))
+
+
+@dataclass(frozen=True)
+class FaultTrial:
+    """One injected mutant and what happened to it."""
+
+    origin: str
+    fault: str
+    site: tuple[int, ...]
+    caught_by: tuple[str, ...]
+    equivalent: bool
+    applicable: tuple[str, ...]
+
+    @property
+    def escaped(self) -> bool:
+        """A live (non-equivalent) mutant no verifier caught."""
+        return not self.caught_by and not self.equivalent
+
+    def as_dict(self) -> dict:
+        return {
+            "network": self.origin,
+            "fault": self.fault,
+            "site": list(self.site),
+            "caught_by": list(self.caught_by),
+            "equivalent": self.equivalent,
+            "escaped": self.escaped,
+        }
+
+
+@dataclass
+class KillMatrix:
+    """Kill matrix over a conformance run.
+
+    ``trials`` holds every injected mutant; the matrix projections
+    (:meth:`cell`, :meth:`rows`) and the headline :meth:`complete` verdict
+    are derived views.
+    """
+
+    trials: list[FaultTrial] = field(default_factory=list)
+    verifiers: tuple[str, ...] = tuple(VERIFIERS)
+    faults: tuple[str, ...] = FAULT_CLASSES
+    seed: int = 0
+
+    def cell(self, fault: str, verifier: str) -> tuple[int, int]:
+        """``(caught, total)`` live mutants of ``fault`` where ``verifier``
+        was applicable."""
+        caught = total = 0
+        for t in self.trials:
+            if t.fault != fault or t.equivalent or verifier not in t.applicable:
+                continue
+            total += 1
+            caught += verifier in t.caught_by
+        return caught, total
+
+    def escapes(self) -> list[FaultTrial]:
+        return [t for t in self.trials if t.escaped]
+
+    def equivalents(self) -> list[FaultTrial]:
+        return [t for t in self.trials if t.equivalent]
+
+    def complete(self) -> bool:
+        """True when every live mutant was caught by at least one verifier."""
+        return not self.escapes()
+
+    def rows(self) -> list[dict]:
+        """Flat rows for table printing / ``BENCH_fuzz.json``."""
+        out = []
+        for fault in self.faults:
+            row: dict = {"fault": fault}
+            live = [t for t in self.trials if t.fault == fault and not t.equivalent]
+            for v in self.verifiers:
+                caught, total = self.cell(fault, v)
+                row[v] = f"{caught}/{total}" if total else "-"
+            row["live"] = len(live)
+            row["equivalent"] = sum(1 for t in self.trials if t.fault == fault and t.equivalent)
+            row["escaped"] = sum(1 for t in live if t.escaped)
+            out.append(row)
+        return out
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "verifiers": list(self.verifiers),
+            "faults": list(self.faults),
+            "matrix": self.rows(),
+            "trials": [t.as_dict() for t in self.trials],
+            "summary": {
+                "mutants": len(self.trials),
+                "live": sum(1 for t in self.trials if not t.equivalent),
+                "equivalent": len(self.equivalents()),
+                "escaped": len(self.escapes()),
+                "complete": self.complete(),
+            },
+        }
+
+
+def _applicable_verifiers(
+    net: Network, verifiers: dict[str, Verifier], rng: np.random.Generator
+) -> tuple[str, ...]:
+    """Verifiers the pristine network passes (others would blame the fault
+    for a pre-existing failure — e.g. ``sorting`` on a merger-only net)."""
+    ok = []
+    for name, fn in verifiers.items():
+        if not fn(net, net, np.random.default_rng(rng.integers(0, 2**31 - 1))):
+            ok.append(name)
+    return tuple(ok)
+
+
+def run_conformance(
+    networks: Iterable[Network] | None = None,
+    faults: Sequence[str] = FAULT_CLASSES,
+    verifiers: dict[str, Verifier] | None = None,
+    seed: int = 0,
+    sites_per_fault: int = 3,
+) -> KillMatrix:
+    """Inject ``faults`` into each network and score every verifier.
+
+    Fully seeded: the same ``seed`` reproduces the same mutants (sites are
+    sampled per network/fault from a child generator), so a CI escape is
+    reproducible locally from the printed ``(network, fault, site)``.
+    """
+    networks = list(networks) if networks is not None else default_networks()
+    verifiers = dict(verifiers) if verifiers is not None else dict(VERIFIERS)
+    unknown = [f for f in faults if f not in FAULT_CLASSES]
+    if unknown:
+        raise ValueError(f"unknown fault classes {unknown}; choose from {FAULT_CLASSES}")
+    matrix = KillMatrix(verifiers=tuple(verifiers), faults=tuple(faults), seed=seed)
+    root = np.random.default_rng(seed)
+    for net in networks:
+        rng = np.random.default_rng(root.integers(0, 2**31 - 1))
+        applicable = _applicable_verifiers(net, verifiers, rng)
+        for fault in faults:
+            for mutant in sample_mutants(net, fault, rng, max_sites=sites_per_fault):
+                caught = tuple(
+                    name
+                    for name in applicable
+                    if verifiers[name](
+                        mutant.network, net, np.random.default_rng(rng.integers(0, 2**31 - 1))
+                    )
+                )
+                equivalent = False
+                if not caught:
+                    equivalent = semantically_equivalent(
+                        mutant.network, net, np.random.default_rng(rng.integers(0, 2**31 - 1))
+                    )
+                matrix.trials.append(
+                    FaultTrial(
+                        origin=net.name,
+                        fault=fault,
+                        site=mutant.site,
+                        caught_by=caught,
+                        equivalent=equivalent,
+                        applicable=applicable,
+                    )
+                )
+    return matrix

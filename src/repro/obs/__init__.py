@@ -34,7 +34,7 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from . import runtime
-from .export import bench_json_payload, repo_root, write_bench_json, write_jsonl
+from .export import bench_json_payload, read_bench_json, repo_root, write_bench_json, write_jsonl
 from .metrics import (
     DEFAULT_BUCKETS,
     DEFAULT_TIME_BUCKETS,
@@ -77,6 +77,7 @@ __all__ = [
     "trace_event",
     "span",
     "bench_json_payload",
+    "read_bench_json",
     "write_bench_json",
     "write_jsonl",
     "repo_root",

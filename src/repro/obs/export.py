@@ -37,6 +37,7 @@ __all__ = [
     "git_commit",
     "bench_json_payload",
     "write_bench_json",
+    "read_bench_json",
     "write_jsonl",
 ]
 
@@ -125,6 +126,28 @@ def write_bench_json(
         + "\n"
     )
     return path
+
+
+def read_bench_json(path) -> dict:
+    """Read and validate a ``BENCH_*.json`` envelope.
+
+    Checks the stable keys every consumer relies on (``bench``, a known
+    ``schema`` version, ``created_unix``, ``repro_version``) and raises
+    ``ValueError`` with the offending key otherwise — CI's fuzz-smoke job
+    and the tests use this instead of re-implementing envelope checks.
+    """
+    data = json.loads(pathlib.Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: BENCH payload must be a JSON object")
+    for key in ("bench", "schema", "created_unix", "repro_version"):
+        if key not in data:
+            raise ValueError(f"{path}: missing envelope key {key!r}")
+    if int(data["schema"]) > BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema {data['schema']} is newer than supported "
+            f"({BENCH_SCHEMA_VERSION})"
+        )
+    return data
 
 
 def write_jsonl(path, records: Iterable[dict]) -> pathlib.Path:

@@ -126,6 +126,20 @@ class Batcher:
     def running(self) -> bool:
         return self._worker is not None and not self._worker.done()
 
+    def wrap_apply(
+        self, wrapper: Callable[[Callable[[list[Any]], Sequence[Any]], list[Any]], Sequence[Any]]
+    ) -> None:
+        """Install ``wrapper(original_apply, requests)`` around the batch
+        function — the documented interception seam for fault injection and
+        tests (see :mod:`repro.faults.chaos`).
+
+        The wrapper runs on the worker exactly like ``apply_batch``: it may
+        call the original zero, one or several times, or raise to fail the
+        whole batch.  Wrappers compose (each call wraps the current chain).
+        """
+        original = self._apply
+        self._apply = lambda requests: wrapper(original, requests)
+
     @property
     def queue_depth(self) -> int:
         """Requests currently queued (waiting for a batch slot)."""

@@ -59,6 +59,11 @@ def propagate_counts(net: Network, x: np.ndarray) -> np.ndarray:
     if np.any(x < 0):
         raise ValueError("token counts must be non-negative")
 
+    overrides = getattr(net, "fault_overrides", None)
+    if overrides:
+        out = _propagate_overridden(net, x, overrides)
+        return out[0] if single else out
+
     comp = compile_network(net)
     batch = x.shape[0]
     state = np.zeros((comp.num_wires, batch), dtype=np.int64)
@@ -115,16 +120,44 @@ def _propagate_instrumented(
         )
 
 
+def _propagate_overridden(net: Network, x: np.ndarray, overrides: dict) -> np.ndarray:
+    """Per-balancer batched sweep honoring semantic fault overrides.
+
+    Used for :class:`repro.faults.FaultyNetwork` mutants (e.g. stuck
+    balancers) whose behavior is not expressible in the structural IR the
+    layer compiler consumes.  Off the hot path by construction — pristine
+    networks never reach it.
+    """
+    batch = x.shape[0]
+    state = np.zeros((net.num_wires, batch), dtype=np.int64)
+    state[list(net.inputs)] = x.T
+    for b in net.balancers:
+        totals = state[list(b.inputs)].sum(axis=0)
+        ov = overrides.get(b.index)
+        if ov is not None:
+            state[list(b.outputs)] = ov.apply_counts(totals, b.width)
+        else:
+            j = np.arange(b.width, dtype=np.int64)[:, None]
+            state[list(b.outputs)] = (totals[None, :] - j + b.width - 1) // b.width
+    return state[list(net.outputs)].T
+
+
 def propagate_counts_reference(net: Network, x: np.ndarray) -> np.ndarray:
     """Slow per-balancer evaluator with identical semantics (for tests)."""
     x = np.asarray(x, dtype=np.int64)
     if x.ndim != 1 or x.shape[0] != net.width:
         raise ValueError(f"expected input shape ({net.width},), got {x.shape}")
+    overrides = getattr(net, "fault_overrides", None) or {}
     state = np.zeros(net.num_wires, dtype=np.int64)
     for pos, wire in enumerate(net.inputs):
         state[wire] = x[pos]
     for b in net.balancers:
         total = int(sum(state[w] for w in b.inputs))
+        ov = overrides.get(b.index)
+        if ov is not None:
+            for j, wire in enumerate(b.outputs):
+                state[wire] = total if j == ov.stuck_port else 0
+            continue
         for j, wire in enumerate(b.outputs):
             state[wire] = (total - j + b.width - 1) // b.width
     return state[list(net.outputs)]

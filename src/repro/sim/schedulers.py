@@ -24,6 +24,7 @@ __all__ = [
     "random_scheduler",
     "round_robin",
     "straggler",
+    "chaos",
     "SCHEDULERS",
     "get_scheduler",
 ]
@@ -78,12 +79,45 @@ class straggler:
         return movable[int(rng.integers(0, len(movable)))]
 
 
+class chaos:
+    """Adversarial churn: repeatedly freeze and thaw random token subsets.
+
+    Unlike :class:`straggler` (one frozen set for the whole run), the chaos
+    scheduler re-draws its frozen set every ``period`` picks, producing
+    bursty stop-the-world-then-stampede interleavings — the schedules the
+    fault-injection harness (:mod:`repro.faults.chaos`) uses to stress
+    schedule-independence of quiescent counts.  Stateful, single-use.
+    """
+
+    def __init__(self, fraction: float = 0.5, period: int = 16):
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError("fraction must be in [0, 1)")
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.fraction = fraction
+        self.period = period
+        self._frozen: set[int] = set()
+        self._ticks = 0
+
+    def __call__(self, pending: Sequence[int], rng: np.random.Generator) -> int:
+        if self._ticks % self.period == 0:
+            k = int(len(pending) * self.fraction)
+            chosen = rng.choice(len(pending), size=k, replace=False) if k else []
+            self._frozen = {pending[int(i)] for i in np.atleast_1d(chosen)}
+        self._ticks += 1
+        movable = [t for t in pending if t not in self._frozen]
+        if not movable:  # everything frozen: thaw for this pick
+            movable = list(pending)
+        return movable[int(rng.integers(0, len(movable)))]
+
+
 SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
     "fifo": lambda: fifo,
     "lifo": lambda: lifo,
     "random": lambda: random_scheduler,
     "round_robin": lambda: round_robin,
     "straggler": lambda: straggler(),
+    "chaos": lambda: chaos(),
 }
 
 

@@ -41,6 +41,11 @@ def evaluate_comparators(net: Network, values: np.ndarray) -> np.ndarray:
     if values.ndim != 2 or values.shape[1] != net.width:
         raise ValueError(f"expected input shape (B, {net.width}), got {values.shape}")
 
+    overrides = getattr(net, "fault_overrides", None)
+    if overrides:
+        out = _evaluate_overridden(net, values, overrides)
+        return out[0] if single else out
+
     comp = compile_network(net)
     batch = values.shape[0]
     state = np.zeros((comp.num_wires, batch), dtype=values.dtype)
@@ -55,6 +60,26 @@ def evaluate_comparators(net: Network, values: np.ndarray) -> np.ndarray:
 
     out = state[comp.output_idx].T
     return out[0] if single else out
+
+
+def _evaluate_overridden(net: Network, values: np.ndarray, overrides: dict) -> np.ndarray:
+    """Per-balancer batched sweep honoring semantic fault overrides.
+
+    A stuck comparator does not compare at all: values pass through in
+    arrival order (the value-semantics projection of a dead routing bit —
+    token-level stuckness has no conservation-respecting analogue over
+    distinct values).  Only :class:`repro.faults.FaultyNetwork` mutants
+    reach this path.
+    """
+    state = np.zeros((net.num_wires, values.shape[0]), dtype=values.dtype)
+    state[list(net.inputs)] = values.T
+    for b in net.balancers:
+        vals = state[list(b.inputs)]  # (p, B)
+        if b.index in overrides:
+            state[list(b.outputs)] = vals  # broken comparator: no exchange
+        else:
+            state[list(b.outputs)] = np.sort(vals, axis=0)[::-1]
+    return state[list(net.outputs)].T
 
 
 def evaluate_comparators_reference(net: Network, values: np.ndarray) -> np.ndarray:

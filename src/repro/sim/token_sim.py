@@ -86,6 +86,9 @@ class TokenSimulator:
         self.net = net
         self.fifo_wires = fifo_wires
         self.rng = np.random.default_rng(seed)
+        # Semantic fault overrides (repro.faults mutants): balancer index ->
+        # override; a stuck balancer routes every token to one port.
+        self._overrides = dict(getattr(net, "fault_overrides", None) or {})
         # Next-output state per balancer: number of tokens that have entered.
         self._arrivals = [0] * net.size
         # wire -> (balancer_index, ) consumer, or output position if terminal.
@@ -197,7 +200,8 @@ class TokenSimulator:
                 self._obs_record_exit(tok, pos)
         else:
             b = self.net.balancers[self._consumer[wire]]
-            port = self._arrivals[b.index] % b.width
+            ov = self._overrides.get(b.index)
+            port = ov.stuck_port if ov is not None else self._arrivals[b.index] % b.width
             self._arrivals[b.index] += 1
             tok.trace.append(b.index)
             tok.wire = b.outputs[port]

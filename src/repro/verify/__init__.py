@@ -1,6 +1,13 @@
 """Verification: counting-property search, 0-1 sorting proofs, contracts."""
 
-from .counting import CountingViolation, check_step_batch, find_counting_violation, step_mask, verify_counting
+from .counting import (
+    CountingViolation,
+    check_step_batch,
+    find_counting_violation,
+    minimize_violation,
+    step_mask,
+    verify_counting,
+)
 from .sorting import SortingViolation, find_sorting_violation, is_sorting_network, sorts_batch
 from .contracts import (
     ContractViolation,
@@ -21,6 +28,7 @@ __all__ = [
     "CountingViolation",
     "check_step_batch",
     "find_counting_violation",
+    "minimize_violation",
     "step_mask",
     "verify_counting",
     "SortingViolation",

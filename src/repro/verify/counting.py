@@ -18,7 +18,13 @@ from ..core.sequences import is_step
 from ..sim.count_sim import propagate_counts
 from .inputs import exhaustive_counts, random_counts, structured_counts
 
-__all__ = ["CountingViolation", "check_step_batch", "find_counting_violation", "verify_counting"]
+__all__ = [
+    "CountingViolation",
+    "check_step_batch",
+    "find_counting_violation",
+    "minimize_violation",
+    "verify_counting",
+]
 
 
 @dataclass(frozen=True)
@@ -92,6 +98,42 @@ def find_counting_violation(
         if v is not None:
             return v
     return None
+
+
+def minimize_violation(
+    net: Network, violation: CountingViolation, max_passes: int = 64
+) -> CountingViolation:
+    """Shrink a violating input to a locally-minimal witness.
+
+    Greedy per-coordinate reduction (zero, halve, decrement — biggest
+    first), keeping any change that still breaks the step property, until a
+    full pass makes no progress.  The result is locally minimal: no single
+    coordinate can be reduced further without losing the violation.  Small
+    witnesses make the failure legible — ``repro verify`` prints them, and
+    the fuzzer (:mod:`repro.faults.fuzzer`) uses the same discipline.
+    """
+    cur = np.array(violation.input_counts, dtype=np.int64, copy=True)
+
+    def fails(vec: np.ndarray) -> bool:
+        return not bool(step_mask(propagate_counts(net, vec[None, :]))[0])
+
+    if not fails(cur):  # stale witness (e.g. wrong network): return as-is
+        return violation
+    for _ in range(max_passes):
+        progressed = False
+        for i in range(cur.shape[0]):
+            for candidate_value in (0, int(cur[i]) // 2, int(cur[i]) - 1):
+                if candidate_value < 0 or candidate_value >= cur[i]:
+                    continue
+                candidate = cur.copy()
+                candidate[i] = candidate_value
+                if fails(candidate):
+                    cur = candidate
+                    progressed = True
+                    break
+        if not progressed:
+            break
+    return CountingViolation(cur, propagate_counts(net, cur))
 
 
 def verify_counting(net: Network, **kwargs) -> bool:

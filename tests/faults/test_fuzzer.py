@@ -1,0 +1,180 @@
+"""Input fuzzer: corpus round-trips, shrinking minimality, differential
+oracle, and end-to-end runs on good and broken networks."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import bitonic_network, bubble_network
+from repro.faults.fuzzer import (
+    CorpusEntry,
+    differential_sort_check,
+    fuzz_inputs,
+    load_corpus,
+    mutate_input,
+    save_corpus_entry,
+    shrink_vector,
+)
+from repro.faults.mutator import flip_balancer
+from repro.networks import k_network
+from repro.sim.count_sim import propagate_counts
+from repro.verify.counting import step_mask
+
+
+@pytest.fixture
+def net():
+    return k_network([2, 2, 2])
+
+
+class TestCorpus:
+    def test_round_trip(self, tmp_path):
+        e = CorpusEntry(width=4, counts=(9, 0, 0, 2), note="regression")
+        path = save_corpus_entry(e, directory=tmp_path)
+        assert path.exists()
+        loaded = load_corpus(tmp_path)
+        assert loaded == [e]
+
+    def test_append_and_width_filter(self, tmp_path):
+        save_corpus_entry(CorpusEntry(4, (1, 2, 3, 4)), directory=tmp_path, name="a")
+        save_corpus_entry(CorpusEntry(4, (4, 3, 2, 1)), directory=tmp_path, name="a")
+        save_corpus_entry(CorpusEntry(8, tuple(range(8))), directory=tmp_path, name="b")
+        assert len(load_corpus(tmp_path)) == 3
+        assert len(load_corpus(tmp_path, width=4)) == 2
+        assert len(load_corpus(tmp_path, width=8)) == 1
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert load_corpus(tmp_path / "nope") == []
+
+    def test_single_object_file(self, tmp_path):
+        (tmp_path / "one.json").write_text(
+            json.dumps({"width": 3, "counts": [7, 0, 1], "note": "hand-written"})
+        )
+        [e] = load_corpus(tmp_path)
+        assert e.counts == (7, 0, 1) and e.note == "hand-written"
+
+    def test_repo_corpus_loads(self):
+        """The checked-in seed corpus parses and matches its widths."""
+        entries = load_corpus()
+        assert entries, "tests/corpus/ should ship seed entries"
+        for e in entries:
+            assert len(e.counts) == e.width
+            assert all(c >= 0 for c in e.counts)
+
+
+class TestMutateInput:
+    def test_non_negative_and_same_shape(self, rng):
+        vec = np.array([5, 0, 3, 1], dtype=np.int64)
+        partner = np.array([0, 9, 0, 9], dtype=np.int64)
+        for _ in range(200):
+            out = mutate_input(vec, rng, partner)
+            assert out.shape == vec.shape
+            assert np.all(out >= 0)
+
+    def test_deterministic_under_seed(self):
+        vec = np.array([5, 0, 3, 1], dtype=np.int64)
+        a = [mutate_input(vec, np.random.default_rng(3)).tolist() for _ in range(1)]
+        b = [mutate_input(vec, np.random.default_rng(3)).tolist() for _ in range(1)]
+        assert a == b
+
+
+class TestShrinking:
+    def test_requires_failing_input(self):
+        with pytest.raises(ValueError, match="failing input"):
+            shrink_vector([1, 2, 3], lambda v: False)
+
+    def test_shrinks_to_local_minimum(self):
+        # Failure predicate: sum >= 10. Minimal witnesses have sum exactly 10.
+        def fails(v):
+            return int(v.sum()) >= 10
+
+        out = shrink_vector([50, 40, 30], fails)
+        assert fails(out)
+        assert int(out.sum()) == 10
+        for i in range(3):  # no single-coordinate reduction still fails
+            for cand in (0, int(out[i]) // 2, int(out[i]) - 1):
+                if 0 <= cand < out[i]:
+                    c = out.copy()
+                    c[i] = cand
+                    assert not fails(c)
+
+    def test_shrunk_violation_still_violates(self, net):
+        bad = flip_balancer(net, net.layers()[-1][0].index)
+
+        def fails(v):
+            return not bool(step_mask(propagate_counts(bad, v[None, :]))[0])
+
+        seed = np.array([50, 0, 0, 0, 0, 0, 0, 0], dtype=np.int64)
+        assert fails(seed)
+        out = shrink_vector(seed, fails)
+        assert fails(out)
+        assert int(out.sum()) <= int(seed.sum())
+
+
+class TestDifferentialOracle:
+    def test_agreeing_sorters_are_clean(self, rng):
+        a, b = bitonic_network(8), bitonic_network(8)
+        batch = rng.integers(0, 50, size=(32, 8))
+        assert differential_sort_check(a, b, batch) == 0
+
+    def test_broken_target_detected(self, rng):
+        net = bitonic_network(8)
+        bad = flip_balancer(net, net.layers()[-1][0].index)
+        batch = rng.integers(0, 50, size=(64, 8))
+        assert differential_sort_check(bad, net, batch) > 0
+
+    def test_broken_baseline_cannot_mask(self, rng):
+        """Rows are flagged when *either* side disagrees with np.sort."""
+        net = bitonic_network(8)
+        bad = flip_balancer(net, net.layers()[-1][0].index)
+        batch = rng.integers(0, 50, size=(64, 8))
+        assert differential_sort_check(net, bad, batch) > 0
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError, match="width mismatch"):
+            differential_sort_check(bitonic_network(8), bitonic_network(4), np.zeros((1, 8)))
+
+
+class TestFuzzInputs:
+    def test_counting_network_is_clean(self, net, tmp_path):
+        rep = fuzz_inputs(net, rounds=40, seed=1, corpus_dir=tmp_path)
+        assert rep.clean
+        assert rep.trials > 0
+        assert rep.violations == []
+
+    def test_broken_network_found_and_shrunk(self, net, tmp_path):
+        bad = flip_balancer(net, net.layers()[-1][0].index)
+        rep = fuzz_inputs(bad, rounds=40, seed=1, corpus_dir=tmp_path)
+        assert not rep.clean
+        for v in rep.violations:
+            vec = np.array(v.input_counts, dtype=np.int64)
+            assert not bool(step_mask(propagate_counts(bad, vec[None, :]))[0])
+            assert sum(v.input_counts) <= sum(v.original_input)
+
+    def test_bubble_caught_from_structured(self, tmp_path):
+        rep = fuzz_inputs(bubble_network(6), rounds=0, seed=0, corpus_dir=tmp_path)
+        assert not rep.clean
+        assert any(v.source == "structured" for v in rep.violations)
+
+    def test_corpus_seeds_are_replayed(self, net, tmp_path):
+        bad = flip_balancer(net, net.layers()[-1][0].index)
+        # Plant a known violating input in the corpus; the fuzzer must
+        # replay it even with zero search rounds.
+        save_corpus_entry(
+            CorpusEntry(8, (50, 0, 0, 0, 0, 0, 0, 0), "planted"), directory=tmp_path
+        )
+        rep = fuzz_inputs(bad, rounds=0, seed=0, corpus_dir=tmp_path)
+        assert rep.corpus_seeds == 1
+        assert any(v.source in ("corpus", "structured") for v in rep.violations)
+
+    def test_deterministic(self, net, tmp_path):
+        bad = flip_balancer(net, net.layers()[-1][0].index)
+        a = fuzz_inputs(bad, rounds=20, seed=5, corpus_dir=tmp_path).as_dict()
+        b = fuzz_inputs(bad, rounds=20, seed=5, corpus_dir=tmp_path).as_dict()
+        assert a == b
+
+    def test_report_dict_shape(self, net, tmp_path):
+        d = fuzz_inputs(net, rounds=5, seed=0, corpus_dir=tmp_path).as_dict()
+        assert {"network", "width", "seed", "trials", "violations", "clean"} <= set(d)

@@ -1,0 +1,113 @@
+"""The conformance harness: the kill matrix is complete, calibrated, and
+reproducible."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.harness import (
+    VERIFIERS,
+    KillMatrix,
+    default_networks,
+    run_conformance,
+    semantically_equivalent,
+)
+from repro.faults.mutator import FAULT_CLASSES, duplicate_layer, flip_balancer
+from repro.networks import k_network
+
+
+@pytest.fixture(scope="module")
+def matrix() -> KillMatrix:
+    """One conformance run shared by the read-only assertions below."""
+    return run_conformance(seed=42, sites_per_fault=2)
+
+
+class TestKillMatrix:
+    def test_complete_no_escapes(self, matrix):
+        """The acceptance bar: every live mutant caught by >= 1 verifier."""
+        assert matrix.complete(), [t.as_dict() for t in matrix.escapes()]
+
+    def test_every_fault_class_detected(self, matrix):
+        """Each fault class has at least one (caught, total>0) verifier cell."""
+        for fault in FAULT_CLASSES:
+            live = [t for t in matrix.trials if t.fault == fault and not t.equivalent]
+            assert live, f"no live mutants sampled for {fault}"
+            assert all(t.caught_by for t in live), fault
+
+    def test_structure_audit_owns_dup_layer(self, matrix):
+        """dup_layer is quiescently equivalent: only the structural audit
+        can catch it — and it must catch all of them."""
+        dups = [t for t in matrix.trials if t.fault == "dup_layer"]
+        assert dups
+        for t in dups:
+            assert t.caught_by == ("structure",)
+
+    def test_cells_sum_to_trials(self, matrix):
+        for fault in matrix.faults:
+            live = [t for t in matrix.trials if t.fault == fault and not t.equivalent]
+            for v in matrix.verifiers:
+                caught, total = matrix.cell(fault, v)
+                assert 0 <= caught <= total
+                assert total == sum(1 for t in live if v in t.applicable)
+
+    def test_as_dict_shape(self, matrix):
+        d = matrix.as_dict()
+        assert set(d) == {"seed", "verifiers", "faults", "matrix", "trials", "summary"}
+        assert d["summary"]["mutants"] == len(matrix.trials)
+        assert d["summary"]["complete"] is True
+        assert len(d["matrix"]) == len(matrix.faults)
+
+    def test_reproducible(self):
+        a = run_conformance(networks=[k_network([2, 2])], seed=9, sites_per_fault=2)
+        b = run_conformance(networks=[k_network([2, 2])], seed=9, sites_per_fault=2)
+        assert [t.as_dict() for t in a.trials] == [t.as_dict() for t in b.trials]
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault"):
+            run_conformance(networks=[k_network([2, 2])], faults=["nope"])
+
+
+class TestCalibration:
+    def test_applicable_excludes_failing_pristine(self):
+        """A pristine network that fails a verifier (e.g. `sorting` for a
+        non-sorting counting construction) must not have that verifier
+        counted against its mutants."""
+        km = run_conformance(seed=0, sites_per_fault=1)
+        for t in km.trials:
+            assert set(t.caught_by) <= set(t.applicable)
+
+    def test_default_networks_pass_counting(self):
+        from repro.verify import find_counting_violation
+
+        for net in default_networks():
+            assert find_counting_violation(net) is None, net.name
+
+
+class TestEquivalence:
+    def test_dup_layer_is_equivalent(self, rng):
+        net = k_network([2, 2, 2])
+        assert semantically_equivalent(net, duplicate_layer(net, 0), rng)
+
+    def test_flip_final_not_equivalent(self, rng):
+        net = k_network([2, 2, 2])
+        bad = flip_balancer(net, net.layers()[-1][0].index)
+        assert not semantically_equivalent(net, bad, rng)
+
+    def test_width_mismatch(self, rng):
+        assert not semantically_equivalent(k_network([2, 2]), k_network([2, 3]), rng)
+
+
+class TestVerifierColumns:
+    def test_verifier_set(self):
+        assert set(VERIFIERS) == {"counting", "sorting", "smoothing", "contract", "structure"}
+
+    def test_structure_detects_depth_change(self, rng):
+        net = k_network([2, 2, 2])
+        assert VERIFIERS["structure"](duplicate_layer(net, 1), net, rng)
+        assert not VERIFIERS["structure"](net, net, rng)
+
+    def test_counting_detects_flipped_repair(self, rng):
+        net = k_network([2, 2, 2])
+        bad = flip_balancer(net, net.layers()[-1][0].index)
+        assert VERIFIERS["counting"](bad, net, np.random.default_rng(0))

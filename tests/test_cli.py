@@ -38,6 +38,25 @@ class TestVerify:
         out = capsys.readouterr().out
         assert "VIOLATION" in out
 
+    def test_verify_prints_minimized_witness(self, capsys):
+        """A failing verify prints a locally-minimal violating input, not
+        just the raw (often huge) search witness."""
+        import numpy as np
+
+        from repro.baselines import bubble_network
+        from repro.sim import propagate_counts
+        from repro.verify import step_mask
+
+        assert main(["verify", "bubble", "6"]) == 1
+        out = capsys.readouterr().out
+        assert "minimized witness" in out
+        line = next(l for l in out.splitlines() if "minimized witness" in l)
+        vec = np.array(eval(line.split("input ")[1].split(" -> ")[0]), dtype=np.int64)
+        # The minimized witness still violates the step property and is small.
+        net = bubble_network(6)
+        assert not bool(step_mask(propagate_counts(net, vec[None, :]))[0])
+        assert int(vec.sum()) <= 10
+
 
 class TestFamily:
     def test_family_table(self, capsys):
@@ -268,6 +287,76 @@ class TestLoadgen:
     def test_bad_connect_spec_exits(self, tmp_path):
         with pytest.raises(SystemExit, match="HOST:PORT"):
             main(["loadgen", "--connect", "nonsense", "--out-dir", str(tmp_path)])
+
+
+class TestFuzz:
+    def test_mutate_writes_complete_kill_matrix(self, capsys, tmp_path):
+        from repro.obs import read_bench_json
+
+        assert main(["fuzz", "mutate", "--seed", "42", "--sites", "1",
+                     "--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "kill matrix" in out
+        assert "complete=True" in out
+        data = read_bench_json(tmp_path / "BENCH_fuzz.json")
+        assert data["bench"] == "fuzz" and data["mode"] == "mutate"
+        assert data["summary"]["complete"] is True
+        assert data["summary"]["escaped"] == 0
+        # one matrix row per fault class
+        faults = {row["fault"] for row in data["matrix"]}
+        from repro.faults import FAULT_CLASSES
+
+        assert faults == set(FAULT_CLASSES)
+
+    def test_inputs_clean_on_counting_network(self, capsys, tmp_path):
+        from repro.obs import read_bench_json
+
+        assert main(["fuzz", "inputs", "K", "2", "2", "--rounds", "10",
+                     "--corpus", str(tmp_path / "empty"),
+                     "--out-dir", str(tmp_path)]) == 0
+        data = read_bench_json(tmp_path / "BENCH_fuzz.json")
+        assert data["mode"] == "inputs" and data["clean"] is True
+
+    def test_inputs_differential_non_power_of_two_width(self, capsys, tmp_path):
+        """--differential must work at any width: the bitonic oracle only
+        exists for powers of two, so width 6 uses the general Batcher."""
+        from repro.obs import read_bench_json
+
+        assert main(["fuzz", "inputs", "K", "2", "3", "--rounds", "10",
+                     "--differential",
+                     "--corpus", str(tmp_path / "empty"),
+                     "--out-dir", str(tmp_path)]) == 0
+        data = read_bench_json(tmp_path / "BENCH_fuzz.json")
+        assert data["clean"] is True and data["differential_mismatches"] == 0
+
+    def test_inputs_fails_on_bubble_with_shrunk_witness(self, capsys, tmp_path):
+        from repro.obs import read_bench_json
+
+        assert main(["fuzz", "inputs", "bubble", "6", "--rounds", "5",
+                     "--corpus", str(tmp_path / "empty"),
+                     "--out-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out and "shrunk from" in out
+        data = read_bench_json(tmp_path / "BENCH_fuzz.json")
+        assert data["clean"] is False and data["violations"]
+
+    def test_chaos_exactly_once(self, capsys, tmp_path):
+        from repro.obs import read_bench_json
+
+        assert main(["fuzz", "chaos", "--widths", "2,2", "--requests", "200",
+                     "--clients", "4", "--seed", "3",
+                     "--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "exactly-once: True" in out
+        data = read_bench_json(tmp_path / "BENCH_fuzz.json")
+        assert data["mode"] == "chaos"
+        assert data["exactly_once"] is True and data["escapes"] == []
+        assert data["token_check"] is None
+        assert data["issued"] >= 200
+
+    def test_fuzz_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz"])
 
 
 class TestServeLoadgenTCP:

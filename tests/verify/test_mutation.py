@@ -1,45 +1,20 @@
 """Mutation testing of the verifiers.
 
 The counting/sorting searches are only useful if they actually catch
-broken networks.  These tests generate mutants of known-good counting
-networks — dropped balancers, flipped balancer outputs, rewired inputs —
-and assert the verifier flags (nearly) all of them.
+broken networks.  These tests apply mutants from :mod:`repro.faults`
+(the mutation operators live there now — see ``tests/faults/`` for the
+operators' own tests and the full conformance kill-matrix) to known-good
+counting networks and assert the verifiers flag (nearly) all of them.
 """
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.core import Balancer, Network
+from repro.faults import drop_balancer, flip_balancer
+from repro.core import Network
 from repro.networks import k_network, r_network
 from repro.verify import find_counting_violation, find_sorting_violation
-
-
-def drop_balancer(net: Network, index: int) -> Network:
-    """Mutant: balancer ``index`` becomes a pass-through (inputs wired
-    straight to its outputs)."""
-    alias = {}
-    balancers = []
-    for b in net.balancers:
-        ins = tuple(alias.get(w, w) for w in b.inputs)
-        if b.index == index:
-            for w_in, w_out in zip(ins, b.outputs):
-                alias[w_out] = w_in
-            continue
-        balancers.append(Balancer(len(balancers), ins, b.outputs))
-    outputs = [alias.get(w, w) for w in net.outputs]
-    return Network(net.inputs, outputs, balancers, net.num_wires, f"{net.name}-drop{index}", validate=False)
-
-
-def flip_balancer(net: Network, index: int) -> Network:
-    """Mutant: balancer ``index``'s outputs reversed (most tokens to the
-    bottom wire)."""
-    balancers = [
-        Balancer(b.index, b.inputs, tuple(reversed(b.outputs))) if b.index == index else b
-        for b in net.balancers
-    ]
-    return Network(net.inputs, net.outputs, balancers, net.num_wires, f"{net.name}-flip{index}")
 
 
 def _final_layer_indices(net: Network) -> list[int]:
@@ -73,7 +48,9 @@ class TestDroppedBalancers:
         (the downstream merger alone is a counting network at this size),
         and even its final repair layer is redundant for p = q = 2 blocks.
         The paper's depth formulas are exact for the *construction*, not
-        lower bounds for the width."""
+        lower bounds for the width.  The conformance harness classifies
+        these as equivalent mutants and excludes them from the kill score
+        (see repro.faults.harness.semantically_equivalent)."""
         net = k_network([2, 2, 2])
         assert find_counting_violation(drop_balancer(net, 0)) is None
         for i in _final_layer_indices(net):

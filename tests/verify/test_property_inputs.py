@@ -1,0 +1,143 @@
+"""Property tests: the verification input generators and the smoothing
+checker hold their invariants across random shapes and seeds.
+
+Mirrors ``test_contract_inputs.py``: if a generator quietly drifted off its
+documented shape/dtype/coverage guarantees, every downstream verifier run
+would silently weaken — so the generators themselves get hypothesis
+properties here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import odd_even_network
+from repro.core.sequences import is_step
+from repro.networks import k_network
+from repro.sim.count_sim import propagate_counts
+from repro.verify.inputs import all_zero_one, exhaustive_counts, random_counts, structured_counts
+from repro.verify.smoothing import find_smoothing_violation, is_smoother, observed_smoothness
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+widths = st.integers(min_value=2, max_value=12)
+
+
+class TestStructuredCounts:
+    @settings(max_examples=40, deadline=None)
+    @given(width=widths, heavy=st.integers(min_value=1, max_value=100))
+    def test_shape_dtype_bounds(self, width, heavy):
+        out = structured_counts(width, heavy)
+        assert out.ndim == 2 and out.shape[1] == width
+        assert out.dtype == np.int64
+        assert np.all(out >= 0)
+        # Largest entries: heavy itself, or a width-ramp base bumped by heavy//2.
+        assert int(out.max()) <= max(heavy, width + heavy // 2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(width=widths)
+    def test_coverage_of_adversarial_shapes(self, width):
+        """The documented families are all present: every single-heavy-wire
+        vector, the zero vector, the all-equal vector, both ramps."""
+        heavy = 50
+        rows = {tuple(r) for r in structured_counts(width, heavy)}
+        for k in range(width):
+            one_hot = np.zeros(width, dtype=np.int64)
+            one_hot[k] = heavy
+            assert tuple(one_hot) in rows
+        assert tuple(np.zeros(width, dtype=np.int64)) in rows
+        assert tuple(np.full(width, heavy, dtype=np.int64)) in rows
+        assert tuple(np.arange(width)) in rows
+        assert tuple(np.arange(width)[::-1]) in rows
+
+    def test_deterministic(self):
+        assert np.array_equal(structured_counts(7), structured_counts(7))
+
+
+class TestRandomCounts:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        width=widths,
+        batch=st.integers(min_value=1, max_value=64),
+        max_count=st.integers(min_value=1, max_value=100),
+        seed=seeds,
+    )
+    def test_shape_dtype_range(self, width, batch, max_count, seed):
+        out = random_counts(width, batch, np.random.default_rng(seed), max_count)
+        assert out.shape == (batch, width)
+        assert out.dtype == np.int64
+        assert np.all((out >= 0) & (out <= max_count))
+
+    @settings(max_examples=20, deadline=None)
+    @given(width=widths, seed=seeds)
+    def test_sparse_half_present(self, width, seed):
+        """The second half is sparsified — it must contain strictly more
+        zeros than pure uniform sampling would essentially ever produce."""
+        out = random_counts(width, 64, np.random.default_rng(seed), 64)
+        sparse = out[32:]
+        assert (sparse == 0).mean() > 0.35
+
+    @settings(max_examples=20, deadline=None)
+    @given(width=widths, batch=st.integers(min_value=1, max_value=32), seed=seeds)
+    def test_same_seed_same_batch(self, width, batch, seed):
+        a = random_counts(width, batch, np.random.default_rng(seed))
+        b = random_counts(width, batch, np.random.default_rng(seed))
+        assert np.array_equal(a, b)
+
+
+class TestExhaustiveCounts:
+    @settings(max_examples=20, deadline=None)
+    @given(width=st.integers(min_value=1, max_value=4), max_count=st.integers(min_value=0, max_value=3))
+    def test_full_coverage_no_duplicates(self, width, max_count):
+        batches = list(exhaustive_counts(width, max_count, batch=64))
+        all_rows = np.concatenate(batches) if batches else np.empty((0, width))
+        assert all_rows.shape == ((max_count + 1) ** width, width)
+        assert len({tuple(r) for r in all_rows}) == all_rows.shape[0]
+        assert np.all((all_rows >= 0) & (all_rows <= max_count))
+
+
+class TestAllZeroOne:
+    @settings(max_examples=20, deadline=None)
+    @given(width=st.integers(min_value=1, max_value=12))
+    def test_all_patterns_exactly_once(self, width):
+        out = all_zero_one(width)
+        assert out.shape == (1 << width, width)
+        assert out.dtype == np.int8
+        assert set(np.unique(out)) <= {0, 1}
+        assert len({tuple(r) for r in out}) == 1 << width
+
+
+class TestSmoothingProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(factors=st.lists(st.sampled_from([2, 3]), min_size=2, max_size=3), seed=seeds)
+    def test_counting_networks_are_1_smooth(self, factors, seed):
+        net = k_network(factors)
+        rng = np.random.default_rng(seed)
+        assert find_smoothing_violation(net, 1, rng=rng, random_batches=2) is None
+        assert is_smoother(net, 1, rng=np.random.default_rng(seed), random_batches=2)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=seeds)
+    def test_violation_witness_is_faithful(self, seed):
+        """Any returned witness really exceeds the target smoothness."""
+        net = odd_even_network(8)  # sorts but does not count
+        v = find_smoothing_violation(net, 0, rng=np.random.default_rng(seed))
+        if v is not None:
+            out = propagate_counts(net, np.asarray(v.input_counts))
+            assert int(out.max() - out.min()) == v.smoothness > v.target
+
+    def test_monotone_in_k(self):
+        """k-smooth implies (k+1)-smooth: violations can only shrink as k
+        grows, and observed_smoothness is the crossover point."""
+        net = odd_even_network(8)
+        k_obs = observed_smoothness(net)
+        assert find_smoothing_violation(net, k_obs) is None
+        if k_obs > 0:
+            assert find_smoothing_violation(net, k_obs - 1) is not None
+
+    def test_negative_k_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            find_smoothing_violation(k_network([2, 2]), -1)

@@ -78,7 +78,9 @@ def main() -> None:
         "",
         "Generated from docstrings by `tools/gen_api_docs.py`; regenerate",
         "after changing public signatures.  First paragraphs only — see the",
-        "source docstrings for full details.",
+        "source docstrings for full details.  For the adversarial test",
+        "tooling around this API (mutation kill-matrix, input fuzzing,",
+        "chaos injection) see `testing.md`.",
         "",
     ]
     names = ["repro"]
