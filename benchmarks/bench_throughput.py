@@ -6,13 +6,26 @@ across concurrency levels.  Expected shape (and the paper's stated reason
 for wanting a *family*): at low concurrency the shallow wide-balancer
 networks win; as concurrency grows, contention on wide balancers dominates
 and an intermediate balancer size becomes optimal.
+
+The model rows are complemented by a **measured** wall-clock section
+(``wall_rows``): the contention model charges every member the same
+sequential service at ``procs=1``, so factorization never showed up there.
+The wall section evaluates each member's flat execution plan on large
+batches (after warmup, with the batch-harness overhead measured on an
+identity network of the same width and subtracted), so depth and segment
+count — i.e. the factorization — set the measured cost.
 """
 
 from __future__ import annotations
 
+import time
+
+import numpy as np
 import pytest
 
 from repro.analysis import build_family
+from repro.core.network import identity_network
+from repro.core.plan import plan_executor
 from repro.networks import k_network
 from repro.obs import write_bench_json
 from repro.sim import ContentionSimulator
@@ -20,6 +33,46 @@ from repro.sim import ContentionSimulator
 
 def _family_nets(w: int):
     return [(e.factors, k_network(list(e.factors))) for e in build_family(w, "K")]
+
+
+_WALL_BATCH = 8192
+_WALL_REPS = 3
+
+
+def _timed_eval(ex, x: np.ndarray) -> float:
+    """Median-of-reps seconds for one warm plan evaluation of ``x``."""
+    ex.run(x)  # warmup: scratch-pool allocation, numpy lazy init
+    times = []
+    for _ in range(_WALL_REPS):
+        t0 = time.perf_counter()
+        ex.run(x)
+        times.append(time.perf_counter() - t0)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def _wall_rows(nets, w: int) -> list[dict]:
+    """Network-bound wall-clock cost per family member at procs=1."""
+    rng = np.random.default_rng(0)
+    x = rng.integers(0, 10_000, size=(_WALL_BATCH, w)).astype(np.int64)
+    # Harness overhead: the same executor machinery over a network with no
+    # balancers measures validation + input scatter + output gather alone.
+    overhead_s = _timed_eval(plan_executor(identity_network(w)), x)
+    rows = []
+    for factors, net in nets:
+        net_s = max(_timed_eval(plan_executor(net), x) - overhead_s, 0.0)
+        rows.append(
+            {
+                "factors": "x".join(map(str, factors)),
+                "depth": net.depth,
+                "size": net.size,
+                "max_balancer": net.max_balancer_width,
+                "batch": _WALL_BATCH,
+                "net_ms_per_batch": round(net_s * 1e3, 3),
+                "Mvals_per_s": round(_WALL_BATCH * w / max(net_s, 1e-9) / 1e6, 1),
+            }
+        )
+    return rows
 
 
 def test_throughput_sweep(save_table):
@@ -47,9 +100,13 @@ def test_throughput_sweep(save_table):
             if best is None or stats.throughput > best[0]:
                 best = (stats.throughput, factors, net)
         winners[procs] = best
+    wall_rows = _wall_rows(nets, w)
     save_table("E13_throughput_w64", rows)
+    save_table("E13_wall_clock_w64", wall_rows)
     # Machine-readable trajectory: BENCH_throughput.json at the repo root.
-    write_bench_json("throughput", {"width": w, "rows": rows}, family="K")
+    write_bench_json(
+        "throughput", {"width": w, "rows": rows, "wall_rows": wall_rows}, family="K"
+    )
 
     # Low concurrency: the single balancer (depth 1) is unbeatable.
     assert winners[1][2].depth == 1
@@ -57,6 +114,17 @@ def test_throughput_sweep(save_table):
     # 1-factor network nor the all-binary one.
     hi = winners[64][1]
     assert 1 < len(hi) < 6, hi
+
+    # Measured section: factorization must matter at procs=1.  The deepest
+    # member runs an order of magnitude more plan segments than the single
+    # balancer; its measured per-batch cost has to show that.
+    by_depth = sorted(wall_rows, key=lambda r: r["depth"])
+    shallow, deep = by_depth[0], by_depth[-1]
+    assert deep["depth"] > shallow["depth"]
+    assert deep["net_ms_per_batch"] >= 1.5 * shallow["net_ms_per_batch"], (
+        shallow,
+        deep,
+    )
 
 
 def test_latency_monotone_in_depth_when_uncontended():

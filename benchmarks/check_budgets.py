@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""CI perf gate: compare BENCH_build_scale.json against benchmarks/budgets.json.
+
+Usage::
+
+    python benchmarks/check_budgets.py [BENCH_build_scale.json] [budgets.json]
+
+Exits nonzero when any measured metric exceeds ``regression_factor`` times
+its budget — i.e. a >2x regression of build or evaluation cost fails CI
+while ordinary runner noise does not.  Budgets are plain expected values,
+so tightening them is a one-line diff reviewed like any other.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+DEFAULT_BENCH = "BENCH_build_scale.json"
+DEFAULT_BUDGETS = pathlib.Path(__file__).parent / "budgets.json"
+
+
+def check(bench_path, budgets_path) -> list[str]:
+    bench = json.loads(pathlib.Path(bench_path).read_text())
+    spec = json.loads(pathlib.Path(budgets_path).read_text())
+    factor = float(spec.get("regression_factor", 2.0))
+    budgets = spec["build_scale"]
+    rows = {
+        str(r["width"]): r
+        for r in bench["rows"]
+        if r.get("build_ms") is not None  # skip the workers/aggregate rows
+    }
+    failures = []
+    for width, budget in budgets.items():
+        row = rows.get(width)
+        if row is None:
+            failures.append(f"width {width}: no measured row in {bench_path}")
+            continue
+        for metric, limit in budget.items():
+            measured = row.get(metric)
+            if measured is None:
+                failures.append(f"width {width}: metric {metric} missing")
+            elif float(measured) > factor * float(limit):
+                failures.append(
+                    f"width {width}: {metric}={measured} exceeds "
+                    f"{factor}x budget {limit}"
+                )
+            else:
+                print(
+                    f"ok width {width} {metric}={measured} "
+                    f"(budget {limit}, limit {factor * float(limit):g})"
+                )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    bench = argv[1] if len(argv) > 1 else DEFAULT_BENCH
+    budgets = argv[2] if len(argv) > 2 else DEFAULT_BUDGETS
+    failures = check(bench, budgets)
+    for f in failures:
+        print(f"PERF REGRESSION: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -21,6 +21,8 @@ fuzz        fault injection (repro.faults): ``mutate`` checks that every
             fuzzes the step property with corpus + shrinking, ``chaos``
             stress-tests the counting service's exactly-once guarantee;
             all three emit BENCH_fuzz.json
+cache       persistent build/plan cache (.repro_cache): ``stats`` prints
+            entry counts, bytes and hit/miss counters, ``clear`` wipes it
 """
 
 from __future__ import annotations
@@ -214,6 +216,7 @@ def _profile(args: argparse.Namespace) -> int:
         procs=args.procs,
         ops=args.ops,
         batch=args.batch,
+        workers=args.workers,
         seed=args.seed,
     )
     n = report.network
@@ -479,6 +482,19 @@ def _fuzz_chaos(args: argparse.Namespace) -> int:
     return 0 if (report.exactly_once and token_escape is None) else 1
 
 
+def _cache(args: argparse.Namespace) -> int:
+    from .core.cache import PlanCache, default_cache
+
+    cache = PlanCache(args.dir) if args.dir else default_cache()
+    if args.cache_command == "stats":
+        for k, v in cache.stats().items():
+            print(f"  {k} = {v}")
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cached files from {cache.root}")
+    return 0
+
+
 def _plan(args: argparse.Namespace) -> int:
     from .analysis import plan_network
 
@@ -565,6 +581,10 @@ def main(argv: list[str] | None = None) -> int:
     pr.add_argument("--procs", type=int, default=8, help="processes (contention workload)")
     pr.add_argument("--ops", type=int, default=4, help="ops per process (contention workload)")
     pr.add_argument("--batch", type=int, default=64, help="batch size (counts workload)")
+    pr.add_argument(
+        "--workers", type=int, default=None,
+        help="shard the counts batch over N worker processes (counts workload)",
+    )
     pr.add_argument("--seed", type=int, default=0)
     pr.add_argument("--top", type=int, default=10, help="balancer rows to print")
     pr.add_argument("--out-dir", default=".", help="where BENCH_profile.json + trace land")
@@ -638,6 +658,19 @@ def main(argv: list[str] | None = None) -> int:
     zc.add_argument("--cancel-rate", type=float, default=0.03)
     zc.add_argument("--out-dir", default=".", help="where BENCH_fuzz.json lands")
     zc.set_defaults(fn=_fuzz_chaos)
+
+    pcache = sub.add_parser("cache", help="persistent build/plan cache: stats or clear")
+    csub = pcache.add_subparsers(dest="cache_command", required=True)
+    for cmd, chelp in (
+        ("stats", "entry count, bytes on disk, hit/miss/store/corrupt counters"),
+        ("clear", "delete every cached artifact"),
+    ):
+        cp = csub.add_parser(cmd, help=chelp)
+        cp.add_argument(
+            "--dir", default=None,
+            help="cache directory (default: REPRO_CACHE_DIR or <repo>/.repro_cache)",
+        )
+        cp.set_defaults(fn=_cache)
 
     pp = sub.add_parser("plan", help="best family member for a width + balancer budget")
     pp.add_argument("width", type=int)

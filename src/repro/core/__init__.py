@@ -1,7 +1,10 @@
-"""Core substrate: sequence predicates, the SSA network IR, layer compiler."""
+"""Core substrate: sequence predicates, the SSA network IR, layer compiler,
+flat execution plans, and the persistent build/plan cache."""
 
 from .network import Balancer, Network, NetworkBuilder, identity_network, single_balancer_network
 from .compiled import CompiledNetwork, WidthGroup, compile_network
+from .plan import ExecutionPlan, PlanExecutor, lower_network, plan_executor
+from .cache import PlanCache, cached_network, cached_plan, code_version_hash, default_cache
 from .compose import parallel, repeat, serial
 from . import sequences
 
@@ -14,6 +17,15 @@ __all__ = [
     "CompiledNetwork",
     "WidthGroup",
     "compile_network",
+    "ExecutionPlan",
+    "PlanExecutor",
+    "lower_network",
+    "plan_executor",
+    "PlanCache",
+    "cached_network",
+    "cached_plan",
+    "code_version_hash",
+    "default_cache",
     "sequences",
     "parallel",
     "repeat",

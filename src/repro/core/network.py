@@ -58,6 +58,17 @@ class Balancer:
         if len(set(self.inputs)) != len(self.inputs):
             raise ValueError(f"balancer {self.index} has duplicate input wires")
 
+    @staticmethod
+    def _trusted(index: int, inputs: tuple[int, ...], outputs: tuple[int, ...]) -> "Balancer":
+        """Construct without invariant checks.  Only for callers relabeling
+        balancers out of an already-validated :class:`Network` through an
+        injective wire mapping."""
+        b = object.__new__(Balancer)
+        object.__setattr__(b, "index", index)
+        object.__setattr__(b, "inputs", inputs)
+        object.__setattr__(b, "outputs", outputs)
+        return b
+
 
 class Network:
     """An immutable balancing/comparator network.
@@ -94,6 +105,8 @@ class Network:
         self.name = name
         self._wire_depth: np.ndarray | None = None
         self._layers: list[list[Balancer]] | None = None
+        self._wire_arrays: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._io_arrays: tuple[np.ndarray, np.ndarray] | None = None
         if validate:
             self._validate()
 
@@ -139,6 +152,47 @@ class Network:
             return 0
         depths = self.wire_depths()
         return int(max(depths[list(self.outputs)], default=0))
+
+    def io_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``(inputs, outputs)`` wire-id arrays (int64).
+
+        Evaluators index the state array with these on every call; caching
+        them here stops :func:`repro.sim.propagate_counts_reference` and the
+        fault-override path from rebuilding ``list(...)`` conversions per
+        batch.  Treat the returned arrays as read-only.
+        """
+        if self._io_arrays is None:
+            self._io_arrays = (
+                np.array(self.inputs, dtype=np.int64),
+                np.array(self.outputs, dtype=np.int64),
+            )
+        return self._io_arrays
+
+    def wire_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Cached flat per-balancer wiring: ``(widths, in_concat, out_concat,
+        bounds)``.
+
+        ``in_concat``/``out_concat`` concatenate every balancer's input /
+        output wire ids in balancer order; balancer ``j`` owns the slice
+        ``[bounds[j], bounds[j+1])``.  Shared by the vectorized
+        :meth:`NetworkBuilder.subnetwork` inliner, the fault-override
+        evaluator, and the on-disk network serializer.
+        """
+        if self._wire_arrays is None:
+            widths = np.array([b.width for b in self.balancers], dtype=np.int64)
+            in_concat = np.fromiter(
+                (w for b in self.balancers for w in b.inputs),
+                dtype=np.int64,
+                count=int(widths.sum()),
+            )
+            out_concat = np.fromiter(
+                (w for b in self.balancers for w in b.outputs),
+                dtype=np.int64,
+                count=int(widths.sum()),
+            )
+            bounds = np.concatenate(([0], np.cumsum(widths))).astype(np.int64)
+            self._wire_arrays = (widths, in_concat, out_concat, bounds)
+        return self._wire_arrays
 
     def layers(self) -> list[list[Balancer]]:
         """Balancers grouped by layer (ASAP schedule): balancer layer =
@@ -229,6 +283,8 @@ class Network:
         net = Network(self.inputs, self.outputs, self.balancers, self.num_wires, name, validate=False)
         net._wire_depth = self._wire_depth
         net._layers = self._layers
+        net._wire_arrays = self._wire_arrays
+        net._io_arrays = self._io_arrays
         return net
 
     def __repr__(self) -> str:
@@ -320,25 +376,76 @@ class NetworkBuilder:
 
     def subnetwork(self, net: Network, in_wires: Sequence[int]) -> list[int]:
         """Inline an existing network onto ``in_wires``; returns the wire ids
-        carrying the subnetwork's output sequence."""
+        carrying the subnetwork's output sequence.
+
+        The inline is a pure array relabeling: one fresh contiguous id block
+        covers every balancer output of ``net`` (in ``net``'s own allocation
+        order, so the result is wire-for-wire identical to replaying the
+        construction), and the already-validated balancers are copied with
+        their wires mapped through one int64 lookup table — no per-balancer
+        well-formedness re-checks, no Python dict per wire.
+        """
         if len(in_wires) != net.width:
             raise ValueError(f"subnetwork width {net.width} != {len(in_wires)} wires given")
-        mapping: dict[int, int] = {w_in: mine for w_in, mine in zip(net.inputs, in_wires)}
-        for b in net.balancers:
-            outs = self.balancer([mapping[w] for w in b.inputs])
-            for theirs, mine in zip(b.outputs, outs):
-                mapping[theirs] = mine
-        return [mapping[w] for w in net.outputs]
+        ins = [int(w) for w in in_wires]
+        if len(set(ins)) != len(ins):
+            raise ValueError("duplicate wires given to subnetwork")
+        for w in ins:
+            if not (0 <= w < self._next_wire) or not self._defined[w]:
+                raise ValueError(f"wire {w} is not defined")
+            if self._consumed[w]:
+                raise ValueError(f"wire {w} already consumed")
+        if net.size == 0:
+            pos = {w: i for i, w in enumerate(net.inputs)}
+            return [ins[pos[w]] for w in net.outputs]
+
+        widths, in_concat, out_concat, bounds = net.wire_arrays()
+        total = int(bounds[-1])
+        base = self._next_wire
+        mapping = np.empty(net.num_wires, dtype=np.int64)
+        mapping[net.io_arrays()[0]] = ins
+        mapping[out_concat] = np.arange(base, base + total, dtype=np.int64)
+        new_in = mapping[in_concat].tolist()
+        self._next_wire += total
+        self._defined.extend([True] * total)
+        self._consumed.extend([False] * total)
+        for w in new_in:
+            self._consumed[w] = True
+        append = self._balancers.append
+        index = len(self._balancers)
+        blist = bounds.tolist()
+        trusted = Balancer._trusted
+        for j in range(net.size):
+            lo, hi = blist[j], blist[j + 1]
+            append(trusted(index + j, tuple(new_in[lo:hi]), tuple(range(base + lo, base + hi))))
+        return [int(mapping[w]) for w in net.outputs]
 
     def finish(self, outputs: Sequence[int], name: str = "network") -> Network:
         """Freeze into a :class:`Network` whose output sequence order is
-        ``outputs``."""
+        ``outputs``.
+
+        The builder enforces the per-balancer invariants (wires defined
+        before use, consumed at most once) incrementally, so the only thing
+        left to check is that ``outputs`` is exactly the set of unconsumed
+        wires — done here vectorized instead of re-walking every balancer
+        through :meth:`Network._validate`.
+        """
+        outs = [int(w) for w in outputs]
+        terminal = np.flatnonzero(~np.asarray(self._consumed, dtype=bool))
+        if len(outs) != len(terminal) or len(set(outs)) != len(outs) or not np.array_equal(
+            np.sort(np.asarray(outs, dtype=np.int64)), terminal
+        ):
+            raise ValueError(
+                f"outputs must be exactly the {len(terminal)} unconsumed wires, "
+                f"got {len(outs)} wires"
+            )
         net = Network(
             inputs=self.inputs,
-            outputs=outputs,
+            outputs=outs,
             balancers=self._balancers,
             num_wires=self._next_wire,
             name=name,
+            validate=False,
         )
         if _obs.enabled:
             from ..obs.metrics import DEFAULT_TIME_BUCKETS, default_registry

@@ -40,7 +40,68 @@ __all__ = [
     "counting_network",
     "merger_network",
     "single_balancer_base",
+    "clear_construction_cache",
 ]
+
+# ---------------------------------------------------------------------------
+# Construction-time memoization.
+#
+# The recursion builds the *same* sub-blocks over and over: ``C(p0..pn-1)``
+# instantiates ``p(n-1)`` identical copies of ``C(p0..pn-2)``, and
+# ``M(p0..pn-1)`` instantiates ``p(n-2)`` identical copies of the sub-merger.
+# Each standalone sub-network is therefore built once, cached by
+# ``(kind, factors, base, variant)``, and stamped into the outer builder via
+# the vectorized :meth:`NetworkBuilder.subnetwork` relabeling — which
+# allocates fresh wire ids in exactly the order a direct replay would, so
+# the resulting network is wire-for-wire identical to the unmemoized build.
+#
+# The ``base`` factory participates in the key as a (strongly referenced)
+# function object: distinct bases never collide, and holding the reference
+# rules out id-reuse aliasing for ad-hoc lambdas.
+# ---------------------------------------------------------------------------
+
+_SUBNET_CACHE: dict[tuple, Network] = {}
+_SUBNET_CACHE_MAX = 512
+
+
+def clear_construction_cache() -> None:
+    """Drop all memoized sub-networks (tests / memory pressure)."""
+    _SUBNET_CACHE.clear()
+
+
+def _cached_subnet(key: tuple, build) -> Network:
+    net = _SUBNET_CACHE.get(key)
+    if net is None:
+        if len(_SUBNET_CACHE) >= _SUBNET_CACHE_MAX:
+            _SUBNET_CACHE.clear()
+        net = build()
+        _SUBNET_CACHE[key] = net
+    return net
+
+
+def _counting_subnet(factors: list[int], base: "BaseFactory", variant: str) -> Network:
+    """Standalone ``C(factors)``, memoized."""
+
+    def build() -> Network:
+        b = NetworkBuilder(prod(factors))
+        out = build_counting(b, list(b.inputs), list(factors), base, variant)
+        return b.finish(out, name=f"C({','.join(map(str, factors))})")
+
+    return _cached_subnet(("C", tuple(factors), base, variant), build)
+
+
+def _merger_subnet(factors: list[int], base: "BaseFactory", variant: str) -> Network:
+    """Standalone ``M(factors)`` (inputs concatenated), memoized."""
+
+    def build() -> Network:
+        block = prod(factors[:-1])
+        b = NetworkBuilder(block * factors[-1])
+        wires = list(b.inputs)
+        inputs = [wires[i * block : (i + 1) * block] for i in range(factors[-1])]
+        out = build_merger(b, inputs, list(factors), base, variant)
+        return b.finish(out, name=f"M({','.join(map(str, factors))})")
+
+    return _cached_subnet(("M", tuple(factors), base, variant), build)
 
 
 def normalize_factors(factors: list[int] | tuple[int, ...]) -> list[int]:
@@ -82,9 +143,11 @@ def build_counting(
 
     p_last = factors[-1]
     block = prod(factors[:-1])
+    # The p_last copies of C(factors[:-1]) are identical: build one standalone
+    # instance (memoized across calls) and stamp it in by array relabeling.
+    sub = _counting_subnet(factors[:-1], base, variant)
     outputs = [
-        build_counting(b, list(wires[i * block : (i + 1) * block]), factors[:-1], base, variant)
-        for i in range(p_last)
+        b.subnetwork(sub, wires[i * block : (i + 1) * block]) for i in range(p_last)
     ]
     return build_merger(b, outputs, factors, base, variant)
 
@@ -118,10 +181,13 @@ def build_merger(
     q = factors[-2]  # p(n-2): number of sub-merger copies
     p = factors[-1]  # p(n-1)
     sub_factors = factors[:-2] + [p]
+    # The q sub-merger copies are identical up to input relabeling: stamp a
+    # memoized standalone M(sub_factors) onto each strided wire selection.
+    sub = _merger_subnet(sub_factors, base, variant)
     ys = []
     for i in range(q):
-        sub_inputs = [strided(x, i, q) for x in inputs]
-        ys.append(build_merger(b, sub_inputs, sub_factors, base, variant))
+        flat = [w for x in inputs for w in strided(x, i, q)]
+        ys.append(b.subnetwork(sub, flat))
     r = prod(factors[:-2])  # w(n-3)
     return build_staircase_merger(b, ys, r, p, base, variant=variant)
 

@@ -110,6 +110,7 @@ def profile_network(
     procs: int = 8,
     ops: int = 4,
     batch: int = 64,
+    workers: int | None = None,
     seed: int = 0,
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
@@ -139,7 +140,7 @@ def profile_network(
         t0 = time.perf_counter()
         workload_summary = _run_workload(
             net, workload, tokens=tokens, scheduler=scheduler, procs=procs, ops=ops,
-            batch=batch, seed=seed,
+            batch=batch, workers=workers, seed=seed,
         )
         workload_s = time.perf_counter() - t0
 
@@ -178,7 +179,7 @@ def profile_network(
 
 
 def _run_workload(
-    net, workload: str, *, tokens, scheduler, procs, ops, batch, seed
+    net, workload: str, *, tokens, scheduler, procs, ops, batch, workers, seed
 ) -> dict:
     """Drive one workload; returns its contribution to the summary dict."""
     if workload == "tokens":
@@ -212,8 +213,11 @@ def _run_workload(
 
     rng = np.random.default_rng(seed)
     x = rng.integers(0, 100, size=(batch, net.width))
-    propagate_counts(net, x)
-    return {"batch": int(batch)}
+    propagate_counts(net, x, workers=workers)
+    out = {"batch": int(batch)}
+    if workers is not None:
+        out["workers"] = int(workers)
+    return out
 
 
 def _hotspot_rows(net, workload: str, reg: MetricsRegistry) -> tuple[list[dict], list[dict]]:

@@ -29,6 +29,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.network import Network
+from ..core.plan import PlanExecutor, plan_executor
 from ..core.sequences import make_step
 from ..obs import runtime as _obs
 from ..sim.count_sim import propagate_counts
@@ -81,6 +82,14 @@ class CountingService:
         self._total = 0
         self._out_counts = np.zeros(net.width, dtype=np.int64)
         self._wire_ids = np.arange(net.width, dtype=np.int64)
+        # Long-lived executor over the network's flat plan: lowering happens
+        # once here (not on the first request), and the scratch-buffer pool
+        # makes steady-state issuance allocation-free.  Networks carrying
+        # semantic fault overrides (FaultyNetwork) are not plannable — they
+        # stay on propagate_counts' override path.
+        self._executor: PlanExecutor | None = (
+            None if getattr(net, "fault_overrides", None) else plan_executor(net)
+        )
         self._batcher = Batcher(
             self._apply_batch,
             max_batch=max_batch,
@@ -161,6 +170,7 @@ class CountingService:
             "max_batch": self._batcher.max_batch,
             "max_delay": self._batcher.max_delay,
             "queue_limit": self._batcher.queue_limit,
+            "executor": self._executor.scratch_stats() if self._executor else None,
             **self._batcher.stats.as_dict(),
         }
 

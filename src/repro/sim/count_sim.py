@@ -11,19 +11,20 @@ vectors at once with pure numpy.
 
 Two evaluators are provided:
 
-* :func:`propagate_counts` — vectorized, layer-compiled (the fast path);
+* :func:`propagate_counts` — runs the network's flat
+  :class:`~repro.core.plan.ExecutionPlan` through a pooled
+  :class:`~repro.core.plan.PlanExecutor` (zero steady-state allocation);
+  pass ``workers=N`` to shard large batches over a process pool;
 * :func:`propagate_counts_reference` — a transparent per-balancer Python
   loop used in tests to cross-check the vectorized path.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
-from ..core.compiled import CompiledNetwork, compile_network
 from ..core.network import Network
+from ..core.plan import PlanExecutor, plan_executor
 from ..obs import runtime as _obs
 
 __all__ = [
@@ -43,12 +44,17 @@ def balancer_outputs(total: int, p: int) -> np.ndarray:
     return (total - j + p - 1) // p
 
 
-def propagate_counts(net: Network, x: np.ndarray) -> np.ndarray:
+def propagate_counts(net: Network, x: np.ndarray, workers: int | None = None) -> np.ndarray:
     """Quiescent output counts of ``net`` for input counts ``x``.
 
     ``x`` may be a single vector of shape ``(w,)`` or a batch ``(B, w)``;
     the result has the same shape.  Entry ``k`` of a vector is the number of
     tokens entering on input-sequence position ``k`` (wire ``inputs[k]``).
+
+    ``workers=N`` (N > 1) shards a large batch row-wise over a process pool
+    sharing the network's execution plan — rows are independent, so results
+    are byte-identical to the serial path.  Small batches fall back to
+    serial evaluation automatically.
     """
     x = np.asarray(x, dtype=np.int64)
     single = x.ndim == 1
@@ -64,29 +70,30 @@ def propagate_counts(net: Network, x: np.ndarray) -> np.ndarray:
         out = _propagate_overridden(net, x, overrides)
         return out[0] if single else out
 
-    comp = compile_network(net)
-    batch = x.shape[0]
-    state = np.zeros((comp.num_wires, batch), dtype=np.int64)
-    state[comp.input_idx] = x.T
-
+    ex = plan_executor(net)
+    if workers is not None and int(workers) > 1:
+        out = ex.run_parallel(x, int(workers))
+        if _obs.enabled:
+            _record_batch_metrics(x.shape[0])
+        return out[0] if single else out
     if _obs.enabled:
-        _propagate_instrumented(net, comp, state, batch)
+        out = _propagate_instrumented(net, ex, x)
     else:
-        for layer in comp.layers:
-            for group in layer:
-                p = group.width
-                vals = state[group.in_idx]  # (k, p, B)
-                totals = vals.sum(axis=1, keepdims=True)  # (k, 1, B)
-                state[group.out_idx] = (totals - group.offsets + p - 1) // p
-
-    out = state[comp.output_idx].T  # (B, w)
+        out = ex.run(x)
     return out[0] if single else out
 
 
-def _propagate_instrumented(
-    net: Network, comp: CompiledNetwork, state: np.ndarray, batch: int
-) -> None:
-    """The same layer sweep as the fast path, with per-layer timing.
+def _record_batch_metrics(batch: int) -> None:
+    from ..obs.metrics import default_registry
+
+    reg = default_registry()
+    reg.counter("sim.counts.batches").inc()
+    reg.counter("sim.counts.vectors").inc(batch)
+    reg.histogram("sim.counts.batch_size").observe(batch)
+
+
+def _propagate_instrumented(net: Network, ex: PlanExecutor, x: np.ndarray) -> np.ndarray:
+    """The same plan sweep as the fast path, with per-layer timing.
 
     Only reached while :mod:`repro.obs` is enabled; the arithmetic is
     identical to the un-instrumented branch, so outputs are byte-identical
@@ -95,29 +102,25 @@ def _propagate_instrumented(
     from ..obs.metrics import default_registry
     from ..obs.tracer import default_tracer
 
+    plan = ex.plan
+    batch = x.shape[0]
+    _record_batch_metrics(batch)
+    if plan.depth == 0:
+        return ex.run(x)
+    times = np.zeros(plan.depth, dtype=np.float64)
+    out = ex.run(x, layer_times=times)
     reg = default_registry()
     tracer = default_tracer()
-    reg.counter("sim.counts.batches").inc()
-    reg.counter("sim.counts.vectors").inc(batch)
-    reg.histogram("sim.counts.batch_size").observe(batch)
-    layer_time = (
-        reg.vector("sim.counts.layer_seconds", comp.depth, dtype=np.float64)
-        if comp.depth
-        else None
-    )
-    for d, layer in enumerate(comp.layers):
-        t0 = time.perf_counter()
-        for group in layer:
-            p = group.width
-            vals = state[group.in_idx]  # (k, p, B)
-            totals = vals.sum(axis=1, keepdims=True)  # (k, 1, B)
-            state[group.out_idx] = (totals - group.offsets + p - 1) // p
-        dt = time.perf_counter() - t0
-        layer_time.inc(d, dt)  # type: ignore[union-attr]
+    layer_time = reg.vector("sim.counts.layer_seconds", plan.depth, dtype=np.float64)
+    groups = plan.layer_segment_counts()
+    for d in range(plan.depth):
+        dt = float(times[d])
+        layer_time.inc(d, dt)
         tracer.record(
-            "count_layer", network=net.name, layer=d, groups=len(layer), batch=batch,
+            "count_layer", network=net.name, layer=d, groups=int(groups[d]), batch=batch,
             dur_s=round(dt, 9),
         )
+    return out
 
 
 def _propagate_overridden(net: Network, x: np.ndarray, overrides: dict) -> np.ndarray:
@@ -129,17 +132,21 @@ def _propagate_overridden(net: Network, x: np.ndarray, overrides: dict) -> np.nd
     networks never reach it.
     """
     batch = x.shape[0]
+    in_idx, out_idx = net.io_arrays()
+    _, in_concat, out_concat, bounds = net.wire_arrays()
+    blist = bounds.tolist()
     state = np.zeros((net.num_wires, batch), dtype=np.int64)
-    state[list(net.inputs)] = x.T
+    state[in_idx] = x.T
     for b in net.balancers:
-        totals = state[list(b.inputs)].sum(axis=0)
+        lo, hi = blist[b.index], blist[b.index + 1]
+        totals = state[in_concat[lo:hi]].sum(axis=0)
         ov = overrides.get(b.index)
         if ov is not None:
-            state[list(b.outputs)] = ov.apply_counts(totals, b.width)
+            state[out_concat[lo:hi]] = ov.apply_counts(totals, b.width)
         else:
             j = np.arange(b.width, dtype=np.int64)[:, None]
-            state[list(b.outputs)] = (totals[None, :] - j + b.width - 1) // b.width
-    return state[list(net.outputs)].T
+            state[out_concat[lo:hi]] = (totals[None, :] - j + b.width - 1) // b.width
+    return state[out_idx].T
 
 
 def propagate_counts_reference(net: Network, x: np.ndarray) -> np.ndarray:
@@ -148,9 +155,9 @@ def propagate_counts_reference(net: Network, x: np.ndarray) -> np.ndarray:
     if x.ndim != 1 or x.shape[0] != net.width:
         raise ValueError(f"expected input shape ({net.width},), got {x.shape}")
     overrides = getattr(net, "fault_overrides", None) or {}
+    in_idx, out_idx = net.io_arrays()
     state = np.zeros(net.num_wires, dtype=np.int64)
-    for pos, wire in enumerate(net.inputs):
-        state[wire] = x[pos]
+    state[in_idx] = x
     for b in net.balancers:
         total = int(sum(state[w] for w in b.inputs))
         ov = overrides.get(b.index)
@@ -160,7 +167,7 @@ def propagate_counts_reference(net: Network, x: np.ndarray) -> np.ndarray:
             continue
         for j, wire in enumerate(b.outputs):
             state[wire] = (total - j + b.width - 1) // b.width
-    return state[list(net.outputs)]
+    return state[out_idx]
 
 
 def output_counts(net: Network, total_tokens: int) -> np.ndarray:

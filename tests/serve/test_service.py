@@ -138,6 +138,42 @@ class TestAsyncAPI:
         run(main())
 
 
+class TestSteadyStateAllocation:
+    def test_issue_batches_reuse_executor_buffers(self):
+        """Steady-state serving must not allocate per-batch state arrays:
+        after the first issuance warms the scratch pool, every subsequent
+        batch is a pool hit (the service always evaluates one step
+        vector, so one pooled batch size covers them all)."""
+        svc = CountingService(k_network([2, 2, 2]))
+        ex = svc._executor
+        assert ex is not None  # pristine networks get the plan executor
+        svc.issue_batch(3)
+        allocs_after_warmup = ex.buffer_allocs
+        reuses_before = ex.buffer_reuses
+        for n in (1, 7, 2, 64, 5):
+            svc.issue_batch(n)
+        assert ex.buffer_allocs == allocs_after_warmup, "steady state allocated"
+        assert ex.buffer_reuses == reuses_before + 5
+        assert svc.stats()["executor"]["buffer_reuses"] == ex.buffer_reuses
+
+    def test_faulty_network_has_no_executor(self):
+        from repro.faults.mutator import FaultyNetwork, StuckOverride
+
+        base = k_network([2, 2])
+        faulty = FaultyNetwork(
+            base.inputs,
+            base.outputs,
+            base.balancers,
+            base.num_wires,
+            name=base.name,
+            fault_overrides={0: StuckOverride(0)},
+        )
+        svc = CountingService(faulty, validate=False)
+        assert svc._executor is None
+        assert svc.stats()["executor"] is None
+        svc.issue_batch(2)  # still serves, via the override path
+
+
 class TestConstruction:
     def test_from_plan_pads_unfactorable_widths(self):
         svc = CountingService.from_plan(34, 8)  # 34 = 2*17 needs padding

@@ -80,7 +80,10 @@ def main() -> None:
         "after changing public signatures.  First paragraphs only — see the",
         "source docstrings for full details.  For the adversarial test",
         "tooling around this API (mutation kill-matrix, input fuzzing,",
-        "chaos injection) see `testing.md`.",
+        "chaos injection) see `testing.md`; for the evaluation engine",
+        "(`repro.core.plan`), the persistent build/plan cache",
+        "(`repro.core.cache`), and parallel batch evaluation see",
+        "`performance.md`.",
         "",
     ]
     names = ["repro"]
