@@ -437,6 +437,30 @@ def _fuzz_inputs(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _top(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.top import run_top
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"--connect must be host:port, got {args.connect!r}")
+        return 2
+    try:
+        frames = asyncio.run(
+            run_top(
+                host,
+                int(port),
+                interval=args.interval,
+                iterations=args.iterations,
+                clear=not args.no_clear,
+            )
+        )
+    except KeyboardInterrupt:
+        return 0
+    return 0 if frames else 1
+
+
 def _fuzz_chaos(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -445,7 +469,14 @@ def _fuzz_chaos(args: argparse.Namespace) -> int:
     from .serve import CountingService
 
     factors = _parse_widths(args.widths)
-    net = _BUILDERS[args.construction](factors)
+    base_net = net = _BUILDERS[args.construction](factors)
+    inject = getattr(args, "inject", "none")
+    if inject == "stuck":
+        from .faults.mutator import stuck_balancer
+
+        net = stuck_balancer(net, 0, port=0)
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
     service = CountingService(net, max_batch=args.max_batch, max_delay=args.max_delay)
     report = run_chaos(
         service,
@@ -457,6 +488,8 @@ def _fuzz_chaos(args: argparse.Namespace) -> int:
         delay_rate=args.delay_rate,
         dup_rate=args.dup_rate,
         cancel_rate=args.cancel_rate,
+        corrupt_state_after=args.inject_after if inject == "state" else None,
+        flight_dir=out_dir if inject != "none" else None,
     )
     d = report.as_dict()
     print(f"{net.name}: chaos over {report.requests} requests (seed={args.seed})")
@@ -468,13 +501,13 @@ def _fuzz_chaos(args: argparse.Namespace) -> int:
     print("  injected: " + "  ".join(f"{k}={v}" for k, v in sorted(report.injected.items())))
     for e in report.escapes:
         print(f"  FAULT ESCAPE [{e.kind}]: {e.detail}")
-    token_escape = chaos_token_check(net, seed=args.seed)
+    if report.flight_dump:
+        print(f"  flight recorder dump: {report.flight_dump}")
+    token_escape = chaos_token_check(base_net, seed=args.seed)
     d["token_check"] = token_escape.as_dict() if token_escape else None
     if token_escape:
         print(f"  FAULT ESCAPE [{token_escape.kind}]: {token_escape.detail}")
     print(f"  exactly-once: {report.exactly_once and token_escape is None}")
-    out_dir = pathlib.Path(args.out_dir)
-    out_dir.mkdir(parents=True, exist_ok=True)
     path = obs.write_bench_json(
         "fuzz", {"mode": "chaos", **d}, directory=out_dir, family=args.construction
     )
@@ -617,6 +650,22 @@ def main(argv: list[str] | None = None) -> int:
     plg.add_argument("--out-dir", default=".", help="where BENCH_serve.json lands")
     plg.set_defaults(fn=_loadgen)
 
+    ptop = sub.add_parser(
+        "top", help="live terminal dashboard for a running counting server"
+    )
+    ptop.add_argument(
+        "--connect", required=True, metavar="HOST:PORT", help="server to poll"
+    )
+    ptop.add_argument("--interval", type=float, default=1.0, help="seconds between polls")
+    ptop.add_argument(
+        "--iterations", type=int, default=0, help="frames to render (0 = until interrupted)"
+    )
+    ptop.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen (logs, CI)",
+    )
+    ptop.set_defaults(fn=_top)
+
     pz = sub.add_parser(
         "fuzz",
         help="fault injection: mutation kill-matrix, input fuzzing, chaos service",
@@ -656,6 +705,16 @@ def main(argv: list[str] | None = None) -> int:
     zc.add_argument("--delay-rate", type=float, default=0.05)
     zc.add_argument("--dup-rate", type=float, default=0.02)
     zc.add_argument("--cancel-rate", type=float, default=0.03)
+    zc.add_argument(
+        "--inject", choices=["none", "stuck", "state"], default="none",
+        help="exactly-once violation to inject: a stuck balancer (semantic "
+        "fault) or a silent issuance-state corruption (executor path); "
+        "either arms the flight recorder into --out-dir",
+    )
+    zc.add_argument(
+        "--inject-after", type=int, default=5,
+        help="batch number at which --inject state corrupts the state",
+    )
     zc.add_argument("--out-dir", default=".", help="where BENCH_fuzz.json lands")
     zc.set_defaults(fn=_fuzz_chaos)
 

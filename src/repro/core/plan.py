@@ -334,6 +334,32 @@ class PlanExecutor:
         ``depth``) is given, per-layer wall-clock seconds are accumulated
         into it; the arithmetic is identical either way.
         """
+        if not _obs.enabled:
+            return self._run_impl(x, layer_times)
+        from ..obs.spans import default_span_recorder
+
+        rec = default_span_recorder()
+        parent = rec.current_batch
+        span = rec.start(
+            "executor",
+            parent_id=None if parent is None else parent.span_id,
+            plan=self.plan.name,
+            run=self.batches,
+            rows=int(x.shape[0]) if x.ndim == 2 else None,
+        )
+        if parent is not None:
+            # Bidirectional linkage: the batch span names the executor run
+            # that evaluated it, and the executor span points back up.
+            parent.fields["executor_run"] = span.span_id
+        try:
+            out = self._run_impl(x, layer_times)
+        except Exception:
+            rec.finish(span, "error")
+            raise
+        rec.finish(span, "ok")
+        return out
+
+    def _run_impl(self, x: np.ndarray, layer_times: np.ndarray | None = None) -> np.ndarray:
         plan = self.plan
         if x.ndim != 2 or x.shape[1] != plan.width:
             raise ValueError(f"expected input shape (B, {plan.width}), got {x.shape}")

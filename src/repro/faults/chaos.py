@@ -35,7 +35,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.network import Network
-from ..serve.service import CountingService
+from ..serve.service import CountingService, ExactlyOnceError
 from ..sim.count_sim import propagate_counts
 from ..sim.token_sim import TokenSimulator
 from ..verify.counting import step_mask
@@ -64,8 +64,10 @@ class FaultEscape:
     clients twice), ``lost-value-delivered`` (a value recorded as lost in a
     dropped batch was nevertheless delivered), ``out-of-range`` (a value
     outside ``[0, issued)``), ``unaccounted-gap`` (more values missing than
-    dropped batches and cancellations can explain), or ``step-violation``
-    (token-sim quiescent counts broke the step property).
+    dropped batches and cancellations can explain), ``step-violation``
+    (token-sim quiescent counts broke the step property), or
+    ``exactly-once-violation`` (the service's own batch validator tripped —
+    see :class:`~repro.serve.service.ExactlyOnceError`).
     """
 
     kind: str
@@ -90,6 +92,7 @@ class ChaosReport:
     injected: dict[str, int] = field(default_factory=dict)
     escapes: list[FaultEscape] = field(default_factory=list)
     seed: int = 0
+    flight_dump: str | None = None
 
     @property
     def exactly_once(self) -> bool:
@@ -108,6 +111,7 @@ class ChaosReport:
             "injected": dict(self.injected),
             "escapes": [e.as_dict() for e in self.escapes],
             "exactly_once": self.exactly_once,
+            "flight_dump": self.flight_dump,
         }
 
 
@@ -122,7 +126,13 @@ class ChaosService:
     * with probability ``drop_after_rate`` a batch fails *after* values
       were issued — the values are recorded in :attr:`lost_values` and the
       clients see :class:`InjectedFault` (the nasty case: an at-least-once
-      client will retry and must receive *fresh* values).
+      client will retry and must receive *fresh* values);
+    * when ``corrupt_state_after`` is set, the service's issuance state
+      (``_out_counts``) is silently perturbed just before that batch number
+      runs — a true exactly-once violation that the service's own validator
+      must catch as :class:`~repro.serve.service.ExactlyOnceError` (and,
+      with obs on, flight-dump).  Unlike a stuck-balancer network this
+      exercises the planned :class:`~repro.core.plan.PlanExecutor` path.
 
     The service lifecycle is delegated; use it as an async context manager
     exactly like the wrapped service.
@@ -134,14 +144,19 @@ class ChaosService:
         *,
         drop_before_rate: float = 0.0,
         drop_after_rate: float = 0.0,
+        corrupt_state_after: int | None = None,
         seed: int = 0,
     ) -> None:
         for name, rate in (("drop_before_rate", drop_before_rate), ("drop_after_rate", drop_after_rate)):
             if not 0.0 <= rate < 1.0:
                 raise ValueError(f"{name} must be in [0, 1), got {rate}")
+        if corrupt_state_after is not None and corrupt_state_after < 1:
+            raise ValueError("corrupt_state_after must be >= 1")
         self.service = service
         self.drop_before_rate = drop_before_rate
         self.drop_after_rate = drop_after_rate
+        self.corrupt_state_after = corrupt_state_after
+        self.corrupted = False
         self.rng = np.random.default_rng(seed)
         self.batches = 0
         self.dropped_before = 0
@@ -151,6 +166,9 @@ class ChaosService:
 
     def _inject(self, original, requests):
         self.batches += 1
+        if self.corrupt_state_after is not None and self.batches == self.corrupt_state_after:
+            self.corrupted = True
+            self.service._out_counts[0] += 1
         roll = float(self.rng.random())
         if roll < self.drop_before_rate:
             self.dropped_before += 1
@@ -277,6 +295,14 @@ async def _chaos_client(
             except InjectedFault:
                 report.retries += 1
                 continue
+            except ExactlyOnceError:
+                # The service's own validator tripped: every waiter of the
+                # bad batch sees this.  Don't retry — record once and stop
+                # this client; the run-level audit turns it into an escape.
+                report.injected["exactly_once_error"] = (
+                    report.injected.get("exactly_once_error", 0) + 1
+                )
+                return
             delivered.extend(values)
             if float(rng.random()) < dup_rate:
                 # At-least-once client: spurious resubmit after success.
@@ -302,6 +328,8 @@ def run_chaos(
     dup_rate: float = 0.02,
     cancel_rate: float = 0.03,
     amount_max: int = 3,
+    corrupt_state_after: int | None = None,
+    flight_dir=None,
 ) -> ChaosReport:
     """Drive ``service`` with ``requests`` chaotic operations and audit.
 
@@ -309,6 +337,14 @@ def run_chaos(
     under seeded injections (see module docstring).  Returns the
     :class:`ChaosReport`; ``report.exactly_once`` is False iff the audit
     found a typed escape.
+
+    ``corrupt_state_after`` injects a silent issuance-state corruption just
+    before that batch number — the service's validator must convert it into
+    an ``exactly-once-violation`` escape.  ``flight_dir`` arms the flight
+    recorder: the run executes with observability captured, the service
+    dumps its span ring there on the first violation (any escape without a
+    dump takes one at audit time), and the dump path is attached to the
+    report as ``flight_dump``.
     """
     report = ChaosReport(seed=seed)
     delivered: list[int] = []
@@ -318,6 +354,7 @@ def run_chaos(
             service,
             drop_before_rate=drop_before_rate,
             drop_after_rate=drop_after_rate,
+            corrupt_state_after=corrupt_state_after,
             seed=seed,
         )
         root = np.random.default_rng(seed)
@@ -325,7 +362,7 @@ def run_chaos(
         for i in range(requests % clients):
             per_client[i] += 1
         async with chaos:
-            await asyncio.gather(
+            results = await asyncio.gather(
                 *(
                     _chaos_client(
                         chaos,
@@ -339,18 +376,54 @@ def run_chaos(
                         amount_max=amount_max,
                     )
                     for ops in per_client
-                )
+                ),
+                return_exceptions=True,
             )
+        for res in results:
+            if isinstance(res, ExactlyOnceError):
+                report.injected["exactly_once_error"] = (
+                    report.injected.get("exactly_once_error", 0) + 1
+                )
+            elif isinstance(res, BaseException):
+                raise res
         report.issued = chaos.issued
         report.delivered = len(delivered)
         report.lost_to_drops = len(chaos.lost_values)
         report.injected["drop_before"] = chaos.dropped_before
         report.injected["drop_after"] = chaos.dropped_after
+        if report.injected.get("exactly_once_error"):
+            report.escapes.append(
+                FaultEscape(
+                    "exactly-once-violation",
+                    f"{service.net.name}: batch validation failed "
+                    f"({report.injected['exactly_once_error']} client(s) affected, "
+                    f"corrupt_state_after={corrupt_state_after})",
+                )
+            )
         report.escapes.extend(
             audit_exactly_once(chaos.issued, delivered, chaos.lost_values, report.cancelled_tokens)
         )
 
-    asyncio.run(main())
+    if flight_dir is not None:
+        from .. import obs
+
+        prev_flight_dir = service.flight_dir
+        service.flight_dir = flight_dir
+        try:
+            with obs.capture():
+                asyncio.run(main())
+                if report.escapes and service.last_flight_dump is None:
+                    from ..obs.flight import dump_flight
+
+                    service.last_flight_dump = dump_flight(
+                        "fault-escape", detail=report.escapes[0].kind, directory=flight_dir
+                    )
+        finally:
+            service.flight_dir = prev_flight_dir
+        if service.last_flight_dump is not None:
+            report.flight_dump = str(service.last_flight_dump)
+    else:
+        asyncio.run(main())
     return report
 
 

@@ -46,6 +46,20 @@ from .metrics import (
     default_registry,
     set_default_registry,
 )
+from .exposition import (
+    metric_name,
+    parse_prometheus,
+    percentile_from_buckets,
+    render_registries,
+    render_registry,
+)
+from .flight import dump_flight, flight_payload
+from .spans import (
+    Span,
+    SpanRecorder,
+    default_span_recorder,
+    set_default_span_recorder,
+)
 from .tracer import (
     Tracer,
     TraceEvent,
@@ -76,6 +90,17 @@ __all__ = [
     "set_default_tracer",
     "trace_event",
     "span",
+    "Span",
+    "SpanRecorder",
+    "default_span_recorder",
+    "set_default_span_recorder",
+    "metric_name",
+    "render_registry",
+    "render_registries",
+    "parse_prometheus",
+    "percentile_from_buckets",
+    "flight_payload",
+    "dump_flight",
     "bench_json_payload",
     "read_bench_json",
     "write_bench_json",
@@ -103,19 +128,25 @@ def disable() -> None:
 
 @contextmanager
 def capture(
-    registry: MetricsRegistry | None = None, tracer: Tracer | None = None
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    spans: SpanRecorder | None = None,
 ) -> Iterator[tuple[MetricsRegistry, Tracer]]:
     """Enable observability into *fresh* default registry/tracer, scoped.
 
-    Swaps the process-global registry and tracer for the given (or new)
-    ones, enables recording, and restores everything — including the
-    previous enabled-state — on exit.  This is how the profiler and tests
-    observe a workload without inheriting or leaking global metric state.
+    Swaps the process-global registry, tracer, and span recorder for the
+    given (or new) ones, enables recording, and restores everything —
+    including the previous enabled-state — on exit.  This is how the
+    profiler and tests observe a workload without inheriting or leaking
+    global metric state.  Yields ``(registry, tracer)``; reach the scoped
+    span recorder via :func:`default_span_recorder` inside the block.
     """
     registry = registry if registry is not None else MetricsRegistry()
     tracer = tracer if tracer is not None else Tracer()
+    spans = spans if spans is not None else SpanRecorder()
     prev_registry = set_default_registry(registry)
     prev_tracer = set_default_tracer(tracer)
+    prev_spans = set_default_span_recorder(spans)
     prev_enabled = runtime.enabled
     runtime.enabled = True
     try:
@@ -124,6 +155,7 @@ def capture(
         runtime.enabled = prev_enabled
         set_default_registry(prev_registry)
         set_default_tracer(prev_tracer)
+        set_default_span_recorder(prev_spans)
 
 
 from .profiler import ProfileReport, profile_network  # noqa: E402  (uses capture)

@@ -1,0 +1,290 @@
+"""Prometheus text-format exposition of a :class:`MetricsRegistry`.
+
+``render_registry`` turns the registry's instruments into the plain-text
+format every metrics scraper understands (`# TYPE` comments plus
+``name{labels} value`` samples):
+
+* **counters** and **gauges** become single samples;
+* **histograms** become the standard cumulative-bucket triplet —
+  ``name_bucket{le="..."}`` (including the mandatory ``le="+Inf"`` bucket),
+  ``name_sum`` and ``name_count`` — plus ``name_max``/``name_min`` gauges
+  so consumers can clamp percentile estimates to observed extrema (the
+  text format itself carries no max, and an unclamped top-bucket estimate
+  would be ``+Inf``);
+* **vector counters** become per-index labelled samples
+  (``name{index="i"}``) up to :data:`VECTOR_INDEX_LIMIT` entries; larger
+  vectors (per-balancer arrays can hold 10^5 entries) are summarized as
+  ``name_sum`` / ``name_size`` instead of flooding the scrape.
+
+Metric names are sanitized (``serve.batch_size`` → ``repro_serve_batch_size``)
+and every series is prefixed with ``repro_``.
+
+The module also ships the *consumer* half so CI and ``repro top`` do not
+re-implement scrape handling: :func:`parse_prometheus` (a validating
+parser for the subset rendered here), :func:`histogram_from_samples`, and
+:func:`percentile_from_buckets` (bucket-interpolation that never returns
+the ``+Inf`` bound — see the clamping notes on
+:meth:`repro.obs.metrics.Histogram.percentile`).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, VectorCounter
+
+__all__ = [
+    "METRIC_PREFIX",
+    "VECTOR_INDEX_LIMIT",
+    "metric_name",
+    "render_registry",
+    "render_registries",
+    "parse_prometheus",
+    "histogram_from_samples",
+    "percentile_from_buckets",
+]
+
+METRIC_PREFIX = "repro_"
+
+#: Vectors longer than this are summarized (sum + size) instead of
+#: emitting one labelled sample per index.
+VECTOR_INDEX_LIMIT = 128
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>[+-]?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf)|NaN)$"
+)
+_LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+_TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) (?P<type>counter|gauge|histogram|summary|untyped)$"
+)
+
+
+def metric_name(name: str, prefix: str = METRIC_PREFIX) -> str:
+    """Prometheus-safe series name for a registry instrument name."""
+    return prefix + _NAME_SANITIZE.sub("_", name)
+
+
+def _fmt(value: float) -> str:
+    """Format a sample value (Prometheus accepts any decimal/exponent form)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return format(float(value), ".10g")
+
+
+def _render_histogram(lines: list[str], name: str, h: Histogram) -> None:
+    lines.append(f"# TYPE {name} histogram")
+    cum = 0
+    for bound, count in zip(h.bounds, h.counts):
+        cum += count
+        lines.append(f'{name}_bucket{{le="{_fmt(bound)}"}} {cum}')
+    lines.append(f'{name}_bucket{{le="+Inf"}} {h.total}')
+    lines.append(f"{name}_sum {_fmt(h.sum)}")
+    lines.append(f"{name}_count {h.total}")
+    if h.total:
+        lines.append(f"# TYPE {name}_max gauge")
+        lines.append(f"{name}_max {_fmt(h.max_value)}")
+        lines.append(f"# TYPE {name}_min gauge")
+        lines.append(f"{name}_min {_fmt(h.min_value)}")
+
+
+def _render_vector(lines: list[str], name: str, v: VectorCounter) -> None:
+    if v.size <= VECTOR_INDEX_LIMIT:
+        lines.append(f"# TYPE {name} counter")
+        for i, val in enumerate(v.values.tolist()):
+            lines.append(f'{name}{{index="{i}"}} {_fmt(float(val))}')
+    else:
+        lines.append(f"# TYPE {name}_sum counter")
+        lines.append(f"{name}_sum {_fmt(float(v.values.sum()))}")
+        lines.append(f"# TYPE {name}_size gauge")
+        lines.append(f"{name}_size {v.size}")
+
+
+def render_registry(
+    registry: MetricsRegistry, prefix: str = METRIC_PREFIX, _seen: set[str] | None = None
+) -> str:
+    """Render every instrument of ``registry`` as Prometheus text."""
+    lines: list[str] = []
+    seen = _seen if _seen is not None else set()
+    for raw in registry.names():
+        inst = registry.get(raw)
+        name = metric_name(raw, prefix)
+        if name in seen:
+            continue
+        seen.add(name)
+        if isinstance(inst, Counter):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_fmt(inst.value)}")
+        elif isinstance(inst, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(inst.value)}")
+        elif isinstance(inst, Histogram):
+            _render_histogram(lines, name, inst)
+        elif isinstance(inst, VectorCounter):
+            _render_vector(lines, name, inst)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_registries(registries, prefix: str = METRIC_PREFIX) -> str:
+    """Render several registries into one exposition.
+
+    Earlier registries win on name collisions — the serving layer renders
+    its scrape-time mirror first, then the process-global registry.
+    """
+    seen: set[str] = set()
+    return "".join(render_registry(r, prefix, _seen=seen) for r in registries)
+
+
+# -- consumer half ------------------------------------------------------------
+
+
+def _parse_labels(text: str | None) -> dict[str, str]:
+    if not text:
+        return {}
+    labels: dict[str, str] = {}
+    for part in text.rstrip(",").split(","):
+        m = _LABEL_RE.match(part.strip())
+        if m is None:
+            raise ValueError(f"malformed label pair {part!r}")
+        labels[m.group(1)] = m.group(2).replace('\\"', '"').replace("\\\\", "\\")
+    return labels
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Parse (and validate) Prometheus text into per-series samples.
+
+    Returns ``{series_name: {"type": str | None, "samples": [(labels, value)]}}``
+    keyed by the *full* sample name (``foo_bucket`` and ``foo_sum`` are
+    separate entries; use :func:`histogram_from_samples` to reassemble).
+    Raises :class:`ValueError` on any line that is neither a valid comment
+    nor a valid sample — this is the validator CI's serve smoke runs
+    against a live scrape.
+    """
+    series: dict[str, dict] = {}
+    types: dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = _TYPE_RE.match(line)
+            if m is not None:
+                types[m.group("name")] = m.group("type")
+                continue
+            if line.startswith("# HELP ") or line.startswith("# EOF"):
+                continue
+            raise ValueError(f"line {lineno}: malformed comment {line!r}")
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = m.group("name")
+        value = float(m.group("value").replace("Inf", "inf"))
+        labels = _parse_labels(m.group("labels"))
+        entry = series.setdefault(name, {"type": None, "samples": []})
+        entry["samples"].append((labels, value))
+    for name, entry in series.items():
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+                break
+        entry["type"] = types.get(base) or types.get(name)
+    _validate_histograms(series)
+    return series
+
+
+def _validate_histograms(series: dict[str, dict]) -> None:
+    for name, entry in series.items():
+        if not name.endswith("_bucket") or entry["type"] != "histogram":
+            continue
+        base = name[: -len("_bucket")]
+        pairs = []
+        inf_count = None
+        for labels, value in entry["samples"]:
+            le = labels.get("le")
+            if le is None:
+                raise ValueError(f"{name}: bucket sample without le label")
+            if le == "+Inf":
+                inf_count = value
+            else:
+                pairs.append((float(le), value))
+        if inf_count is None:
+            raise ValueError(f"{name}: missing le=\"+Inf\" bucket")
+        pairs.sort()
+        cum = [v for _, v in pairs] + [inf_count]
+        if any(b > a for a, b in zip(cum[1:], cum[:-1])):
+            raise ValueError(f"{name}: bucket counts are not cumulative")
+        count = series.get(f"{base}_count")
+        if count and count["samples"][0][1] != inf_count:
+            raise ValueError(f"{base}: _count disagrees with the +Inf bucket")
+
+
+def histogram_from_samples(
+    series: dict[str, dict], base: str
+) -> tuple[list[float], list[float], float, float] | None:
+    """Reassemble ``(bounds, cumulative_counts, sum, count)`` for ``base``.
+
+    ``bounds`` are the finite bucket edges (ascending) and
+    ``cumulative_counts`` has one extra trailing entry for the ``+Inf``
+    bucket.  Returns ``None`` when the series is absent.
+    """
+    bucket = series.get(f"{base}_bucket")
+    if bucket is None:
+        return None
+    finite: list[tuple[float, float]] = []
+    inf_count = 0.0
+    for labels, value in bucket["samples"]:
+        le = labels.get("le", "")
+        if le == "+Inf":
+            inf_count = value
+        else:
+            finite.append((float(le), value))
+    finite.sort()
+    bounds = [b for b, _ in finite]
+    cum = [c for _, c in finite] + [inf_count]
+    total = series.get(f"{base}_count", {"samples": [({}, inf_count)]})["samples"][0][1]
+    s = series.get(f"{base}_sum", {"samples": [({}, float("nan"))]})["samples"][0][1]
+    return bounds, cum, s, total
+
+
+def percentile_from_buckets(
+    bounds, cumulative, pct: float, max_value: float | None = None
+) -> float:
+    """Percentile estimate from cumulative bucket counts — always finite.
+
+    ``cumulative`` must have ``len(bounds) + 1`` entries (the last is the
+    ``+Inf`` bucket's cumulative count == total).  Inside the winning
+    bucket the estimate interpolates linearly; for the overflow bucket the
+    upper edge is ``max_value`` when given (and finite), else the last
+    finite bound — the ``+Inf`` edge itself never leaks into the result.
+    """
+    if not 0 <= pct <= 100:
+        raise ValueError("pct must be in [0, 100]")
+    if not bounds or len(cumulative) != len(bounds) + 1:
+        raise ValueError("cumulative must have len(bounds) + 1 entries")
+    total = float(cumulative[-1])
+    if total <= 0:
+        return float("nan")
+    # Upper edge of the overflow bucket: the observed maximum when known,
+    # never the nominal +Inf.
+    top = float(max_value) if max_value is not None and math.isfinite(max_value) else float(bounds[-1])
+    target = pct / 100.0 * total
+    prev_cum = 0.0
+    for i, cum in enumerate(cumulative):
+        cum = float(cum)
+        in_bucket = cum - prev_cum
+        if cum >= target and in_bucket > 0:
+            lo = float(bounds[i - 1]) if i > 0 else 0.0
+            hi = float(bounds[i]) if i < len(bounds) else max(top, float(bounds[-1]))
+            if not math.isfinite(hi):
+                hi = max(top, float(bounds[-1]))
+            if hi < lo:
+                return lo
+            frac = (target - prev_cum) / in_bucket
+            return float(lo + (hi - lo) * frac)
+        prev_cum = cum
+    return max(top, float(bounds[-1]))

@@ -1,0 +1,88 @@
+"""Flight recorder: dump the recent-span ring to stamped JSON on failure.
+
+The :class:`~repro.obs.spans.SpanRecorder` already keeps a bounded ring of
+the most recently completed request/batch/executor spans; this module turns
+that ring (plus a metrics snapshot) into a post-mortem artifact.  Dumps are
+written automatically when the serving stack trips an
+:class:`~repro.serve.service.ExactlyOnceError` or the chaos harness records
+a :class:`~repro.faults.chaos.FaultEscape`, and on demand via the ``FLIGHT``
+protocol verb or :func:`dump_flight`.
+
+Each dump carries the standard ``BENCH_*.json`` envelope stamps
+(``schema``, ``created_unix``, ``repro_version``, ``git_commit``) so a
+flight file found in a crash directory is attributable to the exact code
+that produced it, plus:
+
+* ``reason`` / ``detail`` — why the dump was taken;
+* ``spans`` — the completed-span ring, oldest first (request spans link to
+  their batch via ``batch_id``; batch spans link to the plan-executor run
+  via ``executor_run``);
+* ``spans_dropped`` — how many older spans the ring had already evicted;
+* ``metrics`` — a full registry snapshot at dump time.
+
+The dump directory resolves, in order: the explicit ``directory`` argument,
+the ``REPRO_FLIGHT_DIR`` environment variable, the current directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from .export import bench_json_payload
+from .metrics import MetricsRegistry, default_registry
+from .spans import SpanRecorder, default_span_recorder
+
+__all__ = ["flight_payload", "dump_flight", "flight_dir"]
+
+
+def flight_dir(directory=None) -> pathlib.Path:
+    """Where flight dumps land (arg > ``REPRO_FLIGHT_DIR`` > cwd)."""
+    if directory is not None:
+        return pathlib.Path(directory)
+    env = os.environ.get("REPRO_FLIGHT_DIR")
+    return pathlib.Path(env) if env else pathlib.Path.cwd()
+
+
+def flight_payload(
+    reason: str,
+    detail: str | None = None,
+    recorder: SpanRecorder | None = None,
+    registry: MetricsRegistry | None = None,
+) -> dict:
+    """The JSON-ready flight-recorder payload (stamped envelope included)."""
+    recorder = recorder if recorder is not None else default_span_recorder()
+    registry = registry if registry is not None else default_registry()
+    return bench_json_payload(
+        "flight",
+        {
+            "reason": reason,
+            "detail": detail,
+            "spans": recorder.to_dicts(),
+            "spans_dropped": recorder.dropped,
+            "metrics": registry.snapshot(),
+        },
+    )
+
+
+def dump_flight(
+    reason: str,
+    detail: str | None = None,
+    directory=None,
+    recorder: SpanRecorder | None = None,
+    registry: MetricsRegistry | None = None,
+) -> pathlib.Path:
+    """Write ``FLIGHT_<reason>_<ms>.json`` into :func:`flight_dir`.
+
+    The filename stamp is wall-clock milliseconds so repeated failures do
+    not overwrite each other.  Returns the written path.
+    """
+    target = flight_dir(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    safe = "".join(c if c.isalnum() or c in "-_" else "-" for c in reason) or "dump"
+    path = target / f"FLIGHT_{safe}_{int(time.time() * 1000)}.json"
+    payload = flight_payload(reason, detail, recorder, registry)
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    return path

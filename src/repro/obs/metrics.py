@@ -125,22 +125,41 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.total if self.total else float("nan")
 
+    def cumulative_counts(self) -> list[int]:
+        """Running totals per bucket; the last entry equals ``total``
+        (the shape Prometheus ``_bucket`` samples carry)."""
+        out, cum = [], 0
+        for c in self.counts:
+            cum += c
+            out.append(cum)
+        return out
+
     def percentile(self, pct: float) -> float:
-        """Approximate percentile from the bucket counts (nan when empty)."""
+        """Approximate percentile from the bucket counts (nan when empty).
+
+        The estimate is always finite for any non-empty histogram: the
+        overflow bucket's upper edge is the observed maximum, and when even
+        that is non-finite (``observe(inf)`` happened) the edge clamps to
+        the last finite bound instead of leaking ``+inf`` into the result.
+        """
         if not 0 <= pct <= 100:
             raise ValueError("pct must be in [0, 100]")
         if self.total == 0:
             return float("nan")
+        from math import isfinite
+
+        top = self.max_value if isfinite(self.max_value) else self.bounds[-1]
+        floor = self.min_value if isfinite(self.min_value) else 0.0
         target = pct / 100.0 * self.total
         cum = 0
         for i, c in enumerate(self.counts):
             cum += c
             if cum >= target and c:
-                lo = self.bounds[i - 1] if i > 0 else min(self.min_value, self.bounds[0])
-                hi = self.bounds[i] if i < len(self.bounds) else self.max_value
+                lo = self.bounds[i - 1] if i > 0 else min(floor, self.bounds[0])
+                hi = self.bounds[i] if i < len(self.bounds) else max(top, self.bounds[-1])
                 frac = (target - (cum - c)) / c
-                return float(min(max(lo + (hi - lo) * frac, self.min_value), self.max_value))
-        return self.max_value
+                return float(min(max(lo + (hi - lo) * frac, floor), max(top, self.bounds[-1])))
+        return float(max(top, self.bounds[-1]))
 
     def snapshot(self) -> dict:
         return {

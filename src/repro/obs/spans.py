@@ -1,0 +1,162 @@
+"""Request-scoped spans for the serving stack.
+
+The :class:`~repro.obs.tracer.Tracer` records flat *events*; the serving
+tier needs *linked* records: one span per client request, carried from the
+moment :class:`~repro.serve.server.CountingServer` accepts the line through
+parse → queue-wait → batch-assembly → execute → verify → respond, with the
+request span pointing at the batch span that served it and the batch span
+pointing at the :class:`~repro.core.plan.PlanExecutor` run that evaluated
+it.  A :class:`Span` is deliberately cheap: a handful of slots, monotonic
+timestamps, and a ``marks`` dict of named phase boundaries.
+
+Completed spans land in a :class:`SpanRecorder` — a bounded ring
+(``deque(maxlen=capacity)``) exactly like the tracer's, so a long-running
+server keeps only the newest ``capacity`` spans and counts the rest as
+``dropped``.  That ring *is* the flight recorder's source material (see
+:mod:`repro.obs.flight`): on an exactly-once violation the last few
+thousand request spans are what you want on disk.
+
+Everything here follows the repo-wide no-op guarantee: nothing in this
+module is imported, and no span is ever allocated, unless a call site has
+already checked ``runtime.enabled``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+__all__ = [
+    "Span",
+    "SpanRecorder",
+    "default_span_recorder",
+    "set_default_span_recorder",
+]
+
+#: Default ring capacity (completed spans kept for the flight recorder).
+DEFAULT_SPAN_CAPACITY = 4_096
+
+
+class Span:
+    """One in-flight or completed unit of work.
+
+    ``kind`` is ``"request"`` (one protocol line / one service call),
+    ``"batch"`` (one coalesced :class:`~repro.serve.batching.Batcher`
+    dispatch), or ``"executor"`` (one :class:`PlanExecutor` run).
+    ``parent_id`` links a span to the span it ran under; ``fields`` carries
+    free-form scalars (verb, batch_id, executor_run, ...).  ``marks`` maps
+    phase names (``parsed``, ``enqueued``, ``batched``, ``executed``,
+    ``verified``, ``responded``) to seconds since the span started.
+    """
+
+    __slots__ = ("span_id", "parent_id", "kind", "t0", "dur_s", "status", "marks", "fields")
+
+    def __init__(self, span_id: int, kind: str, parent_id: int | None = None, **fields):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.kind = kind
+        self.t0 = time.perf_counter()
+        self.dur_s: float | None = None
+        self.status: str | None = None
+        self.marks: dict[str, float] = {}
+        self.fields = fields
+
+    def mark(self, name: str) -> float:
+        """Record a named phase boundary (seconds since span start)."""
+        dt = time.perf_counter() - self.t0
+        self.marks[name] = dt
+        return dt
+
+    @property
+    def finished(self) -> bool:
+        return self.dur_s is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "kind": self.kind,
+            "status": self.status,
+            "dur_s": None if self.dur_s is None else round(self.dur_s, 9),
+            "marks": {k: round(v, 9) for k, v in self.marks.items()},
+            **self.fields,
+        }
+
+
+class SpanRecorder:
+    """Mints span ids and keeps a bounded ring of completed spans.
+
+    ``start`` allocates a span with a fresh id; ``finish`` stamps duration
+    and status and appends it to the ring (oldest spans are evicted and
+    counted in :attr:`dropped`).  ``current_batch`` is a cooperation slot
+    for the batcher worker: it points at the batch span while the batch's
+    apply function runs, so downstream layers (service verify, plan
+    executor) can attach linkage fields without any plumbing through the
+    generic batching API.  The batch worker is a single task and the apply
+    function is synchronous, so one slot suffices.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_SPAN_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._completed: deque[Span] = deque(maxlen=capacity)
+        self._next_id = 0
+        self._dropped = 0
+        self.current_batch: Span | None = None
+
+    def start(self, kind: str, parent_id: int | None = None, **fields) -> Span:
+        span = Span(self._next_id, kind, parent_id, **fields)
+        self._next_id += 1
+        return span
+
+    def finish(self, span: Span, status: str = "ok") -> float:
+        """Complete ``span`` into the ring; returns its duration (seconds)."""
+        span.dur_s = time.perf_counter() - span.t0
+        span.status = status
+        if len(self._completed) == self.capacity:
+            self._dropped += 1
+        self._completed.append(span)
+        return span.dur_s
+
+    def completed(self, kind: str | None = None) -> list[Span]:
+        """Completed spans, oldest first, optionally filtered by kind."""
+        if kind is None:
+            return list(self._completed)
+        return [s for s in self._completed if s.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    @property
+    def dropped(self) -> int:
+        """Completed spans evicted by the ring since the last clear."""
+        return self._dropped
+
+    @property
+    def started(self) -> int:
+        """Span ids minted so far (== the next request id)."""
+        return self._next_id
+
+    def clear(self) -> None:
+        self._completed.clear()
+        self._dropped = 0
+
+    def to_dicts(self) -> list[dict]:
+        return [s.to_dict() for s in self._completed]
+
+
+_default = SpanRecorder()
+
+
+def default_span_recorder() -> SpanRecorder:
+    """The process-global recorder the serve instrumentation writes to."""
+    return _default
+
+
+def set_default_span_recorder(recorder: SpanRecorder) -> SpanRecorder:
+    """Swap the process-global recorder; returns the previous one."""
+    global _default
+    prev = _default
+    _default = recorder
+    return prev

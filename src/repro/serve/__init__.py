@@ -11,11 +11,13 @@ service.  Pieces:
   ``fetch_and_increment`` over a counting network via vectorized
   quiescent-count batches;
 * :mod:`repro.serve.protocol` — the TCP line protocol (``INC`` / ``STATS``
-  / ``PING``) shared by server and client;
+  / ``PING`` / ``METRICS`` / ``FLIGHT``) shared by server and client;
 * :mod:`repro.serve.server` — :class:`CountingServer`, the asyncio TCP
   front-end;
 * :mod:`repro.serve.loadgen` — :class:`LoadGenerator` (seeded open-/
-  closed-loop load) and :class:`LoadReport`.
+  closed-loop load) and :class:`LoadReport`;
+* :mod:`repro.serve.top` — the ``repro top`` live terminal dashboard
+  (throughput, p50/p99, queue depth, shed and cache-hit rates).
 
 Quickstart::
 
@@ -39,8 +41,12 @@ from .loadgen import LoadGenerator, LoadReport, TCPCounterClient
 from .protocol import ProtocolError, Request, parse_request, parse_response
 from .server import CountingServer
 from .service import CountingService, ExactlyOnceError
+from .top import TopSample, render_frame, run_top
 
 __all__ = [
+    "TopSample",
+    "render_frame",
+    "run_top",
     "Batcher",
     "BatcherStats",
     "OverloadedError",

@@ -21,6 +21,8 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from ..obs import runtime as _obs
+
 __all__ = ["OverloadedError", "BatcherStats", "Batcher"]
 
 
@@ -147,23 +149,28 @@ class Batcher:
 
     # -- submission ---------------------------------------------------------
 
-    async def submit(self, request: Any) -> Any:
+    async def submit(self, request: Any, span: Any | None = None) -> Any:
         """Enqueue ``request`` and await its result.
 
-        Raises :class:`OverloadedError` immediately if the queue is full,
-        and ``RuntimeError`` if the batcher is not running.
+        ``span`` (optional, obs-on only) is the caller's request span: it
+        rides the queue alongside the request so the worker can link it to
+        the batch that serves it and measure queue wait.  Raises
+        :class:`OverloadedError` immediately if the queue is full, and
+        ``RuntimeError`` if the batcher is not running.
         """
         if self._closed or self._worker is None:
             raise RuntimeError("batcher is not running; call start() first")
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
         try:
-            self._queue.put_nowait((request, fut))
+            self._queue.put_nowait((request, fut, span))
         except asyncio.QueueFull:
             self.stats.rejected += 1
             raise OverloadedError(
                 f"pending queue full ({self.queue_limit} requests); retry later"
             ) from None
         self.stats.submitted += 1
+        if span is not None:
+            span.mark("enqueued")
         return await fut
 
     # -- worker -------------------------------------------------------------
@@ -211,29 +218,64 @@ class Batcher:
 
     def _dispatch(self, batch: list) -> None:
         """Apply one batch and complete its futures."""
-        requests = [req for req, _ in batch]
+        requests = [req for req, _, _ in batch]
         self.stats.batches += 1
         size = len(batch)
         self.stats.batch_size_hist[size] = self.stats.batch_size_hist.get(size, 0) + 1
+        bspan = self._obs_batch_begin(batch) if _obs.enabled else None
         try:
             results = self._apply(requests)
         except Exception as exc:  # noqa: BLE001 — propagate to every waiter
-            for _, fut in batch:
+            if bspan is not None:
+                self._obs_batch_end(bspan, "error")
+            for _, fut, _ in batch:
                 if not fut.done():
                     fut.set_exception(exc)
             return
+        if bspan is not None:
+            self._obs_batch_end(bspan, "ok")
         if len(results) != size:
             err = RuntimeError(
                 f"apply_batch returned {len(results)} results for {size} requests"
             )
-            for _, fut in batch:
+            for _, fut, _ in batch:
                 if not fut.done():
                     fut.set_exception(err)
             return
-        for (_, fut), res in zip(batch, results):
+        for (_, fut, _), res in zip(batch, results):
             if not fut.done():  # waiter may have been cancelled
                 fut.set_result(res)
         self.stats.completed += size
+
+    # -- instrumentation (obs-on only; see repro.obs.spans) ------------------
+
+    def _obs_batch_begin(self, batch: list):
+        """Open a batch span, link waiting request spans to it, and publish
+        it in the recorder's ``current_batch`` slot so the layers under
+        ``apply_batch`` (service verify, plan executor) can attach to it."""
+        from ..obs.metrics import DEFAULT_TIME_BUCKETS, default_registry
+        from ..obs.spans import default_span_recorder
+
+        rec = default_span_recorder()
+        bspan = rec.start("batch", size=len(batch))
+        qwait = default_registry().histogram("serve.queue_wait_seconds", DEFAULT_TIME_BUCKETS)
+        for _, _, rspan in batch:
+            if rspan is None:
+                continue
+            wait = rspan.mark("batched") - rspan.marks.get("enqueued", 0.0)
+            qwait.observe(max(wait, 0.0))
+            rspan.fields["batch_id"] = bspan.span_id
+        rec.current_batch = bspan
+        return bspan
+
+    def _obs_batch_end(self, bspan, status: str) -> None:
+        from ..obs.metrics import DEFAULT_TIME_BUCKETS, default_registry
+        from ..obs.spans import default_span_recorder
+
+        rec = default_span_recorder()
+        rec.current_batch = None
+        dur = rec.finish(bspan, status)
+        default_registry().histogram("serve.batch_seconds", DEFAULT_TIME_BUCKETS).observe(dur)
 
 
 _STOP = object()

@@ -28,7 +28,7 @@ from typing import Awaitable, Callable
 import numpy as np
 
 from .batching import OverloadedError
-from .protocol import encode_request, parse_response
+from .protocol import encode_request, parse_payload_header, parse_response
 from .service import CountingService
 
 __all__ = ["TCPCounterClient", "LoadReport", "LoadGenerator"]
@@ -68,6 +68,26 @@ class TCPCounterClient:
         if not body.startswith("OK "):
             raise ConnectionError(f"unexpected STATS response: {body!r}")
         return json.loads(body[3:])
+
+    async def _payload(self, verb: bytes) -> bytes:
+        """Issue a byte-framed verb (``METRICS``/``FLIGHT``) and read its body."""
+        self._writer.write(verb + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        nbytes = parse_payload_header(line.decode("ascii", errors="replace"))
+        return await self._reader.readexactly(nbytes)
+
+    async def metrics(self) -> str:
+        """``METRICS`` → the Prometheus text exposition."""
+        return (await self._payload(b"METRICS")).decode("ascii", errors="replace")
+
+    async def flight(self) -> dict:
+        """``FLIGHT`` → the on-demand flight-recorder payload."""
+        import json
+
+        return json.loads((await self._payload(b"FLIGHT")).decode("ascii", errors="replace"))
 
     async def close(self) -> None:
         self._writer.close()

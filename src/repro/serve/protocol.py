@@ -11,10 +11,20 @@ Request                       Response
 ``INC <n>``                   ``OK <v0> <v1> ... <v(n-1)>`` — ``n`` values
 ``STATS``                     ``OK <json>`` — service stats, one JSON object
 ``PING``                      ``OK pong``
+``METRICS``                   ``OK <nbytes>`` then ``nbytes`` of payload —
+                              Prometheus text exposition
+``FLIGHT``                    ``OK <nbytes>`` then ``nbytes`` of payload —
+                              flight-recorder JSON, on demand
 (anything else)               ``ERR bad-request <detail>``
 (queue full)                  ``ERR overloaded <detail>``
 (server bug)                  ``ERR internal <detail>``
 ============================  ==============================================
+
+``METRICS`` and ``FLIGHT`` are the only multi-line responses; they are
+framed by byte count (``OK <nbytes>\\n`` header, then exactly ``nbytes``
+of body) so pipelined clients stay in sync without sniffing payload
+content.  Responses are answered strictly in request order, so the framing
+is unambiguous per verb.
 
 ``parse_request``/``encode_*`` are pure functions shared by the server and
 the load-generator client, so both sides agree by construction.
@@ -36,6 +46,8 @@ __all__ = [
     "encode_values",
     "encode_stats",
     "encode_error",
+    "encode_payload",
+    "parse_payload_header",
     "parse_response",
 ]
 
@@ -52,7 +64,7 @@ class ProtocolError(ValueError):
 
 @dataclass(frozen=True)
 class Request:
-    """A parsed request: ``verb`` is ``inc``/``stats``/``ping``."""
+    """A parsed request: ``verb`` is ``inc``/``stats``/``ping``/``metrics``/``flight``."""
 
     verb: str
     amount: int = 1
@@ -80,6 +92,10 @@ def parse_request(line: str) -> Request:
         return Request("stats")
     if verb == "PING" and len(parts) == 1:
         return Request("ping")
+    if verb == "METRICS" and len(parts) == 1:
+        return Request("metrics")
+    if verb == "FLIGHT" and len(parts) == 1:
+        return Request("flight")
     raise ProtocolError(f"unknown request {line.strip()!r}")
 
 
@@ -100,6 +116,33 @@ def encode_stats(stats: dict) -> bytes:
     import json
 
     return ("OK " + json.dumps(stats, separators=(",", ":")) + "\n").encode("ascii")
+
+
+def encode_payload(body: bytes) -> bytes:
+    """Server side: the byte-framed response for ``METRICS``/``FLIGHT``.
+
+    ``OK <nbytes>\\n`` header followed by exactly ``nbytes`` of body.
+    """
+    return f"OK {len(body)}\n".encode("ascii") + body
+
+
+def parse_payload_header(line: str) -> int:
+    """Client side: the body byte count from an ``OK <nbytes>`` header.
+
+    Raises the same errors as :func:`parse_response` on ``ERR`` lines.
+    """
+    line = line.strip()
+    if line.startswith("OK"):
+        body = line[2:].strip()
+        try:
+            n = int(body)
+        except ValueError:
+            raise ProtocolError(f"non-integer payload header: {body!r}") from None
+        if n < 0:
+            raise ProtocolError(f"negative payload length: {n}")
+        return n
+    parse_response(line)  # raises OverloadedError/ProtocolError for ERR lines
+    raise ProtocolError(f"unparseable payload header: {line!r}")
 
 
 def encode_error(code: str, message: str) -> bytes:

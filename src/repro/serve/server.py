@@ -19,7 +19,15 @@ import asyncio
 
 from ..obs import runtime as _obs
 from .batching import OverloadedError
-from .protocol import MAX_LINE_BYTES, ProtocolError, encode_error, encode_stats, encode_values, parse_request
+from .protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    encode_error,
+    encode_payload,
+    encode_stats,
+    encode_values,
+    parse_request,
+)
 from .service import CountingService
 
 __all__ = ["CountingServer"]
@@ -114,19 +122,88 @@ class CountingServer:
                 pass
 
     async def _respond(self, raw: bytes) -> bytes:
-        """One request line in, one response line out; never raises."""
+        """One request line in, one response out; never raises."""
+        span = self._obs_request_begin() if _obs.enabled else None
         try:
             req = parse_request(raw.decode("ascii", errors="replace"))
         except ProtocolError as exc:
+            if span is not None:
+                self._obs_request_end(span, "bad-request")
             return encode_error("bad-request", str(exc))
+        if span is not None:
+            span.fields["verb"] = req.verb
+            span.mark("parsed")
         try:
             if req.verb == "inc":
-                values = await self.service.fetch_and_increment_many(req.amount)
-                return encode_values(values)
-            if req.verb == "stats":
-                return encode_stats(self.service.stats())
-            return b"OK pong\n"
+                if span is not None:
+                    span.fields["amount"] = req.amount
+                values = await self.service.fetch_and_increment_many(req.amount, span=span)
+                out = encode_values(values)
+            elif req.verb == "stats":
+                out = encode_stats(self.service.stats())
+            elif req.verb == "metrics":
+                out = encode_payload(self._metrics_text().encode("ascii", errors="replace"))
+            elif req.verb == "flight":
+                out = encode_payload(self._flight_json())
+            else:
+                out = b"OK pong\n"
+            if span is not None:
+                self._obs_request_end(span, "ok")
+            return out
         except OverloadedError as exc:
+            if span is not None:
+                self._obs_request_end(span, "shed")
             return encode_error("overloaded", str(exc))
         except Exception as exc:  # noqa: BLE001 — a bug must not kill the loop
+            if span is not None:
+                self._obs_request_end(span, "error")
             return encode_error("internal", f"{type(exc).__name__}: {exc}")
+
+    # -- exposition -----------------------------------------------------------
+
+    def _metrics_text(self) -> str:
+        """Render the ``METRICS`` payload.
+
+        A fresh mirror registry (always-maintained service/batcher/cache
+        counters — meaningful even with obs off) is rendered first, then the
+        process-global registry (hot-path histograms, only populated while
+        obs is on); the mirror wins name collisions.
+        """
+        from ..obs.exposition import render_registries
+        from ..obs.metrics import MetricsRegistry, default_registry
+
+        mirror = MetricsRegistry()
+        self.service.publish_metrics(mirror)
+        mirror.gauge("obs.enabled").set(1.0 if _obs.enabled else 0.0)
+        mirror.counter("serve.connections_total").inc(self.connections)
+        registries = [mirror]
+        if _obs.enabled:
+            registries.append(default_registry())
+        return render_registries(registries)
+
+    def _flight_json(self) -> bytes:
+        """Render the on-demand ``FLIGHT`` payload (current span ring)."""
+        import json
+
+        from ..obs.flight import flight_payload
+
+        payload = flight_payload("on-demand", detail="FLIGHT verb")
+        return (json.dumps(payload, default=str) + "\n").encode("ascii", errors="replace")
+
+    # -- instrumentation (obs-on only) ----------------------------------------
+
+    def _obs_request_begin(self):
+        from ..obs.spans import default_span_recorder
+
+        return default_span_recorder().start("request", origin="server")
+
+    def _obs_request_end(self, span, status: str) -> None:
+        from ..obs.metrics import DEFAULT_TIME_BUCKETS, default_registry
+        from ..obs.spans import default_span_recorder
+
+        span.mark("responded")
+        dur = default_span_recorder().finish(span, status)
+        reg = default_registry()
+        reg.histogram("serve.request_seconds", DEFAULT_TIME_BUCKETS).observe(dur)
+        if status == "shed":
+            reg.counter("serve.shed").inc()

@@ -66,6 +66,12 @@ class CountingService:
     validate:
         Re-check per batch that dispensed values form the contiguous range
         ``[issued, issued + n)``.  Costs one O(n) comparison per batch.
+    flight_dir:
+        When set (and observability is on), the first
+        :class:`ExactlyOnceError` this service raises writes a
+        flight-recorder dump (see :mod:`repro.obs.flight`) into this
+        directory before propagating; the path lands in
+        :attr:`last_flight_dump`.
     """
 
     def __init__(
@@ -76,9 +82,13 @@ class CountingService:
         max_delay: float = 0.001,
         queue_limit: int = 1024,
         validate: bool = True,
+        flight_dir=None,
     ) -> None:
         self.net = net
         self.validate = bool(validate)
+        self.flight_dir = flight_dir
+        self.last_flight_dump = None
+        self._flight_dumped = False
         self._total = 0
         self._out_counts = np.zeros(net.width, dtype=np.int64)
         self._wire_ids = np.arange(net.width, dtype=np.int64)
@@ -133,17 +143,38 @@ class CountingService:
 
     # -- async API ----------------------------------------------------------
 
-    async def fetch_and_increment(self) -> int:
+    async def fetch_and_increment(self, *, span=None) -> int:
         """Take the next counter value (one token through the network)."""
-        values = await self._batcher.submit(1)
+        values = await self._submit(1, span)
         return int(values[0])
 
-    async def fetch_and_increment_many(self, n: int) -> list[int]:
+    async def fetch_and_increment_many(self, n: int, *, span=None) -> list[int]:
         """Take ``n`` values in one request (still one queue slot)."""
         if n < 1:
             raise ValueError("n must be >= 1")
-        values = await self._batcher.submit(int(n))
+        values = await self._submit(int(n), span)
         return [int(v) for v in values]
+
+    async def _submit(self, amount: int, span):
+        """Submit through the batcher, minting a request span when needed.
+
+        Callers with their own span (the TCP server) pass it through; bare
+        in-process callers (tests, chaos clients) get a service-origin span
+        so the request → batch → executor linkage exists without a server.
+        """
+        if span is None and _obs.enabled:
+            from ..obs.spans import default_span_recorder
+
+            rec = default_span_recorder()
+            span = rec.start("request", verb="inc", amount=amount, origin="service")
+            try:
+                values = await self._batcher.submit(amount, span)
+            except Exception:
+                rec.finish(span, "error")
+                raise
+            rec.finish(span, "ok")
+            return values
+        return await self._batcher.submit(amount, span)
 
     # -- introspection ------------------------------------------------------
 
@@ -157,7 +188,10 @@ class CountingService:
         return self._batcher.stats
 
     def stats(self) -> dict:
-        """One JSON-friendly snapshot: network, issuance, batching."""
+        """One JSON-friendly snapshot: network, issuance, batching, cache."""
+        from ..core.cache import default_cache
+
+        cache = default_cache().stats()
         return {
             "network": {
                 "name": self.net.name,
@@ -171,8 +205,39 @@ class CountingService:
             "max_delay": self._batcher.max_delay,
             "queue_limit": self._batcher.queue_limit,
             "executor": self._executor.scratch_stats() if self._executor else None,
+            "cache": {k: cache[k] for k in ("hits", "misses", "stores", "corrupt")},
             **self._batcher.stats.as_dict(),
         }
+
+    def publish_metrics(self, registry) -> None:
+        """Mirror the always-maintained service stats into ``registry``.
+
+        This is the scrape-time half of the ``METRICS`` verb: the counters
+        here (issuance, batching, shed, executor buffers, plan cache) are
+        plain attributes kept regardless of the obs switch, so a scrape is
+        meaningful even with ``REPRO_OBS`` off; when obs is on the server
+        renders the hot-path histograms from the default registry alongside.
+        """
+        from ..core.cache import default_cache
+
+        registry.gauge("serve.queue_depth").set(self._batcher.queue_depth)
+        registry.counter("serve.issued_total").inc(self._total)
+        bs = self._batcher.stats
+        registry.counter("serve.submitted_total").inc(bs.submitted)
+        registry.counter("serve.shed_total").inc(bs.rejected)
+        registry.counter("serve.completed_total").inc(bs.completed)
+        registry.counter("serve.batches_total").inc(bs.batches)
+        if bs.batches:
+            registry.gauge("serve.mean_batch_size").set(bs.mean_batch_size)
+        if self._executor is not None:
+            registry.counter("plan.buffer_allocs_total").inc(self._executor.buffer_allocs)
+            registry.counter("plan.buffer_reuses_total").inc(self._executor.buffer_reuses)
+            registry.counter("plan.batches_total").inc(self._executor.batches)
+        cache = default_cache().stats()
+        for key in ("hits", "misses", "stores", "corrupt"):
+            registry.counter(f"cache.{key}_total").inc(cache[key])
+        registry.gauge("net.width").set(self.net.width)
+        registry.gauge("net.depth").set(self.net.depth)
 
     # -- issuance core ------------------------------------------------------
 
@@ -190,9 +255,11 @@ class CountingService:
         t0 = self._total
         t1 = t0 + n
         out_after = propagate_counts(self.net, make_step(w, t1))
+        if _obs.enabled:
+            self._obs_mark("executed")
         delta = out_after - self._out_counts
         if self.validate and (np.any(delta < 0) or int(delta.sum()) != n):
-            raise ExactlyOnceError(
+            raise self._exactly_once_error(
                 f"{self.net.name}: batch of {n} produced per-wire deltas "
                 f"summing to {int(delta.sum())}"
             )
@@ -201,14 +268,50 @@ class CountingService:
         offs = np.arange(n, dtype=np.int64) - np.repeat(np.cumsum(delta) - delta, delta)
         values = np.sort(reps + w * (self._out_counts[reps] + offs))
         if self.validate and not np.array_equal(values, np.arange(t0, t1)):
-            raise ExactlyOnceError(
+            raise self._exactly_once_error(
                 f"{self.net.name} is not serving exactly-once: batch after "
                 f"{t0} tokens dispensed {values[:8].tolist()}... expected "
                 f"[{t0}, {t1})"
             )
         self._total = t1
         self._out_counts = out_after
+        if _obs.enabled:
+            self._obs_mark("verified")
         return values
+
+    def _exactly_once_error(self, message: str) -> ExactlyOnceError:
+        """Build the violation error, taking a flight dump first.
+
+        The dump is written at most once per service, only while obs is on,
+        and only when a dump directory was opted into (``flight_dir`` or the
+        ``REPRO_FLIGHT_DIR`` environment variable) — a bare test tripping
+        the validator must not litter the working directory.
+        """
+        import os
+
+        if (
+            _obs.enabled
+            and not self._flight_dumped
+            and (self.flight_dir is not None or os.environ.get("REPRO_FLIGHT_DIR"))
+        ):
+            self._flight_dumped = True
+            from ..obs.flight import dump_flight
+
+            try:
+                self.last_flight_dump = dump_flight(
+                    "exactly-once-violation", detail=message, directory=self.flight_dir
+                )
+            except OSError:
+                self.last_flight_dump = None
+        return ExactlyOnceError(message)
+
+    def _obs_mark(self, name: str) -> None:
+        """Stamp a phase boundary on the in-flight batch span, if any."""
+        from ..obs.spans import default_span_recorder
+
+        batch_span = default_span_recorder().current_batch
+        if batch_span is not None:
+            batch_span.mark(name)
 
     def _apply_batch(self, amounts: list[int]) -> Sequence[np.ndarray]:
         """Batcher callback: one vectorized pass serves every request."""

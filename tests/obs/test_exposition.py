@@ -1,0 +1,192 @@
+"""Prometheus exposition: render/parse round-trip and finite percentiles."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.exposition import (
+    VECTOR_INDEX_LIMIT,
+    histogram_from_samples,
+    metric_name,
+    parse_prometheus,
+    percentile_from_buckets,
+    render_registries,
+    render_registry,
+)
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS, Histogram, MetricsRegistry
+
+
+def make_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("serve.requests").inc(42)
+    reg.gauge("serve.queue_depth").set(7)
+    h = reg.histogram("serve.request_seconds", DEFAULT_TIME_BUCKETS)
+    for v in (1e-4, 2e-4, 3e-3, 0.05, 2.0):
+        h.observe(v)
+    reg.vector("sim.tokens_per_wire", 4)
+    reg.get("sim.tokens_per_wire").add_array(np.array([1, 2, 3, 4]))
+    return reg
+
+
+class TestRender:
+    def test_names_are_sanitized_and_prefixed(self):
+        assert metric_name("serve.batch_size") == "repro_serve_batch_size"
+        assert metric_name("weird name!") == "repro_weird_name_"
+
+    def test_counter_gauge_histogram_vector_render(self):
+        text = render_registry(make_registry())
+        assert "# TYPE repro_serve_requests counter" in text
+        assert "repro_serve_requests 42" in text
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "# TYPE repro_serve_request_seconds histogram" in text
+        assert 'repro_serve_request_seconds_bucket{le="+Inf"} 5' in text
+        assert "repro_serve_request_seconds_count 5" in text
+        assert 'repro_sim_tokens_per_wire{index="3"} 4' in text
+
+    def test_histogram_max_gauge_is_exported(self):
+        text = render_registry(make_registry())
+        assert "repro_serve_request_seconds_max 2" in text
+
+    def test_large_vectors_are_summarized(self):
+        reg = MetricsRegistry()
+        reg.vector("big", VECTOR_INDEX_LIMIT + 1)
+        text = render_registry(reg)
+        assert "repro_big_sum 0" in text
+        assert f"repro_big_size {VECTOR_INDEX_LIMIT + 1}" in text
+        assert 'index="' not in text
+
+    def test_render_registries_earlier_wins_collisions(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x").inc(1)
+        b.counter("x").inc(99)
+        b.counter("y").inc(2)
+        text = render_registries([a, b])
+        assert "repro_x 1" in text
+        assert "repro_x 99" not in text
+        assert "repro_y 2" in text
+
+
+class TestParse:
+    def test_round_trip(self):
+        series = parse_prometheus(render_registry(make_registry()))
+        assert series["repro_serve_requests"]["type"] == "counter"
+        assert series["repro_serve_requests"]["samples"] == [({}, 42.0)]
+        assert series["repro_serve_request_seconds_bucket"]["type"] == "histogram"
+        idx = {
+            labels["index"]: v
+            for labels, v in series["repro_sim_tokens_per_wire"]["samples"]
+        }
+        assert idx == {"0": 1.0, "1": 2.0, "2": 3.0, "3": 4.0}
+
+    def test_malformed_sample_raises(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus("this is not a metric line\n")
+
+    def test_malformed_comment_raises(self):
+        with pytest.raises(ValueError, match="malformed comment"):
+            parse_prometheus("# TIPE foo counter\n")
+
+    def test_histogram_missing_inf_bucket_raises(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 3\n'
+            "h_sum 1.5\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_prometheus(bad)
+
+    def test_histogram_non_cumulative_raises(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+        )
+        with pytest.raises(ValueError, match="cumulative"):
+            parse_prometheus(bad)
+
+    def test_count_bucket_disagreement_raises(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_count 4\n"
+        )
+        with pytest.raises(ValueError, match="_count disagrees"):
+            parse_prometheus(bad)
+
+    def test_histogram_from_samples(self):
+        series = parse_prometheus(render_registry(make_registry()))
+        got = histogram_from_samples(series, "repro_serve_request_seconds")
+        assert got is not None
+        bounds, cum, total_sum, count = got
+        assert list(bounds) == list(DEFAULT_TIME_BUCKETS)
+        assert cum[-1] == count == 5
+        assert total_sum == pytest.approx(1e-4 + 2e-4 + 3e-3 + 0.05 + 2.0)
+        assert histogram_from_samples(series, "no_such") is None
+
+
+class TestPercentileFromBuckets:
+    def test_interpolates_inside_bucket(self):
+        # 10 observations all in (0, 1]: p50 sits mid-bucket.
+        p = percentile_from_buckets([1.0, 2.0], [10, 10, 10], 50)
+        assert 0.0 < p <= 1.0
+
+    def test_overflow_bucket_clamps_to_max_value(self):
+        # Everything beyond the last bound; +Inf must not leak.
+        p = percentile_from_buckets([1.0], [0, 5], 99, max_value=7.5)
+        assert math.isfinite(p)
+        assert 1.0 <= p <= 7.5
+
+    def test_overflow_without_max_clamps_to_last_bound(self):
+        p = percentile_from_buckets([1.0, 4.0], [0, 0, 3], 99)
+        assert p == 4.0
+
+    def test_non_finite_max_is_ignored(self):
+        p = percentile_from_buckets([1.0], [0, 2], 99, max_value=float("inf"))
+        assert math.isfinite(p)
+
+    def test_empty_histogram_is_nan(self):
+        assert math.isnan(percentile_from_buckets([1.0], [0, 0], 99))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            percentile_from_buckets([1.0], [1], 50)
+        with pytest.raises(ValueError):
+            percentile_from_buckets([1.0], [1, 1], 150)
+
+
+class TestHistogramPercentileRegression:
+    """Satellite: Histogram.percentile must never return the +inf bound."""
+
+    def test_observe_inf_keeps_percentiles_finite(self):
+        h = Histogram("lat", (1.0, 2.0, 4.0))
+        h.observe(0.5)
+        h.observe(float("inf"))
+        for pct in (50, 90, 99, 100):
+            assert math.isfinite(h.percentile(pct)), pct
+
+    def test_top_bucket_hit_clamps_to_observed_max(self):
+        h = Histogram("lat", (1.0, 2.0))
+        for v in (5.0, 6.0, 7.0):
+            h.observe(v)
+        p99 = h.percentile(99)
+        assert math.isfinite(p99)
+        assert 2.0 <= p99 <= 7.0
+
+    def test_normal_path_unchanged(self):
+        h = Histogram("lat", (1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0):
+            h.observe(v)
+        assert 0.5 <= h.percentile(50) <= 3.0
+        assert h.percentile(0) >= 0.5 - 1e-12
+
+    def test_cumulative_counts_shape(self):
+        h = Histogram("lat", (1.0, 2.0))
+        for v in (0.5, 1.5, 9.0):
+            h.observe(v)
+        assert h.cumulative_counts() == [1, 2, 3]

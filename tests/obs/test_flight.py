@@ -1,0 +1,65 @@
+"""Flight recorder: stamped payloads, dump files, and directory resolution."""
+
+from __future__ import annotations
+
+import json
+
+import repro.obs as obs
+from repro.obs.flight import dump_flight, flight_dir, flight_payload
+from repro.obs.spans import SpanRecorder
+
+
+class TestFlightPayload:
+    def test_payload_carries_envelope_and_spans(self):
+        rec = SpanRecorder()
+        s = rec.start("request", verb="inc")
+        s.mark("parsed")
+        rec.finish(s)
+        reg = obs.MetricsRegistry()
+        reg.counter("serve.requests").inc(3)
+        payload = flight_payload("test-reason", detail="why", recorder=rec, registry=reg)
+        assert payload["bench"] == "flight"
+        assert payload["schema"] == 2
+        assert payload["reason"] == "test-reason"
+        assert payload["detail"] == "why"
+        assert payload["spans_dropped"] == 0
+        assert len(payload["spans"]) == 1
+        assert payload["spans"][0]["kind"] == "request"
+        assert payload["metrics"]["serve.requests"]["value"] == 3
+
+    def test_payload_defaults_to_process_globals(self):
+        with obs.capture() as (registry, _):
+            registry.counter("x").inc()
+            rec = obs.default_span_recorder()
+            rec.finish(rec.start("batch"))
+            payload = flight_payload("r")
+        assert len(payload["spans"]) == 1
+        assert "x" in payload["metrics"]
+
+
+class TestDumpFlight:
+    def test_dump_writes_stamped_json(self, tmp_path):
+        rec = SpanRecorder()
+        rec.finish(rec.start("request"))
+        path = dump_flight("exactly-once-violation", directory=tmp_path, recorder=rec)
+        assert path.parent == tmp_path
+        assert path.name.startswith("FLIGHT_exactly-once-violation_")
+        data = json.loads(path.read_text())
+        assert data["reason"] == "exactly-once-violation"
+        assert data["spans"][0]["kind"] == "request"
+
+    def test_reason_is_sanitized_in_filename(self, tmp_path):
+        path = dump_flight("weird reason/with:stuff", directory=tmp_path)
+        assert "/" not in path.name[len("FLIGHT_") :].rsplit("_", 1)[0]
+        assert path.is_file()
+
+    def test_directory_resolution_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path / "env_dir"))
+        assert flight_dir() == tmp_path / "env_dir"
+        # Explicit argument wins over the environment.
+        assert flight_dir(tmp_path) == tmp_path
+
+    def test_directory_resolution_default_cwd(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_FLIGHT_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        assert flight_dir() == tmp_path
