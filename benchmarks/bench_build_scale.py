@@ -133,6 +133,61 @@ def test_scaling_table(save_table):
     assert wide["eval64_ms"] < wide["eval64_legacy_ms"]
 
 
+def test_searched_vs_stock_table(save_table):
+    """Depth + serve-latency columns comparing stock vs searched-base K
+    (repro.search registry substitution), merged into
+    BENCH_build_scale.json as ``searched_rows``."""
+    import asyncio
+
+    from repro.obs.export import read_bench_json, repo_root
+    from repro.serve import CountingService, LoadGenerator
+
+    def serve_p50_ms(net) -> float:
+        async def run():
+            service = CountingService(net, max_batch=32, max_delay=0.0005)
+            gen = LoadGenerator(mode="closed", clients=8, ops=40, seed=0)
+            async with service:
+                return await gen.run_service(service)
+
+        report = asyncio.run(run())
+        assert report.exactly_once
+        return round(report.latency_percentile(50) * 1e3, 3)
+
+    rows = []
+    for factors in ([2, 2, 2, 2], [2, 2, 2, 2, 2], [4, 4, 2, 2]):
+        stock = k_network(factors)
+        searched = k_network(factors, variant="searched")
+        rows.append(
+            {
+                "width": stock.width,
+                "factors": "x".join(map(str, factors)),
+                "depth_stock": stock.depth,
+                "depth_searched": searched.depth,
+                "depth_delta": stock.depth - searched.depth,
+                "size_stock": stock.size,
+                "size_searched": searched.size,
+                "serve_p50_stock_ms": serve_p50_ms(stock),
+                "serve_p50_searched_ms": serve_p50_ms(searched),
+            }
+        )
+    save_table("E15d_searched_vs_stock_k", rows)
+    # Merge into the build-scale bench file: keep the stock scaling rows the
+    # earlier test wrote (if it ran this session), add the comparison.
+    payload = {"family": "K", "rows": []}
+    bench_path = repo_root() / "BENCH_build_scale.json"
+    if bench_path.exists():
+        prior = read_bench_json(bench_path)
+        payload["family"] = prior.get("family", "K")
+        payload["rows"] = prior.get("rows", [])
+    payload["searched_rows"] = rows
+    write_bench_json("build_scale", payload)
+    # Acceptance: searched-base K is strictly shallower for at least one
+    # factorization (the registry's bitonic-16 beats the stock C(2,2,2,2)
+    # prefix), and never deeper anywhere.
+    assert any(r["depth_delta"] > 0 for r in rows)
+    assert all(r["depth_delta"] >= 0 for r in rows)
+
+
 def test_l_scaling_table(save_table):
     rows = []
     for w, cap in ((24, 4), (60, 5), (128, 4), (360, 6)):

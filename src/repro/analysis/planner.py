@@ -33,6 +33,7 @@ class Plan:
     depth: int
     size: int
     max_balancer_width: int
+    variant: str = "stock"
 
     @property
     def padded(self) -> bool:
@@ -40,10 +41,12 @@ class Plan:
 
     def build(self) -> Network:
         make = k_network if self.family == "K" else l_network
-        return make(list(self.factors))
+        return make(list(self.factors), variant=self.variant)
 
 
-def best_factorization(w: int, max_balancer: int, family: str = "K") -> tuple[int, ...] | None:
+def best_factorization(
+    w: int, max_balancer: int, family: str = "K", variant: str = "stock"
+) -> tuple[int, ...] | None:
     """Shallowest-then-smallest family member of width exactly ``w`` whose
     balancers fit the budget, or ``None`` if no factorization fits."""
     if family not in ("K", "L"):
@@ -59,7 +62,7 @@ def best_factorization(w: int, max_balancer: int, family: str = "K") -> tuple[in
             fits = max(factors) <= max_balancer  # cheap pre-filter
         if not fits:
             continue
-        net = make(list(factors))
+        net = make(list(factors), variant=variant)
         if net.max_balancer_width > max_balancer:
             continue
         key = (net.depth, net.size)
@@ -83,6 +86,7 @@ def plan_network(
     max_balancer: int,
     family: str = "K",
     allow_padding: bool = True,
+    variant: str = "stock",
 ) -> Plan:
     """Recommend a network: exact width if some factorization fits the
     budget, else (with ``allow_padding``) the nearest larger width that
@@ -102,9 +106,9 @@ def plan_network(
         )
     w = width
     while True:
-        factors = best_factorization(w, max_balancer, family)
+        factors = best_factorization(w, max_balancer, family, variant)
         if factors is not None:
-            net = (k_network if family == "K" else l_network)(list(factors))
+            net = (k_network if family == "K" else l_network)(list(factors), variant=variant)
             return Plan(
                 width=w,
                 requested_width=width,
@@ -113,6 +117,7 @@ def plan_network(
                 depth=net.depth,
                 size=net.size,
                 max_balancer_width=net.max_balancer_width,
+                variant=variant,
             )
         if not allow_padding:
             raise ValueError(

@@ -22,7 +22,13 @@ fuzz        fault injection (repro.faults): ``mutate`` checks that every
             stress-tests the counting service's exactly-once guarantee;
             all three emit BENCH_fuzz.json
 cache       persistent build/plan cache (.repro_cache): ``stats`` prints
-            entry counts, bytes and hit/miss counters, ``clear`` wipes it
+            entry counts, bytes, hit/miss counters and a per-variant
+            breakdown, ``clear`` wipes it
+search      discover depth-optimal base networks (repro.search): ``beam``
+            runs the dependency-free seeded beam search, ``sat`` the CNF
+            placement encoding with CEGAR refinement (needs the optional
+            pysat 'search' extra), ``show`` prints the validated
+            best-known registry; beam/sat emit BENCH_search.json
 """
 
 from __future__ import annotations
@@ -71,12 +77,36 @@ def _check_factors(factors: list[int]) -> list[int]:
     return factors
 
 
-def _make_network(family: str, factors: list[int]):
-    return _BUILDERS[family](_check_factors(factors))
+#: Families whose construction supports ``variant="searched"``.
+_VARIANT_FAMILIES = ("K", "L", "C")
+
+
+def _make_network(family: str, factors: list[int], variant: str = "stock"):
+    factors = _check_factors(factors)
+    if variant != "stock":
+        if family == "K":
+            return k_network(factors, variant=variant)
+        if family == "L":
+            return l_network(factors, variant=variant)
+        if family == "C":
+            return counting_network(factors, searched=(variant == "searched"))
+        raise SystemExit(
+            f"error: --variant {variant} is only available for "
+            f"{', '.join(_VARIANT_FAMILIES)} (got {family})"
+        )
+    return _BUILDERS[family](factors)
+
+
+def _add_variant_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--variant", choices=["stock", "searched"], default="stock",
+        help="searched substitutes best-known registry networks into K/L/C "
+        "wherever they are strictly shallower (repro.search)",
+    )
 
 
 def _build(args: argparse.Namespace):
-    net = _make_network(args.family, args.factors)
+    net = _make_network(args.family, args.factors, args.variant)
     s = network_stats(net)
     print(format_table([s.as_dict()]))
     if args.diagram:
@@ -88,7 +118,7 @@ def _build(args: argparse.Namespace):
 def _verify(args: argparse.Namespace) -> int:
     from .verify import minimize_violation
 
-    net = _make_network(args.family, args.factors)
+    net = _make_network(args.family, args.factors, args.variant)
     cv = find_counting_violation(net, rng=np.random.default_rng(args.seed))
     sv = find_sorting_violation(net)
     print(f"{net.name}: width={net.width} depth={net.depth}")
@@ -252,12 +282,14 @@ def _make_service(args: argparse.Namespace):
         queue_limit=args.queue_limit,
         validate=not args.no_validate,
     )
+    variant = getattr(args, "variant", "stock")
     if args.width is not None:
         return CountingService.from_plan(
-            args.width, args.max_balancer, family=args.construction, **kwargs
+            args.width, args.max_balancer, family=args.construction,
+            variant=variant, **kwargs
         )
     factors = _parse_widths(args.widths)
-    return CountingService(_BUILDERS[args.construction](factors), **kwargs)
+    return CountingService(_make_network(args.construction, factors, variant), **kwargs)
 
 
 def _add_service_args(p: argparse.ArgumentParser) -> None:
@@ -275,6 +307,7 @@ def _add_service_args(p: argparse.ArgumentParser) -> None:
         help="plan mode: widest balancer the plan may use (default 8)",
     )
     p.add_argument("--construction", choices=["K", "L", "C"], default="K")
+    _add_variant_arg(p)
     p.add_argument("--max-batch", type=int, default=64, help="requests per vectorized batch")
     p.add_argument(
         "--max-delay", type=float, default=0.001,
@@ -521,10 +554,155 @@ def _cache(args: argparse.Namespace) -> int:
     cache = PlanCache(args.dir) if args.dir else default_cache()
     if args.cache_command == "stats":
         for k, v in cache.stats().items():
-            print(f"  {k} = {v}")
+            if k == "variants":
+                print("  entries by variant:")
+                for name, count in v.items():
+                    print(f"    {name} = {count}")
+            else:
+                print(f"  {k} = {v}")
         return 0
     removed = cache.clear()
     print(f"removed {removed} cached files from {cache.root}")
+    return 0
+
+
+def _search_payload_common(args: argparse.Namespace, mode: str) -> dict:
+    return {
+        "mode": mode,
+        "width": args.width,
+        "target_depth": args.target_depth,
+    }
+
+
+def _search_record(args: argparse.Namespace, result, origin: str) -> None:
+    """Append a found network to a JSON registry file (``--save``)."""
+    import pathlib
+
+    from .search import Registry
+
+    path = pathlib.Path(args.save)
+    registry = Registry.load(path) if path.exists() else Registry()
+    entry = registry.add(result.width, result.comparators, origin=origin)
+    registry.save(path)
+    print(f"saved {entry.kind} entry (depth {entry.depth}, {entry.size} comparators) to {path}")
+
+
+def _search_beam(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from . import obs
+    from .search import beam_search
+
+    result = beam_search(
+        args.width,
+        args.target_depth,
+        beam_width=args.beam_width,
+        fanout=args.fanout,
+        max_expansions=args.max_expansions,
+        seed=args.seed,
+        objective=args.objective,
+    )
+    payload = {
+        **_search_payload_common(args, "beam"),
+        "found": result.found,
+        "depth": result.depth if result.found else None,
+        "size": result.size if result.found else None,
+        "expansions": result.expansions,
+        "seed": result.seed,
+        "objective": args.objective,
+        "beam_width": args.beam_width,
+        "fanout": args.fanout,
+        "layers": [[list(c) for c in layer] for layer in result.layers],
+    }
+    # Artifacts first: a consumer closing stdout early (`| head`) must not
+    # lose the bench envelope or the --save registry append.
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = obs.write_bench_json("search", payload, directory=out_dir)
+    if result.found and args.save:
+        _search_record(args, result, origin=f"beam:seed{result.seed}")
+    if result.found:
+        print(
+            f"found a width-{result.width} sorting network: depth={result.depth} "
+            f"size={result.size} ({result.expansions} expansions, seed={result.seed})"
+        )
+        for i, layer in enumerate(result.layers):
+            print(f"  layer {i}: {' '.join(f'({a},{b})' for a, b in layer)}")
+    else:
+        print(
+            f"no depth-{args.target_depth} network found for width {args.width} "
+            f"within {result.expansions} expansions"
+        )
+    print(f"wrote {path}")
+    return 0 if result.found else 1
+
+
+def _search_sat(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from . import obs
+    from .search import SearchDependencyError, sat_search
+
+    try:
+        result = sat_search(
+            args.width,
+            args.target_depth,
+            max_rounds=args.max_rounds,
+            solver_name=args.solver,
+        )
+    except SearchDependencyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    payload = {
+        **_search_payload_common(args, "sat"),
+        "status": result.status,
+        "found": result.found,
+        "depth": args.target_depth if result.found else None,
+        "size": len(result.comparators) if result.found else None,
+        "rounds": result.rounds,
+        "num_vars": result.num_vars,
+        "num_clauses": result.num_clauses,
+        "counterexamples": result.counterexamples,
+        "layers": [[list(c) for c in layer] for layer in result.layers],
+    }
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = obs.write_bench_json("search", payload, directory=out_dir)
+    if result.found and args.save:
+        _search_record(args, result, origin=f"sat:d{args.target_depth}")
+    if result.found:
+        print(
+            f"SAT: width-{result.width} depth-{args.target_depth} network with "
+            f"{len(result.comparators)} comparators "
+            f"({result.rounds} refinement rounds, {result.counterexamples} counterexamples)"
+        )
+    elif result.status == "unsat":
+        print(
+            f"UNSAT: no standard-form width-{args.width} sorting network of "
+            f"depth {args.target_depth} exists ({result.rounds} rounds)"
+        )
+    else:
+        print(f"inconclusive after {result.rounds} refinement rounds")
+    print(f"wrote {path}")
+    return 0 if result.found else 1
+
+
+def _search_show(args: argparse.Namespace) -> int:
+    from .search import Registry, default_registry
+
+    registry = Registry.load(args.registry) if args.registry else default_registry()
+    rows = [
+        {
+            "width": e.width,
+            "kind": e.kind,
+            "depth": e.depth,
+            "size": e.size,
+            "origin": e.origin,
+        }
+        for e in sorted(registry, key=lambda e: (e.width, e.kind, e.depth))
+    ]
+    print(format_table(rows))
+    print(f"\n{len(registry)} entries, every one validated exhaustively over all 2^w 0-1 inputs")
     return 0
 
 
@@ -554,12 +732,14 @@ def main(argv: list[str] | None = None) -> int:
     pb.add_argument("family", choices=sorted(_BUILDERS))
     pb.add_argument("factors", type=int, nargs="+")
     pb.add_argument("--diagram", action="store_true")
+    _add_variant_arg(pb)
     pb.set_defaults(fn=_build)
 
     pv = sub.add_parser("verify", help="search for counting/sorting violations")
     pv.add_argument("family", choices=sorted(_BUILDERS))
     pv.add_argument("factors", type=int, nargs="+")
     pv.add_argument("--seed", type=int, default=0)
+    _add_variant_arg(pv)
     pv.set_defaults(fn=_verify)
 
     pf = sub.add_parser("family", help="factorization family table for a width")
@@ -736,6 +916,45 @@ def main(argv: list[str] | None = None) -> int:
     pp.add_argument("max_balancer", type=int)
     pp.add_argument("--family", dest="plan_family", choices=["K", "L"], default="K")
     pp.set_defaults(fn=_plan)
+
+    psearch = sub.add_parser(
+        "search",
+        help="discover depth-optimal base networks (repro.search): beam, sat, show",
+    )
+    ssub = psearch.add_subparsers(dest="search_command", required=True)
+
+    sbm = ssub.add_parser(
+        "beam", help="seeded deterministic beam search (no optional deps)"
+    )
+    sbm.add_argument("--width", type=int, required=True)
+    sbm.add_argument("--target-depth", type=int, required=True)
+    sbm.add_argument("--beam-width", type=int, default=32, help="states kept per layer")
+    sbm.add_argument("--fanout", type=int, default=12, help="candidate layers per state")
+    sbm.add_argument("--max-expansions", type=int, default=20_000, help="search budget")
+    sbm.add_argument("--seed", type=int, default=0)
+    sbm.add_argument("--objective", choices=["depth", "size"], default="depth")
+    sbm.add_argument("--save", default=None, help="append the found network to this registry JSON")
+    sbm.add_argument("--out-dir", default=".", help="where BENCH_search.json lands")
+    sbm.set_defaults(fn=_search_beam)
+
+    sst = ssub.add_parser(
+        "sat",
+        help="CNF placement encoding + CEGAR refinement (needs the pysat 'search' extra)",
+    )
+    sst.add_argument("--width", type=int, required=True)
+    sst.add_argument("--target-depth", type=int, required=True)
+    sst.add_argument("--max-rounds", type=int, default=64, help="refinement rounds")
+    sst.add_argument("--solver", default="g3", help="pysat solver name (default glucose3)")
+    sst.add_argument("--save", default=None, help="append the found network to this registry JSON")
+    sst.add_argument("--out-dir", default=".", help="where BENCH_search.json lands")
+    sst.set_defaults(fn=_search_sat)
+
+    ssh = ssub.add_parser("show", help="print the best-known network registry (validates on load)")
+    ssh.add_argument(
+        "--registry", default=None,
+        help="registry JSON file (default: the built-in seeded registry)",
+    )
+    ssh.set_defaults(fn=_search_show)
 
     args = parser.parse_args(argv)
     return args.fn(args)

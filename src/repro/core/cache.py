@@ -60,6 +60,10 @@ _HASHED_SOURCES = (
     "networks/k_network.py",
     "networks/l_network.py",
     "networks/r_network.py",
+    # The searched variant substitutes registry networks: its artifacts are
+    # only valid for the registry contents that produced them.
+    "search/registry.py",
+    "search/seeds.py",
 )
 
 _code_hash: str | None = None
@@ -299,6 +303,7 @@ class PlanCache:
             "width": plan.width,
             "depth": plan.depth,
             "size": plan.size,
+            "variant": variant or "default",
         }
         self._put(key, plan.to_arrays(), meta)
 
@@ -335,19 +340,28 @@ class PlanCache:
             "width": net.width,
             "depth": net.depth,
             "size": net.size,
+            "variant": variant or "default",
         }
         self._put(key, _network_arrays(net), meta)
 
     # -- maintenance --------------------------------------------------------
 
     def stats(self) -> dict:
-        """Entry count, bytes on disk, and the persistent counters."""
+        """Entry count, bytes on disk, the persistent counters, and a
+        per-variant entry breakdown (searched-base plans never collide with
+        stock plans — the variant is part of every key and recorded in every
+        entry's meta)."""
         m = self._load_manifest()
         entries = m["entries"]
+        variants: dict[str, int] = {}
+        for e in entries.values():
+            v = str(e.get("meta", {}).get("variant", "default"))
+            variants[v] = variants.get(v, 0) + 1
         return {
             "root": str(self.root),
             "entries": len(entries),
             "bytes": int(sum(int(e.get("bytes", 0)) for e in entries.values())),
+            "variants": dict(sorted(variants.items())),
             **{k: int(v) for k, v in m["counters"].items()},
         }
 

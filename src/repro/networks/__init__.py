@@ -9,9 +9,10 @@ from .counting import (
     counting_network,
     merger_network,
     normalize_factors,
+    searched_base,
     single_balancer_base,
 )
-from .k_network import build_k_network, k_network
+from .k_network import NETWORK_VARIANTS, build_k_network, k_network
 from .r_network import build_r_network, r_base, r_network
 from .l_network import build_l_network, l_network
 from .expand import expand_comparators, expanded_depth
@@ -31,7 +32,9 @@ __all__ = [
     "counting_network",
     "merger_network",
     "normalize_factors",
+    "searched_base",
     "single_balancer_base",
+    "NETWORK_VARIANTS",
     "build_k_network",
     "k_network",
     "build_r_network",

@@ -40,6 +40,7 @@ __all__ = [
     "counting_network",
     "merger_network",
     "single_balancer_base",
+    "searched_base",
     "clear_construction_cache",
 ]
 
@@ -90,7 +91,9 @@ def _counting_subnet(factors: list[int], base: "BaseFactory", variant: str) -> N
     return _cached_subnet(("C", tuple(factors), base, variant), build)
 
 
-def _merger_subnet(factors: list[int], base: "BaseFactory", variant: str) -> Network:
+def _merger_subnet(
+    factors: list[int], base: "BaseFactory", variant: str, searched: bool = False
+) -> Network:
     """Standalone ``M(factors)`` (inputs concatenated), memoized."""
 
     def build() -> Network:
@@ -98,10 +101,109 @@ def _merger_subnet(factors: list[int], base: "BaseFactory", variant: str) -> Net
         b = NetworkBuilder(block * factors[-1])
         wires = list(b.inputs)
         inputs = [wires[i * block : (i + 1) * block] for i in range(factors[-1])]
-        out = build_merger(b, inputs, list(factors), base, variant)
+        out = build_merger(b, inputs, list(factors), base, variant, searched=searched)
         return b.finish(out, name=f"M({','.join(map(str, factors))})")
 
-    return _cached_subnet(("M", tuple(factors), base, variant), build)
+    return _cached_subnet(("M", tuple(factors), base, variant, searched), build)
+
+
+# ---------------------------------------------------------------------------
+# The "searched" path: substitute best-known registry networks.
+#
+# ``repro.search.registry`` curates counting-validated small-width networks
+# (seeded with the AHS bitonic networks, extendable by SAT/beam search).
+# With ``searched=True`` the recursion substitutes a registry entry at a node
+# whenever it is *strictly shallower* than the stock sub-construction it
+# replaces — at whole ``C(factors)`` nodes (including the root) and at every
+# base ``C(p, q)`` site inside the mergers.  Only ``kind="counting"``
+# entries are eligible: the construction's correctness argument needs the
+# substituted block to be a counting network, and a depth-optimal *sorting*
+# network generally is not one (paper §2, Figure 3).
+#
+# The import of ``repro.search`` is deferred to call time: ``networks`` must
+# stay importable without the search package's load-time validation cost,
+# and ``search.registry`` itself imports ``core``/``verify``.
+# ---------------------------------------------------------------------------
+
+_SEARCHED_BASES: dict = {}
+
+
+def _registry_subnet(entry) -> Network:
+    """Standalone network for a registry entry, memoized like sub-blocks."""
+    return _cached_subnet(
+        ("REG", entry.width, entry.origin, entry.comparators), entry.network
+    )
+
+
+def _base_subnet(base: "BaseFactory", p: int, q: int) -> Network:
+    """Standalone stock base ``C(p, q)`` (memoized) — the depth yardstick a
+    registry entry must strictly beat."""
+
+    def build() -> Network:
+        b = NetworkBuilder(p * q)
+        out = base(b, list(b.inputs), p, q)
+        return b.finish(out, name=f"base({p},{q})")
+
+    return _cached_subnet(("B", base, p, q), build)
+
+
+def searched_base(base: "BaseFactory") -> "BaseFactory":
+    """Wrap a base factory so every ``C(p, q)`` site consults the registry.
+
+    The wrapper is memoized per wrapped factory (a stable function object,
+    so it composes with the sub-network cache keys), and it resolves
+    :func:`repro.search.default_registry` at call time — swapping the
+    registry (tests) takes effect immediately, though previously memoized
+    sub-networks must be dropped via :func:`clear_construction_cache`.
+    """
+    wrapped = _SEARCHED_BASES.get(base)
+    if wrapped is None:
+
+        def wrapped(b: NetworkBuilder, wires: list[int], p: int, q: int) -> list[int]:
+            from ..search.registry import default_registry
+
+            entry = default_registry().best(len(wires), kind="counting")
+            if entry is not None and entry.depth < _base_subnet(base, p, q).depth:
+                return b.subnetwork(_registry_subnet(entry), wires)
+            return base(b, wires, p, q)
+
+        wrapped.__name__ = f"searched({getattr(base, '__name__', 'base')})"
+        _SEARCHED_BASES[base] = wrapped
+    return wrapped
+
+
+def _searched_c(factors: list[int], base: "BaseFactory", variant: str) -> Network:
+    """Best available standalone ``C(factors)``: the registry entry at this
+    width or the recursive construction (with searched children), whichever
+    is strictly shallower."""
+    from ..search.registry import default_registry
+
+    recursive = _cached_subnet(
+        ("Cs", tuple(factors), base, variant),
+        lambda: _recursive_searched_c(factors, base, variant),
+    )
+    entry = default_registry().best(prod(factors), kind="counting")
+    if entry is not None and entry.depth < recursive.depth:
+        return _registry_subnet(entry)
+    return recursive
+
+
+def _recursive_searched_c(factors: list[int], base: "BaseFactory", variant: str) -> Network:
+    """The stock-shaped ``C(factors)`` whose children and base sites are
+    searched; substitution at *this* node is the caller's decision."""
+    b = NetworkBuilder(prod(factors))
+    wires = list(b.inputs)
+    if len(factors) == 2:
+        out = base(b, wires, factors[0], factors[1])
+    else:
+        p_last = factors[-1]
+        block = prod(factors[:-1])
+        sub = _searched_c(factors[:-1], base, variant)
+        outputs = [
+            b.subnetwork(sub, wires[i * block : (i + 1) * block]) for i in range(p_last)
+        ]
+        out = build_merger(b, outputs, list(factors), base, variant, searched=True)
+    return b.finish(out, name=f"C({','.join(map(str, factors))})[searched]")
 
 
 def normalize_factors(factors: list[int] | tuple[int, ...]) -> list[int]:
@@ -127,9 +229,15 @@ def build_counting(
     factors: list[int],
     base: BaseFactory,
     variant: str = "opt_rescan",
+    searched: bool = False,
 ) -> list[int]:
     """Append ``C(factors)`` onto ``wires``; returns output wires in
-    sequence order (a step sequence for every input)."""
+    sequence order (a step sequence for every input).
+
+    With ``searched=True``, counting-validated registry entries
+    (:mod:`repro.search.registry`) replace any sub-construction they
+    strictly beat on measured depth.
+    """
     factors = normalize_factors(factors)
     if prod(factors) != len(wires):
         raise ValueError(f"factors {factors} have product {prod(factors)} != width {len(wires)}")
@@ -138,6 +246,8 @@ def build_counting(
         return list(wires)
     if n == 1:
         return b.maybe_balancer(wires)
+    if searched:
+        return b.subnetwork(_searched_c(factors, base, variant), list(wires))
     if n == 2:
         return base(b, list(wires), factors[0], factors[1])
 
@@ -158,6 +268,7 @@ def build_merger(
     factors: list[int],
     base: BaseFactory,
     variant: str = "opt_rescan",
+    searched: bool = False,
 ) -> list[int]:
     """Append ``M(factors)`` onto the ``factors[-1]`` step-input wire lists
     (each of length ``prod(factors[:-1])``)."""
@@ -172,24 +283,28 @@ def build_merger(
         if len(x) != block:
             raise ValueError(f"input {i} has length {len(x)}, expected {block}")
 
+    # In the searched variant every base C(p, q) site — the merger base
+    # case and the staircase's internal base calls — consults the registry.
+    eff_base = searched_base(base) if searched else base
+
     if n == 2:
         # Base case: M(p0, p1) is the base counting network C(p0, p1) —
         # a counting network ignores input arrangement, so concatenate.
         flat = [w for x in inputs for w in x]
-        return base(b, flat, factors[0], factors[1])
+        return eff_base(b, flat, factors[0], factors[1])
 
     q = factors[-2]  # p(n-2): number of sub-merger copies
     p = factors[-1]  # p(n-1)
     sub_factors = factors[:-2] + [p]
     # The q sub-merger copies are identical up to input relabeling: stamp a
     # memoized standalone M(sub_factors) onto each strided wire selection.
-    sub = _merger_subnet(sub_factors, base, variant)
+    sub = _merger_subnet(sub_factors, base, variant, searched)
     ys = []
     for i in range(q):
         flat = [w for x in inputs for w in strided(x, i, q)]
         ys.append(b.subnetwork(sub, flat))
     r = prod(factors[:-2])  # w(n-3)
-    return build_staircase_merger(b, ys, r, p, base, variant=variant)
+    return build_staircase_merger(b, ys, r, p, eff_base, variant=variant)
 
 
 def counting_network(
@@ -197,6 +312,7 @@ def counting_network(
     base: BaseFactory | None = None,
     variant: str = "opt_rescan",
     name: str | None = None,
+    searched: bool = False,
 ) -> Network:
     """Standalone generic counting network ``C(factors)``.
 
@@ -211,7 +327,7 @@ def counting_network(
         raise ValueError("network width must be >= 1")
     base = base or single_balancer_base
     b = NetworkBuilder(width)
-    out = build_counting(b, list(b.inputs), norm, base, variant)
+    out = build_counting(b, list(b.inputs), norm, base, variant, searched=searched)
     label = name or f"C({','.join(map(str, factors))})"
     return b.finish(out, name=label)
 
@@ -221,6 +337,7 @@ def merger_network(
     base: BaseFactory | None = None,
     variant: str = "opt_rescan",
     name: str | None = None,
+    searched: bool = False,
 ) -> Network:
     """Standalone merger ``M(factors)``: input sequence is the concatenation
     ``X_0 ++ ... ++ X_{factors[-1]-1}`` of the step inputs."""
@@ -232,6 +349,6 @@ def merger_network(
     b = NetworkBuilder(block * norm[-1])
     wires = list(b.inputs)
     inputs = [wires[i * block : (i + 1) * block] for i in range(norm[-1])]
-    out = build_merger(b, inputs, norm, base, variant)
+    out = build_merger(b, inputs, norm, base, variant, searched=searched)
     label = name or f"M({','.join(map(str, factors))})"
     return b.finish(out, name=label)

@@ -9,6 +9,9 @@ parameter values let a sub-network shrink — the formulas are exact for
 
 from __future__ import annotations
 
+from math import prod
+from typing import Callable
+
 __all__ = [
     "staircase_depth",
     "merger_depth",
@@ -16,6 +19,8 @@ __all__ = [
     "k_depth",
     "l_depth_bound",
     "r_depth_bound",
+    "searched_counting_depth",
+    "searched_k_depth",
     "K_BASE_DEPTH",
     "R_DEPTH_BOUND",
 ]
@@ -73,3 +78,65 @@ def l_depth_bound(n: int) -> int:
 def r_depth_bound() -> int:
     """Section 5.3: ``depth(R(p, q)) <= 16``."""
     return R_DEPTH_BOUND
+
+
+def searched_counting_depth(
+    factors: list[int] | tuple[int, ...],
+    variant: str,
+    base_depth: int | Callable[[int, int], int],
+    registry_depth: Callable[[int], int | None],
+) -> int:
+    """Predicted depth of ``C(factors)`` built with ``searched=True``.
+
+    Mirrors the substitution rule of :mod:`repro.networks.counting` exactly:
+    at every ``C``-prefix node (including the root) the construction takes
+    ``min(recursive, registry)``, and every base ``C(p, q)`` site — the
+    merger base case and both staircase base layers, all of width ``p*q`` —
+    takes ``min(base_depth(p, q), registry(p*q))``.  Registry substitution
+    requires a *strictly* shallower entry, but ``min`` is the same number.
+
+    ``base_depth`` is the stock base's depth: a constant (``K_BASE_DEPTH``
+    for the K family) or a callable ``(p, q) -> depth`` (measured ``R``
+    depths for the L family).  ``registry_depth`` maps a width to the best
+    counting-valid entry's depth, or ``None`` when the registry has no
+    entry at that width (e.g. ``lambda w: e.depth if (e :=
+    registry.best(w)) else None``).
+
+    Exact in the same regime as the stock formulas: every staircase call
+    has ``r >= 2`` (true whenever all factors are ``>= 2`` and ``n >= 3``).
+    """
+    if variant not in ("opt_rescan", "opt_bitonic"):
+        raise ValueError(f"searched predictor supports opt_rescan/opt_bitonic, got {variant!r}")
+
+    def d(p: int, q: int) -> int:
+        return base_depth if isinstance(base_depth, int) else base_depth(p, q)
+
+    def site(p: int, q: int) -> int:
+        reg = registry_depth(p * q)
+        stock = d(p, q)
+        return stock if reg is None else min(stock, reg)
+
+    def c(f: tuple[int, ...]) -> int:
+        if len(f) == 0:
+            return 0
+        if len(f) == 1:
+            return 1  # one balancer of width f[0]
+        rec = d(f[0], f[1]) if len(f) == 2 else c(f[:-1]) + m(f)
+        reg = registry_depth(prod(f))
+        return rec if reg is None else min(rec, reg)
+
+    def m(f: tuple[int, ...]) -> int:
+        if len(f) == 2:
+            return site(f[0], f[1])
+        # q = f[-2] parallel copies of M(f[:-2] + (p,)), then S(r, p, q)
+        # whose base sites are C(p, q) blocks of width p*q.
+        return m(f[:-2] + (f[-1],)) + staircase_depth(variant, site(f[-1], f[-2]))
+
+    return c(tuple(int(x) for x in factors))
+
+
+def searched_k_depth(
+    factors: list[int] | tuple[int, ...], registry_depth: Callable[[int], int | None]
+) -> int:
+    """Predicted measured depth of ``k_network(factors, variant="searched")``."""
+    return searched_counting_depth(factors, "opt_rescan", K_BASE_DEPTH, registry_depth)

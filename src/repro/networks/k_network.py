@@ -5,6 +5,13 @@
 ``opt_rescan`` staircase-merger (``depth(S) = 2d + 1 = 3``), giving
 (Proposition 6) ``depth(K) = 1.5 n² - 3.5 n + 2`` from balancers of width at
 most ``max(p_i * p_j)``.
+
+``variant="searched"`` additionally substitutes best-known counting
+networks from :mod:`repro.search.registry` wherever they are strictly
+shallower than the stock sub-construction (the single-balancer base itself,
+at depth 1, is never beaten — the wins come from replacing whole
+``C``-prefixes, e.g. the AHS bitonic network of width 16 at depth 10
+replaces the stock ``C(2,2,2,2)`` prefix of depth 12).
 """
 
 from __future__ import annotations
@@ -12,19 +19,40 @@ from __future__ import annotations
 from ..core.network import Network, NetworkBuilder
 from .counting import build_counting, counting_network, single_balancer_base
 
-__all__ = ["k_network", "build_k_network"]
+__all__ = ["k_network", "build_k_network", "NETWORK_VARIANTS"]
+
+#: Construction variants shared by the K and L families.
+NETWORK_VARIANTS = ("stock", "searched")
 
 
-def build_k_network(b: NetworkBuilder, wires: list[int], factors: list[int]) -> list[int]:
+def _check_variant(variant: str) -> bool:
+    if variant not in NETWORK_VARIANTS:
+        raise ValueError(f"variant must be one of {NETWORK_VARIANTS}, got {variant!r}")
+    return variant == "searched"
+
+
+def build_k_network(
+    b: NetworkBuilder, wires: list[int], factors: list[int], variant: str = "stock"
+) -> list[int]:
     """Append ``K(factors)`` onto ``wires`` (width ``prod(factors)``)."""
-    return build_counting(b, wires, factors, single_balancer_base, variant="opt_rescan")
+    return build_counting(
+        b,
+        wires,
+        factors,
+        single_balancer_base,
+        variant="opt_rescan",
+        searched=_check_variant(variant),
+    )
 
 
-def k_network(factors: list[int] | tuple[int, ...]) -> Network:
+def k_network(factors: list[int] | tuple[int, ...], variant: str = "stock") -> Network:
     """Standalone ``K(factors)`` of width ``prod(factors)``."""
+    searched = _check_variant(variant)
+    suffix = "[searched]" if searched else ""
     return counting_network(
         factors,
         base=single_balancer_base,
         variant="opt_rescan",
-        name=f"K({','.join(map(str, factors))})",
+        name=f"K({','.join(map(str, factors))}){suffix}",
+        searched=searched,
     )

@@ -6,27 +6,42 @@
 (Theorem 7) ``depth(L) <= 9.5 n² - 12.5 n + 3`` from **balancers of width at
 most max(p_i)** — the first arbitrary-width construction with small depth
 and small constant factors.
+
+``variant="searched"`` substitutes best-known counting networks from
+:mod:`repro.search.registry` wherever they are strictly shallower; the
+``R(p, q)`` bases (depth 3-16) lose to the AHS bitonic entries at widths
+4/8/16, so searched ``L`` wins at both whole-``C`` nodes and base sites.
+Note the substituted blocks use 2-balancers, trading L's max(p_i) balancer
+width for depth — the point of the searched variant is the depth frontier.
 """
 
 from __future__ import annotations
 
 from ..core.network import Network, NetworkBuilder
 from .counting import build_counting, counting_network
+from .k_network import _check_variant
 from .r_network import r_base
 
 __all__ = ["l_network", "build_l_network"]
 
 
-def build_l_network(b: NetworkBuilder, wires: list[int], factors: list[int]) -> list[int]:
+def build_l_network(
+    b: NetworkBuilder, wires: list[int], factors: list[int], variant: str = "stock"
+) -> list[int]:
     """Append ``L(factors)`` onto ``wires`` (width ``prod(factors)``)."""
-    return build_counting(b, wires, factors, r_base, variant="opt_bitonic")
+    return build_counting(
+        b, wires, factors, r_base, variant="opt_bitonic", searched=_check_variant(variant)
+    )
 
 
-def l_network(factors: list[int] | tuple[int, ...]) -> Network:
+def l_network(factors: list[int] | tuple[int, ...], variant: str = "stock") -> Network:
     """Standalone ``L(factors)`` of width ``prod(factors)``."""
+    searched = _check_variant(variant)
+    suffix = "[searched]" if searched else ""
     return counting_network(
         factors,
         base=r_base,
         variant="opt_bitonic",
-        name=f"L({','.join(map(str, factors))})",
+        name=f"L({','.join(map(str, factors))}){suffix}",
+        searched=searched,
     )

@@ -1,0 +1,66 @@
+"""Search-discovered base networks (``repro.search``).
+
+The K/L constructions' end-to-end depth is dominated by their small base
+cases ``C(p_i, p_j)`` — shaving a layer off a base block compounds through
+every recursion level.  This package discovers and curates depth-optimal
+small-width networks and feeds them back into the constructions:
+
+* :mod:`repro.search.encoding` — a CNF comparator-placement encoding
+  (variables per layer x wire-pair) with 0-1-principle counterexample
+  refinement, solved through the *optional* ``pysat`` dependency;
+* :mod:`repro.search.beam` — a seeded, deterministic beam search over layer
+  prefixes with a reachable-0-1-output-set heuristic, usable everywhere
+  ``pysat`` is not installed;
+* :mod:`repro.search.registry` — a versioned registry of best-known
+  small-width networks (seeded from published optimal-depth networks and
+  the AHS bitonic counting networks), exhaustively 0-1-validated at load,
+  with JSON round-trip for search-discovered entries.
+
+The ``variant="searched"`` path of :func:`repro.networks.k_network` /
+:func:`repro.networks.l_network` substitutes counting-valid registry
+entries into the recursion wherever they are strictly shallower than the
+stock sub-construction.
+"""
+
+from .beam import BeamResult, beam_search
+from .encoding import (
+    CNF,
+    ComparatorPlacementEncoding,
+    SearchDependencyError,
+    SatResult,
+    at_most_one,
+    have_pysat,
+    implies,
+    sat_search,
+    variables_same,
+)
+from .registry import (
+    REGISTRY_VERSION,
+    Registry,
+    RegistryEntry,
+    ValidationError,
+    comparator_network,
+    default_registry,
+    reset_default_registry,
+)
+
+__all__ = [
+    "BeamResult",
+    "beam_search",
+    "CNF",
+    "ComparatorPlacementEncoding",
+    "SearchDependencyError",
+    "SatResult",
+    "at_most_one",
+    "have_pysat",
+    "implies",
+    "sat_search",
+    "variables_same",
+    "REGISTRY_VERSION",
+    "Registry",
+    "RegistryEntry",
+    "ValidationError",
+    "comparator_network",
+    "default_registry",
+    "reset_default_registry",
+]

@@ -1,0 +1,259 @@
+"""Deterministic beam search for shallow sorting networks.
+
+The search grows a network layer by layer.  A state is a prefix of
+comparator layers together with the set of 0-1 vectors still reachable at
+its outputs (each vector encoded as a bitmask, bit ``i`` = value on rail
+``i``).  By the 0-1 principle the prefix extends to a sorting network of
+depth ``d`` iff some suffix of ``d - len(prefix)`` layers collapses the
+reachable set into the ``w + 1`` sorted masks — so the size of the
+unsorted residue is both the goal test and the ranking heuristic.
+
+Comparators are ordered pairs ``(i, j)`` with ``i < j``: the balancer's
+top output (larger value) continues on rail ``i``, matching the repo's
+descending-sort convention.  By the standard-form theorem (Knuth 5.3.4,
+exercise 16) restricting to ``i < j`` loses no generality.
+
+Everything is seeded and deterministic: the only randomness is the order
+in which candidate maximal matchings are assembled, drawn from a
+``numpy`` generator created from the caller's seed.  No optional
+dependencies — this is the search that runs everywhere ``pysat`` is not
+installed (the SAT path lives in :mod:`repro.search.encoding`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.network import Network
+from ..verify.sorting import find_sorting_violation
+
+__all__ = ["BeamResult", "beam_search"]
+
+
+@dataclass
+class BeamResult:
+    """Outcome of a beam search run."""
+
+    found: bool
+    width: int
+    target_depth: int
+    layers: list[list[tuple[int, int]]] = field(default_factory=list)
+    expansions: int = 0
+    seed: int = 0
+    network: Network | None = None
+
+    @property
+    def comparators(self) -> list[tuple[int, int]]:
+        return [c for layer in self.layers for c in layer]
+
+    @property
+    def depth(self) -> int:
+        return len(self.layers)
+
+    @property
+    def size(self) -> int:
+        return sum(len(layer) for layer in self.layers)
+
+
+def _sorted_masks(width: int) -> frozenset[int]:
+    # Descending-sorted 0-1 vectors: ones packed onto the low rails.
+    return frozenset((1 << k) - 1 for k in range(width + 1))
+
+
+def _apply_layer(masks: frozenset[int], layer: list[tuple[int, int]]) -> frozenset[int]:
+    out = set()
+    for m in masks:
+        for i, j in layer:
+            bi = (m >> i) & 1
+            bj = (m >> j) & 1
+            if bj > bi:  # larger value on the higher rail: swap onto rail i
+                m ^= (1 << i) | (1 << j)
+        out.add(m)
+    return frozenset(out)
+
+
+def _useful_pairs(width: int, masks: frozenset[int], sorted_set: frozenset[int]) -> list[tuple[int, int, int]]:
+    """Pairs ``(i, j)`` that change at least one unsorted reachable mask,
+    with their benefit (number of masks changed)."""
+    pairs = []
+    unsorted = [m for m in masks if m not in sorted_set]
+    for i in range(width - 1):
+        for j in range(i + 1, width):
+            benefit = sum(1 for m in unsorted if not (m >> i) & 1 and (m >> j) & 1)
+            if benefit:
+                pairs.append((i, j, benefit))
+    return pairs
+
+
+def _greedy_matching(ordered: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    used: set[int] = set()
+    layer = []
+    for i, j in ordered:
+        if i not in used and j not in used:
+            layer.append((i, j))
+            used.add(i)
+            used.add(j)
+    return sorted(layer)
+
+
+def _candidate_layers(
+    width: int,
+    masks: frozenset[int],
+    sorted_set: frozenset[int],
+    rng: np.random.Generator,
+    fanout: int,
+) -> list[list[tuple[int, int]]]:
+    pairs = _useful_pairs(width, masks, sorted_set)
+    if not pairs:
+        return []
+    layers: list[list[tuple[int, int]]] = []
+    seen: set[tuple[tuple[int, int], ...]] = set()
+
+    def push(ordered: list[tuple[int, int]]) -> None:
+        layer = _greedy_matching(ordered)
+        key = tuple(layer)
+        if layer and key not in seen:
+            seen.add(key)
+            layers.append(layer)
+
+    # Benefit-greedy matching first (ties broken by rail pair for
+    # determinism), then seeded shuffles of the useful pairs.
+    push([(i, j) for i, j, _ in sorted(pairs, key=lambda t: (-t[2], t[0], t[1]))])
+    flat = [(i, j) for i, j, _ in sorted(pairs, key=lambda t: (t[0], t[1]))]
+    for _ in range(fanout * 4):  # bounded: few distinct matchings may exist
+        if len(layers) >= fanout:
+            break
+        order = rng.permutation(len(flat))
+        push([flat[k] for k in order])
+    return layers[:fanout]
+
+
+@dataclass(order=True)
+class _State:
+    score: tuple
+    layers: list[list[tuple[int, int]]] = field(compare=False)
+    masks: frozenset[int] = field(compare=False)
+
+
+def beam_search(
+    width: int,
+    target_depth: int,
+    *,
+    beam_width: int = 32,
+    fanout: int = 12,
+    max_expansions: int = 20_000,
+    seed: int = 0,
+    objective: str = "depth",
+    on_progress: Callable[[int, int, int], None] | None = None,
+) -> BeamResult:
+    """Search for a width-``width`` sorting network of depth ``<= target_depth``.
+
+    ``objective`` ranks otherwise-equal states: ``"depth"`` ignores
+    comparator count (any layer that shrinks the residue is as good as a
+    thinner one), ``"size"`` prefers prefixes with fewer comparators, so
+    the first network found tends to be smaller at the same depth.
+
+    Deterministic for a fixed ``(width, target_depth, beam_width, fanout,
+    seed, objective)`` tuple.  Returns a :class:`BeamResult`; when
+    ``found``, ``result.network`` is the built :class:`Network`,
+    re-validated by the exhaustive 0-1 sorting check before being
+    returned (the search cannot hand back an unverified network).
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    if target_depth < 1:
+        raise ValueError("target_depth must be >= 1")
+    if objective not in ("depth", "size"):
+        raise ValueError(f"objective must be 'depth' or 'size', got {objective!r}")
+
+    rng = np.random.default_rng(seed)
+    sorted_set = _sorted_masks(width)
+    all_masks = frozenset(range(1 << width))
+
+    def score(masks: frozenset[int], layers: list[list[tuple[int, int]]]) -> tuple:
+        residue = len(masks - sorted_set)
+        size = sum(len(l) for l in layers)
+        # Deterministic final tie-break so equal-score states keep a
+        # stable order under sort.
+        sig = hash((tuple(tuple(l) for l in layers),)) & 0xFFFFFFFF
+        if objective == "size":
+            return (residue, size, sig)
+        return (residue, sig, size)
+
+    beam = [_State(score(all_masks, []), [], all_masks)]
+    expansions = 0
+    half = width // 2
+
+    for depth in range(target_depth):
+        remaining = target_depth - depth
+        nxt: list[_State] = []
+        seen_masks: set[frozenset[int]] = set()
+        for state in beam:
+            if len(state.masks - sorted_set) == 0:
+                nxt.append(state)
+                continue
+            # A layer of c <= floor(w/2) comparators merges at most 2^c
+            # masks pairwise, so a prefix whose reachable set cannot
+            # shrink to w+1 sorted masks in the remaining layers is dead.
+            if len(state.masks) > (width + 1) << (half * remaining):
+                continue
+            for layer in _candidate_layers(width, state.masks, sorted_set, rng, fanout):
+                expansions += 1
+                if expansions > max_expansions:
+                    return BeamResult(
+                        found=False,
+                        width=width,
+                        target_depth=target_depth,
+                        expansions=expansions - 1,
+                        seed=seed,
+                    )
+                masks = _apply_layer(state.masks, layer)
+                if masks in seen_masks:
+                    continue
+                seen_masks.add(masks)
+                layers = state.layers + [layer]
+                nxt.append(_State(score(masks, layers), layers, masks))
+        if not nxt:
+            break
+        nxt.sort()
+        beam = nxt[:beam_width]
+        if on_progress is not None:
+            best = beam[0]
+            on_progress(depth + 1, len(best.masks - sorted_set), expansions)
+        if len(beam[0].masks - sorted_set) == 0:
+            break
+
+    best = beam[0]
+    if len(best.masks - sorted_set) != 0:
+        return BeamResult(
+            found=False,
+            width=width,
+            target_depth=target_depth,
+            expansions=expansions,
+            seed=seed,
+        )
+
+    # Late import: registry imports seeds only; no cycle, but keep the
+    # builder in one place.
+    from .registry import comparator_network
+
+    net = comparator_network(
+        width,
+        [c for layer in best.layers for c in layer],
+        name=f"beam[{width}]d{len(best.layers)}s{seed}",
+    )
+    violation = find_sorting_violation(net, exhaustive_limit=20)
+    if violation is not None:  # pragma: no cover - the mask semantics ARE the 0-1 run
+        raise AssertionError(f"beam search returned a non-sorting network: {violation}")
+    return BeamResult(
+        found=True,
+        width=width,
+        target_depth=target_depth,
+        layers=best.layers,
+        expansions=expansions,
+        seed=seed,
+        network=net,
+    )

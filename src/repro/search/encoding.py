@@ -1,0 +1,320 @@
+"""CNF comparator-placement encoding for depth-optimal sorting networks.
+
+The encoding follows the scheme of *Optimal Sorting Networks* (Bundala &
+Zavodny, 1310.6271): a placement variable per ``layer x ordered wire
+pair`` decides where comparators go, structural clauses keep each wire on
+at most one comparator per layer, and — per 0-1 counterexample — a column
+of propagation variables tracks the value each wire carries through the
+prefix, ending in "output is sorted" clauses.  Rather than asserting all
+``2^w`` inputs up front, :func:`sat_search` runs counterexample-guided
+refinement: solve, simulate the decoded network on every 0-1 input, feed
+the failures back as new counterexamples, repeat.  An UNSAT answer is a
+proof (relative to the standard-form restriction ``i < j``, which loses
+no generality) that no network of the requested depth exists.
+
+Solving needs ``pysat`` (the ``search`` extra).  Everything else here —
+building the CNF, DIMACS export, decoding — is dependency-free, so the
+encoding is testable and exportable to any external solver without
+``pysat`` installed.  The clause helpers (:func:`implies`,
+:func:`variables_same`, :func:`at_most_one`) are the small combinator
+vocabulary the whole encoding is phrased in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.network import Network
+
+__all__ = [
+    "CNF",
+    "ComparatorPlacementEncoding",
+    "SatResult",
+    "SearchDependencyError",
+    "at_most_one",
+    "have_pysat",
+    "implies",
+    "sat_search",
+    "variables_same",
+]
+
+
+class SearchDependencyError(RuntimeError):
+    """An optional dependency of the SAT path (``pysat``) is missing."""
+
+
+def have_pysat() -> bool:
+    """True when ``pysat`` (the ``search`` extra) is importable."""
+    try:
+        import pysat.solvers  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class CNF:
+    """A growing CNF formula: fresh-variable allocation plus a clause list.
+
+    Variables are positive ints, literals signed ints (DIMACS
+    convention).  Optional names make decoded models debuggable.
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+        self.names: dict[int, str] = {}
+
+    def new_var(self, name: str = "") -> int:
+        self.num_vars += 1
+        if name:
+            self.names[self.num_vars] = name
+        return self.num_vars
+
+    def add(self, clause: list[int]) -> None:
+        if not clause:
+            raise ValueError("empty clause makes the formula trivially UNSAT")
+        self.clauses.append(list(clause))
+
+    def extend(self, clauses: list[list[int]]) -> None:
+        for c in clauses:
+            self.add(c)
+
+    def to_dimacs(self) -> str:
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        lines.extend(" ".join(str(lit) for lit in c) + " 0" for c in self.clauses)
+        return "\n".join(lines) + "\n"
+
+
+def implies(a: int, b: int) -> list[int]:
+    """The clause for ``a -> b``."""
+    return [-a, b]
+
+
+def variables_same(a: int, b: int, condition: int | None = None) -> list[list[int]]:
+    """Clauses forcing ``a == b``, optionally only when ``condition`` holds."""
+    if condition is None:
+        return [[-a, b], [a, -b]]
+    return [[-condition, -a, b], [-condition, a, -b]]
+
+
+def at_most_one(variables: list[int]) -> list[list[int]]:
+    """Pairwise at-most-one over a (small) variable list."""
+    return [
+        [-variables[x], -variables[y]]
+        for x in range(len(variables) - 1)
+        for y in range(x + 1, len(variables))
+    ]
+
+
+class ComparatorPlacementEncoding:
+    """CNF encoding of "a depth-``d`` width-``w`` standard-form sorting
+    network exists", refined one 0-1 counterexample at a time.
+
+    Structural skeleton (placement + used variables, at-most-one per
+    wire per layer) is built eagerly; call :meth:`add_counterexample`
+    with 0-1 input masks to constrain behaviour, then solve
+    ``self.cnf`` and :meth:`decode` the model.
+    """
+
+    def __init__(self, width: int, depth: int) -> None:
+        if width < 2:
+            raise ValueError("width must be >= 2")
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.width = width
+        self.depth = depth
+        self.cnf = CNF()
+        self.pairs = [(i, j) for i in range(width - 1) for j in range(i + 1, width)]
+        # place[l][(i, j)]: a comparator spans rails i < j in layer l
+        # (top output on rail i — descending standard form).
+        self.place = {
+            (l, i, j): self.cnf.new_var(f"c[{l}][{i},{j}]")
+            for l in range(depth)
+            for i, j in self.pairs
+        }
+        # used[l][k]: some comparator touches rail k in layer l.
+        self.used = {
+            (l, k): self.cnf.new_var(f"u[{l}][{k}]")
+            for l in range(depth)
+            for k in range(width)
+        }
+        self.counterexamples: list[int] = []
+        self._structural()
+
+    def _on_wire(self, l: int, k: int) -> list[int]:
+        return [self.place[(l, i, j)] for i, j in self.pairs if k in (i, j)]
+
+    def _structural(self) -> None:
+        for l in range(self.depth):
+            for k in range(self.width):
+                on_k = self._on_wire(l, k)
+                u = self.used[(l, k)]
+                # u <-> OR(on_k); at most one comparator per wire per layer.
+                self.cnf.extend(at_most_one(on_k))
+                self.cnf.add([-u] + on_k)
+                for v in on_k:
+                    self.cnf.add(implies(v, u))
+
+    def add_counterexample(self, mask: int) -> None:
+        """Require the network to sort the 0-1 input ``mask`` (bit ``k`` =
+        value entering rail ``k``) into descending order."""
+        if not 0 <= mask < (1 << self.width):
+            raise ValueError(f"mask {mask} out of range for width {self.width}")
+        self.counterexamples.append(mask)
+        t = len(self.counterexamples)
+        cnf = self.cnf
+        # val[l][k]: value on rail k after layer l (l = 0 is the input).
+        val = [[cnf.new_var(f"v{t}[{l}][{k}]") for k in range(self.width)] for l in range(self.depth + 1)]
+        for k in range(self.width):
+            cnf.add([val[0][k]] if (mask >> k) & 1 else [-val[0][k]])
+        for l in range(self.depth):
+            for i, j in self.pairs:
+                c = self.place[(l, i, j)]
+                hi, lo = val[l + 1][i], val[l + 1][j]
+                a, b = val[l][i], val[l][j]
+                # c -> (hi = a|b, lo = a&b)
+                cnf.add([-c, -a, hi])
+                cnf.add([-c, -b, hi])
+                cnf.add([-c, a, b, -hi])
+                cnf.add([-c, lo, -a, -b])
+                cnf.add([-c, -lo, a])
+                cnf.add([-c, -lo, b])
+            for k in range(self.width):
+                # untouched rails carry their value through the layer
+                cnf.extend(variables_same(val[l][k], val[l + 1][k], condition=-self.used[(l, k)]))
+        for k in range(self.width - 1):
+            # descending output: never (0 above 1)
+            cnf.add([val[self.depth][k], -val[self.depth][k + 1]])
+
+    def decode(self, model: list[int]) -> list[list[tuple[int, int]]]:
+        """Read comparator layers off a satisfying assignment (a list of
+        signed literals, DIMACS/pysat style)."""
+        true = {lit for lit in model if lit > 0}
+        return [
+            [(i, j) for i, j in self.pairs if self.place[(l, i, j)] in true]
+            for l in range(self.depth)
+        ]
+
+    def to_dimacs(self) -> str:
+        return self.cnf.to_dimacs()
+
+
+@dataclass
+class SatResult:
+    """Outcome of a CEGAR SAT search."""
+
+    status: str  # "sat" | "unsat" | "budget"
+    width: int
+    target_depth: int
+    layers: list[list[tuple[int, int]]] = field(default_factory=list)
+    rounds: int = 0
+    num_vars: int = 0
+    num_clauses: int = 0
+    counterexamples: int = 0
+    network: Network | None = None
+
+    @property
+    def found(self) -> bool:
+        return self.status == "sat"
+
+    @property
+    def comparators(self) -> list[tuple[int, int]]:
+        return [c for layer in self.layers for c in layer]
+
+
+def _simulate_failures(width: int, layers: list[list[tuple[int, int]]], limit: int) -> list[int]:
+    """0-1 masks the candidate fails to sort (first ``limit`` of them)."""
+    sorted_set = {(1 << k) - 1 for k in range(width + 1)}
+    failures = []
+    for m0 in range(1 << width):
+        m = m0
+        for layer in layers:
+            for i, j in layer:
+                if (m >> j) & 1 and not (m >> i) & 1:
+                    m ^= (1 << i) | (1 << j)
+        if m not in sorted_set:
+            failures.append(m0)
+            if len(failures) >= limit:
+                break
+    return failures
+
+
+def sat_search(
+    width: int,
+    target_depth: int,
+    *,
+    max_rounds: int = 64,
+    cex_per_round: int = 8,
+    solver_name: str = "g3",
+) -> SatResult:
+    """CEGAR loop: solve the placement encoding, simulate the decoded
+    network on all ``2^w`` 0-1 inputs, refine with the failures.
+
+    Raises :class:`SearchDependencyError` when ``pysat`` is missing —
+    callers (the CLI) turn that into a clear message and a nonzero exit,
+    never a traceback.  ``status="unsat"`` proves no standard-form
+    network of ``target_depth`` layers sorts ``width`` wires.
+    """
+    if not have_pysat():
+        raise SearchDependencyError(
+            "the SAT search needs the optional 'pysat' dependency; "
+            "install the 'search' extra (pip install 'repro[search]') "
+            "or use the dependency-free beam search"
+        )
+    if width > 12:
+        raise ValueError("sat_search enumerates 2^width inputs; width > 12 is impractical")
+
+    from pysat.solvers import Solver
+
+    enc = ComparatorPlacementEncoding(width, target_depth)
+    # Start from the single-inversion inputs — cheap, and they force at
+    # least one comparator across every adjacent rail pair.
+    for k in range(width - 1):
+        enc.add_counterexample(1 << (k + 1))
+
+    for round_no in range(1, max_rounds + 1):
+        with Solver(name=solver_name, bootstrap_with=enc.cnf.clauses) as solver:
+            if not solver.solve():
+                return SatResult(
+                    status="unsat",
+                    width=width,
+                    target_depth=target_depth,
+                    rounds=round_no,
+                    num_vars=enc.cnf.num_vars,
+                    num_clauses=len(enc.cnf.clauses),
+                    counterexamples=len(enc.counterexamples),
+                )
+            model = solver.get_model()
+        layers = enc.decode(model)
+        failures = _simulate_failures(width, layers, cex_per_round)
+        if not failures:
+            from .registry import comparator_network
+
+            net = comparator_network(
+                width,
+                [c for layer in layers for c in layer],
+                name=f"sat[{width}]d{target_depth}",
+            )
+            return SatResult(
+                status="sat",
+                width=width,
+                target_depth=target_depth,
+                layers=[list(l) for l in layers],
+                rounds=round_no,
+                num_vars=enc.cnf.num_vars,
+                num_clauses=len(enc.cnf.clauses),
+                counterexamples=len(enc.counterexamples),
+                network=net,
+            )
+        for m in failures:
+            enc.add_counterexample(m)
+
+    return SatResult(
+        status="budget",
+        width=width,
+        target_depth=target_depth,
+        rounds=max_rounds,
+        num_vars=enc.cnf.num_vars,
+        num_clauses=len(enc.cnf.clauses),
+        counterexamples=len(enc.counterexamples),
+    )

@@ -1,0 +1,295 @@
+"""Versioned registry of best-known small-width networks.
+
+Entries are fixed-rail comparator lists (see :mod:`repro.search.seeds`)
+with a declared ``kind``:
+
+``sorting``
+    The network sorts descending — proved exhaustively over all ``2^w``
+    0-1 inputs at load (the 0-1 principle makes this a proof for the
+    widths the registry holds).
+
+``counting``
+    Additionally, no counting violation is found by the step-property
+    search (:func:`repro.verify.find_counting_violation` — structured
+    adversarial vectors, bounded exhaustive sweeps, seeded random batches).
+    Only ``counting`` entries are eligible for substitution into the
+    K/L recursion, where the construction's correctness argument needs a
+    counting network.
+
+Every entry is validated **at load** — a registry that would hand out an
+invalid network raises :class:`ValidationError` instead of loading.  The
+registry round-trips through JSON so search-discovered networks
+(:mod:`repro.search.beam`, :mod:`repro.search.encoding`) can be persisted
+and shared; the file format is versioned via ``REGISTRY_VERSION``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from ..core.network import Network, NetworkBuilder
+from ..verify.counting import find_counting_violation
+from ..verify.sorting import find_sorting_violation
+from .seeds import seed_records
+
+__all__ = [
+    "REGISTRY_VERSION",
+    "ValidationError",
+    "RegistryEntry",
+    "Registry",
+    "comparator_network",
+    "default_registry",
+    "reset_default_registry",
+]
+
+REGISTRY_VERSION = 1
+
+#: Widths up to this get the full 2^w exhaustive 0-1 sorting proof at load.
+EXHAUSTIVE_WIDTH_LIMIT = 20
+
+
+class ValidationError(ValueError):
+    """A registry entry failed load-time validation."""
+
+
+def comparator_network(
+    width: int, comparators: Iterable[tuple[int, int]], name: str = "searched"
+) -> Network:
+    """Build a :class:`Network` from a fixed-rail comparator list.
+
+    Comparator ``(a, b)`` consumes rails ``a`` and ``b``; the balancer's
+    top output (most tokens / largest value) continues on rail ``a``.
+    Layering is implicit (ASAP): ``Network.depth`` reports the true
+    parallel depth of the list.
+    """
+    b = NetworkBuilder(width)
+    rails = list(b.inputs)
+    for a, bb in comparators:
+        a, bb = int(a), int(bb)
+        if not (0 <= a < width and 0 <= bb < width) or a == bb:
+            raise ValidationError(f"comparator ({a}, {bb}) is not a rail pair of width {width}")
+        top, bottom = b.balancer([rails[a], rails[bb]])
+        rails[a], rails[bb] = top, bottom
+    return b.finish(rails, name=name)
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One best-known network: comparator list plus validated metadata."""
+
+    width: int
+    kind: str  # "sorting" | "counting"
+    comparators: tuple[tuple[int, int], ...]
+    origin: str
+    notes: str = ""
+    depth: int = field(default=0, compare=False)
+    size: int = field(default=0, compare=False)
+
+    def network(self, name: str | None = None) -> Network:
+        return comparator_network(
+            self.width,
+            self.comparators,
+            name or f"searched[{self.width}]({self.origin})",
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "width": self.width,
+            "kind": self.kind,
+            "comparators": [list(c) for c in self.comparators],
+            "origin": self.origin,
+            "notes": self.notes,
+            "depth": self.depth,
+            "size": self.size,
+        }
+
+
+def _validate(record: dict) -> RegistryEntry:
+    """Validate one raw record into a :class:`RegistryEntry` (or raise)."""
+    try:
+        width = int(record["width"])
+        kind = str(record["kind"])
+        comparators = tuple((int(a), int(b)) for a, b in record["comparators"])
+        origin = str(record.get("origin", "unknown"))
+        notes = str(record.get("notes", ""))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValidationError(f"malformed registry record: {exc}") from exc
+    if kind not in ("sorting", "counting"):
+        raise ValidationError(f"{origin}: unknown kind {kind!r}")
+    if width < 2:
+        raise ValidationError(f"{origin}: width must be >= 2")
+    net = comparator_network(width, comparators, name=f"candidate[{width}]")
+    if width <= EXHAUSTIVE_WIDTH_LIMIT:
+        violation = find_sorting_violation(net, exhaustive_limit=EXHAUSTIVE_WIDTH_LIMIT)
+    else:
+        violation = find_sorting_violation(net)
+    if violation is not None:
+        raise ValidationError(f"{origin}: not a sorting network ({violation})")
+    if kind == "counting":
+        cv = find_counting_violation(net, rng=np.random.default_rng(0))
+        if cv is not None:
+            raise ValidationError(f"{origin}: declared counting but {cv}")
+    declared_depth = record.get("depth")
+    if declared_depth is not None and int(declared_depth) != net.depth:
+        raise ValidationError(
+            f"{origin}: declared depth {declared_depth} != measured {net.depth}"
+        )
+    declared_size = record.get("size")
+    if declared_size is not None and int(declared_size) != net.size:
+        raise ValidationError(
+            f"{origin}: declared size {declared_size} != measured {net.size}"
+        )
+    return RegistryEntry(
+        width=width,
+        kind=kind,
+        comparators=comparators,
+        origin=origin,
+        notes=notes,
+        depth=net.depth,
+        size=net.size,
+    )
+
+
+class Registry:
+    """A validated collection of best-known networks, queried by width."""
+
+    def __init__(self, entries: Iterable[RegistryEntry] = ()) -> None:
+        self.entries: list[RegistryEntry] = list(entries)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[dict]) -> "Registry":
+        """Validate raw records (every entry is checked; any failure
+        raises)."""
+        return cls(_validate(r) for r in records)
+
+    @classmethod
+    def seeded(cls) -> "Registry":
+        return cls.from_records(seed_records())
+
+    # -- queries ------------------------------------------------------------
+
+    def best(self, width: int, kind: str = "counting") -> RegistryEntry | None:
+        """The shallowest (then smallest) entry of ``kind`` at ``width``.
+
+        ``kind="counting"`` returns counting entries only — the K/L
+        substitution path must not receive a sorting-only network.
+        ``kind="sorting"`` returns the best entry of either kind (every
+        counting network sorts).
+        """
+        if kind not in ("sorting", "counting"):
+            raise ValueError(f"kind must be 'sorting' or 'counting', got {kind!r}")
+        candidates = [
+            e
+            for e in self.entries
+            if e.width == width and (kind == "sorting" or e.kind == "counting")
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda e: (e.depth, e.size))
+
+    def widths(self) -> list[int]:
+        return sorted({e.width for e in self.entries})
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(
+        self,
+        width: int,
+        comparators: Iterable[tuple[int, int]],
+        *,
+        kind: str | None = None,
+        origin: str = "search",
+        notes: str = "",
+    ) -> RegistryEntry:
+        """Validate and add a (typically search-discovered) network.
+
+        With ``kind=None`` the entry is classified automatically: declared
+        ``counting`` when the step-property search finds no violation,
+        ``sorting`` otherwise (sorting itself is still mandatory — an
+        unsorted candidate raises).
+        """
+        comparators = tuple((int(a), int(b)) for a, b in comparators)
+        if kind is None:
+            net = comparator_network(width, comparators)
+            if find_sorting_violation(net, exhaustive_limit=EXHAUSTIVE_WIDTH_LIMIT) is not None:
+                raise ValidationError(f"candidate width-{width} network does not sort")
+            counts = find_counting_violation(net, rng=np.random.default_rng(0)) is None
+            kind = "counting" if counts else "sorting"
+        entry = _validate(
+            {
+                "width": width,
+                "kind": kind,
+                "comparators": [list(c) for c in comparators],
+                "origin": origin,
+                "notes": notes,
+            }
+        )
+        self.entries.append(entry)
+        return entry
+
+    # -- JSON round-trip ----------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": REGISTRY_VERSION,
+                "entries": [e.as_dict() for e in self.entries],
+            },
+            indent=2,
+        )
+
+    def save(self, path) -> pathlib.Path:
+        p = pathlib.Path(path)
+        p.write_text(self.to_json() + "\n")
+        return p
+
+    @classmethod
+    def from_json(cls, text: str) -> "Registry":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"registry file is not JSON: {exc}") from exc
+        if not isinstance(data, dict) or "entries" not in data:
+            raise ValidationError("registry JSON must be an object with 'entries'")
+        version = int(data.get("version", -1))
+        if version > REGISTRY_VERSION:
+            raise ValidationError(
+                f"registry version {version} is newer than supported ({REGISTRY_VERSION})"
+            )
+        return cls.from_records(data["entries"])
+
+    @classmethod
+    def load(cls, path) -> "Registry":
+        return cls.from_json(pathlib.Path(path).read_text())
+
+
+_default: Registry | None = None
+
+
+def default_registry() -> Registry:
+    """The process-wide seeded registry (validated once, on first use)."""
+    global _default
+    if _default is None:
+        _default = Registry.seeded()
+    return _default
+
+
+def reset_default_registry(registry: Registry | None = None) -> Registry | None:
+    """Swap the process-wide registry (tests); returns the previous one."""
+    global _default
+    prev = _default
+    _default = registry
+    return prev

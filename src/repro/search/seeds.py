@@ -1,0 +1,149 @@
+"""Seed data for the best-known network registry.
+
+Two kinds of entries:
+
+* **Sorting-optimal seeds** — fixed comparator lists transcribed from
+  published depth-optimal sorting networks (SNIPPETS.md §1, the
+  mlochbaum/SingeliSort networks tracing back to bertdobbelaere's tables):
+  ``N4/D3``, ``N8/D6``, ``N12`` (measured ASAP depth 8) plus Batcher's
+  odd-even mergesort at width 16 (depth 10).  These are *sorting* networks
+  only: per the paper (§2 / Figure 3), a sorting network built from
+  2-comparators does not automatically count, and none of these do.
+
+* **Counting seeds** — the AHS bitonic counting networks at widths 4, 8 and
+  16 (depth ``k(k+1)/2`` = 3, 6, 10), generated here in fixed-rail
+  comparator form.  These are the entries the ``variant="searched"`` K/L
+  path may substitute into the counting recursion: bitonic *is* a proven
+  counting network, and at widths 4/8/16 its depth coincides with the best
+  known sorting-network depth of the same width from 2-balancers.
+
+All comparators are ordered pairs ``(a, b)`` on rails: the balancer's top
+output (most tokens / largest value) continues on rail ``a``.  Every seed is
+exhaustively 0-1-validated when the registry loads — a bad transcription
+cannot enter the system silently.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "bitonic_comparators",
+    "odd_even_comparators",
+    "seed_records",
+]
+
+#: bertdobbelaere.github.io/sorting_networks.html#N4L5D3 (via SingeliSort).
+_N4_D3 = [(0, 2), (1, 3), (0, 1), (2, 3), (1, 2)]
+
+#: bertdobbelaere.github.io/sorting_networks.html#N8L19D6 (via SingeliSort).
+_N8_D6 = [
+    (0, 2), (1, 3), (4, 6), (5, 7),
+    (0, 4), (1, 5), (2, 6), (3, 7),
+    (0, 1), (2, 3), (4, 5), (6, 7),
+    (2, 4), (3, 5), (1, 4), (3, 6),
+    (1, 2), (3, 4), (5, 6),
+]
+
+#: SingeliSort's 12-input network (40 comparators); its ASAP-layered depth
+#: measures 8, matching the proven optimal depth for 12 channels.
+_N12_D8 = [
+    (0, 8), (1, 7), (2, 6), (3, 11), (4, 10), (5, 9),
+    (0, 2), (1, 4), (3, 5), (6, 8), (7, 10), (9, 11),
+    (0, 1), (2, 9), (4, 7), (5, 6), (10, 11),
+    (1, 3), (2, 7), (4, 9), (8, 10),
+    (0, 1), (2, 3), (4, 5), (6, 7), (8, 9), (10, 11),
+    (1, 2), (3, 5), (6, 8), (9, 10),
+    (2, 4), (3, 6), (5, 8), (7, 9),
+    (1, 2), (3, 4), (5, 6), (7, 8), (9, 10),
+]
+
+
+def bitonic_comparators(n: int) -> list[tuple[int, int]]:
+    """The AHS bitonic counting network of width ``n = 2^k`` in fixed-rail
+    form (depth ``k(k+1)/2``), oriented for descending sort: within an
+    "up" block the top output stays on the lower rail."""
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"bitonic requires a power-of-two width, got {n}")
+    comps: list[tuple[int, int]] = []
+    k = 2
+    while k <= n:
+        j = k >> 1
+        while j >= 1:
+            for i in range(n):
+                partner = i ^ j
+                if partner > i:
+                    if i & k:
+                        comps.append((partner, i))
+                    else:
+                        comps.append((i, partner))
+            j >>= 1
+        k <<= 1
+    return comps
+
+
+def odd_even_comparators(n: int) -> list[tuple[int, int]]:
+    """Batcher's odd-even mergesort of width ``n = 2^k`` in fixed-rail form
+    (depth ``k(k+1)/2``); a sorting network that is *not* a counting
+    network."""
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"odd-even requires a power-of-two width, got {n}")
+    comps: list[tuple[int, int]] = []
+    p = 1
+    while p < n:
+        k = p
+        while k >= 1:
+            j = k % p
+            while j <= n - 1 - k:
+                for i in range(min(k - 1, n - j - k - 1) + 1):
+                    if (i + j) // (2 * p) == (i + j + k) // (2 * p):
+                        comps.append((j + i, j + i + k))
+                j += 2 * k
+            k //= 2
+        p *= 2
+    return comps
+
+
+def seed_records() -> list[dict]:
+    """The registry's built-in entries as plain records (validated on
+    load by :mod:`repro.search.registry`)."""
+    records = [
+        {
+            "width": 4,
+            "kind": "sorting",
+            "comparators": list(_N4_D3),
+            "origin": "seed:dobbelaere-N4L5D3",
+            "notes": "depth-optimal sorting network, 5 comparators",
+        },
+        {
+            "width": 8,
+            "kind": "sorting",
+            "comparators": list(_N8_D6),
+            "origin": "seed:dobbelaere-N8L19D6",
+            "notes": "depth-optimal sorting network, 19 comparators",
+        },
+        {
+            "width": 12,
+            "kind": "sorting",
+            "comparators": list(_N12_D8),
+            "origin": "seed:singelisort-N12",
+            "notes": "40 comparators; ASAP depth 8 matches the optimal depth for 12 channels",
+        },
+        {
+            "width": 16,
+            "kind": "sorting",
+            "comparators": odd_even_comparators(16),
+            "origin": "seed:batcher-odd-even-N16D10",
+            "notes": "Batcher odd-even mergesort (63 comparators); best known depth is 9",
+        },
+    ]
+    for w in (4, 8, 16):
+        records.append(
+            {
+                "width": w,
+                "kind": "counting",
+                "comparators": bitonic_comparators(w),
+                "origin": f"seed:ahs-bitonic-{w}",
+                "notes": "AHS bitonic counting network; depth matches the best known "
+                "sorting depth at this width from 2-balancers",
+            }
+        )
+    return records

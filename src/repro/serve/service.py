@@ -113,17 +113,19 @@ class CountingService:
         width: int,
         max_balancer: int,
         family: str = "K",
+        variant: str = "stock",
         **kwargs,
     ) -> "CountingService":
         """Plan the shallowest in-budget family member and serve it.
 
         Accepts the same constraints as :func:`repro.analysis.plan_network`
         (the served width may be padded up when ``width`` has no in-budget
-        factorization — padding is sound for counting).
+        factorization — padding is sound for counting).  ``variant=
+        "searched"`` plans and serves the searched-base construction.
         """
         from ..analysis.planner import plan_network
 
-        plan = plan_network(width, max_balancer, family)
+        plan = plan_network(width, max_balancer, family, variant=variant)
         return cls(plan.build(), **kwargs)
 
     # -- lifecycle ----------------------------------------------------------

@@ -148,8 +148,48 @@ class TestMaintenance:
         # `repro cache stats` prints exactly these keys; keep them stable.
         s = PlanCache(tmp_path).stats()
         assert set(s) == {
-            "root", "entries", "bytes", "hits", "misses", "stores", "corrupt",
+            "root", "entries", "bytes", "variants",
+            "hits", "misses", "stores", "corrupt",
         }
+
+
+class TestVariantKeys:
+    """Regression: a searched-variant plan must never collide with the
+    stock plan of the same (family, factors) — distinct keys, distinct
+    artifacts, and a per-variant breakdown in ``stats()``."""
+
+    def test_stock_and_searched_do_not_collide(self, tmp_path):
+        from repro.networks import k_network as k
+
+        cache = PlanCache(tmp_path)
+        stock = cached_plan("K", [2, 2, 2, 2], lambda: k([2, 2, 2, 2]), cache=cache)
+        searched = cached_plan(
+            "K",
+            [2, 2, 2, 2],
+            lambda: k([2, 2, 2, 2], variant="searched"),
+            cache=cache,
+            variant="searched",
+        )
+        assert searched.depth < stock.depth  # the searched network, not a hit
+        # Both survive side by side and each key retrieves its own plan.
+        assert cache.get_plan("K", [2, 2, 2, 2]).depth == stock.depth
+        assert cache.get_plan("K", [2, 2, 2, 2], variant="searched").depth == searched.depth
+        k1 = PlanCache.entry_key("plan", "K", [2, 2, 2, 2])
+        k2 = PlanCache.entry_key("plan", "K", [2, 2, 2, 2], variant="searched")
+        assert k1 != k2
+
+    def test_stats_variant_breakdown(self, tmp_path):
+        from repro.networks import k_network as k
+
+        cache = PlanCache(tmp_path)
+        cached_plan("K", FACTORS, _build, cache=cache)
+        cached_plan(
+            "K", FACTORS, lambda: k(FACTORS, variant="searched"),
+            cache=cache, variant="searched",
+        )
+        s = cache.stats()
+        # net + plan artifact per variant.
+        assert s["variants"] == {"default": 2, "searched": 2}
 
 
 class TestCliCacheCommand:

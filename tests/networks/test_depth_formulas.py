@@ -64,3 +64,38 @@ class TestCounting:
 class TestConstants:
     def test_r_bound(self):
         assert r_depth_bound() == R_DEPTH_BOUND == 16
+
+
+class TestSearchedPredictor:
+    """The searched-variant predictor (min-rule substitution) in isolation
+    — synthetic registries only; the cross-check against the built
+    networks lives in tests/search/test_searched_variant.py."""
+
+    def test_empty_registry_reduces_to_stock_k(self):
+        from repro.networks.depth_formulas import searched_k_depth
+
+        for n in range(2, 8):
+            assert searched_k_depth([2] * n, lambda w: None) == k_depth(n)
+
+    def test_root_substitution_wins_outright(self):
+        from repro.networks.depth_formulas import searched_k_depth
+
+        # A full-width registry entry caps the whole construction.
+        assert searched_k_depth([2, 2, 2, 2], lambda w: 3 if w == 16 else None) == 3
+
+    def test_base_site_substitution_composes(self):
+        from repro.networks.depth_formulas import searched_counting_depth
+
+        # Registry at width 4 (the C(2,2) base sites) only: every site's
+        # depth-1 balancer already beats a depth-3 entry, so nothing
+        # changes for the K family...
+        reg4 = lambda w: 3 if w == 4 else None
+        assert searched_counting_depth([2, 2, 2], "opt_rescan", 1, reg4) == k_depth(3)
+        # ...but a deep base (the L family's R networks) does get replaced.
+        assert searched_counting_depth([2, 2], "opt_bitonic", 16, reg4) == 3
+
+    def test_rejects_unknown_variant(self):
+        from repro.networks.depth_formulas import searched_counting_depth
+
+        with pytest.raises(ValueError):
+            searched_counting_depth([2, 2], "small", 1, lambda w: None)

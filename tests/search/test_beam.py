@@ -1,0 +1,85 @@
+"""Beam search: deterministic rediscovery, impossibility, budgets, and
+the validated-result contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.search import beam_search
+from repro.search.beam import _apply_layer, _sorted_masks, _useful_pairs
+from repro.verify import find_sorting_violation
+
+
+class TestRediscovery:
+    def test_finds_depth3_width4(self):
+        # Depth 3 is optimal for width 4; a small budget suffices.
+        result = beam_search(4, 3, max_expansions=200, seed=0)
+        assert result.found
+        assert result.depth == 3
+        assert result.network is not None
+        assert find_sorting_violation(result.network, exhaustive_limit=20) is None
+
+    def test_deterministic_under_fixed_seed(self):
+        a = beam_search(4, 3, max_expansions=200, seed=0)
+        b = beam_search(4, 3, max_expansions=200, seed=0)
+        assert a.layers == b.layers
+        assert a.expansions == b.expansions
+
+    def test_finds_width5_depth5(self):
+        result = beam_search(5, 5, seed=0)
+        assert result.found and result.depth <= 5
+
+    def test_size_objective_not_larger(self):
+        by_depth = beam_search(4, 3, seed=0, objective="depth")
+        by_size = beam_search(4, 3, seed=0, objective="size")
+        assert by_size.found
+        assert by_size.size <= by_depth.size
+
+    def test_progress_callback_runs(self):
+        calls = []
+        beam_search(4, 3, seed=0, on_progress=lambda d, r, e: calls.append((d, r, e)))
+        assert calls and calls[-1][1] == 0  # residue reaches zero
+
+
+class TestImpossibleAndBudget:
+    def test_depth2_width4_impossible(self):
+        # No width-4 sorter of depth 2 exists; the search must say so.
+        result = beam_search(4, 2, seed=0)
+        assert not result.found
+        assert result.network is None
+
+    def test_budget_exhaustion_returns_not_found(self):
+        result = beam_search(6, 5, max_expansions=3, seed=0)
+        assert not result.found
+        assert result.expansions <= 3
+
+
+class TestValidation:
+    def test_width_too_small(self):
+        with pytest.raises(ValueError):
+            beam_search(1, 3)
+
+    def test_depth_too_small(self):
+        with pytest.raises(ValueError):
+            beam_search(4, 0)
+
+    def test_unknown_objective(self):
+        with pytest.raises(ValueError, match="objective"):
+            beam_search(4, 3, objective="luck")
+
+
+class TestMaskSemantics:
+    def test_sorted_masks_are_prefix_ones(self):
+        assert _sorted_masks(3) == frozenset({0b000, 0b001, 0b011, 0b111})
+
+    def test_apply_layer_swaps_inversions_only(self):
+        # Bit i = value on rail i; comparator (0, 1) moves a 1 down to rail 0.
+        masks = frozenset({0b10, 0b01, 0b00})
+        out = _apply_layer(masks, [(0, 1)])
+        assert out == frozenset({0b01, 0b00})
+
+    def test_useful_pairs_skip_sorted_masks(self):
+        sorted_set = _sorted_masks(2)
+        assert _useful_pairs(2, sorted_set, sorted_set) == []
+        pairs = _useful_pairs(2, frozenset({0b10}), sorted_set)
+        assert [(i, j) for i, j, _ in pairs] == [(0, 1)]

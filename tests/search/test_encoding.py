@@ -1,0 +1,145 @@
+"""The CNF placement encoding: clause helpers, structure, decoding, the
+pure-python counterexample simulator, and pysat gating.
+
+Everything except :class:`TestWithPysat` runs without ``pysat`` — the
+encoding itself is dependency-free by design (DIMACS export feeds any
+external solver)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.search import (
+    CNF,
+    ComparatorPlacementEncoding,
+    SearchDependencyError,
+    at_most_one,
+    have_pysat,
+    implies,
+    sat_search,
+    variables_same,
+)
+from repro.search.encoding import _simulate_failures
+
+
+class TestClauseHelpers:
+    def test_implies(self):
+        assert implies(3, 7) == [-3, 7]
+
+    def test_variables_same(self):
+        assert variables_same(1, 2) == [[-1, 2], [1, -2]]
+
+    def test_variables_same_conditional(self):
+        # Guarded by literal 5 (which may itself be negative).
+        assert variables_same(1, 2, condition=5) == [[-5, -1, 2], [-5, 1, -2]]
+        assert variables_same(1, 2, condition=-5) == [[5, -1, 2], [5, 1, -2]]
+
+    def test_at_most_one(self):
+        assert at_most_one([1, 2, 3]) == [[-1, -2], [-1, -3], [-2, -3]]
+        assert at_most_one([1]) == []
+
+
+class TestCnf:
+    def test_fresh_vars_and_names(self):
+        cnf = CNF()
+        a = cnf.new_var("a")
+        b = cnf.new_var()
+        assert (a, b) == (1, 2)
+        assert cnf.names == {1: "a"}
+
+    def test_rejects_empty_clause(self):
+        with pytest.raises(ValueError):
+            CNF().add([])
+
+    def test_dimacs_header(self):
+        cnf = CNF()
+        x, y = cnf.new_var(), cnf.new_var()
+        cnf.add([x, -y])
+        text = cnf.to_dimacs()
+        assert text.startswith("p cnf 2 1\n")
+        assert "1 -2 0" in text
+
+
+class TestEncodingStructure:
+    def test_variable_counts(self):
+        enc = ComparatorPlacementEncoding(4, 3)
+        n_pairs = 6  # C(4, 2)
+        assert len(enc.place) == 3 * n_pairs
+        assert len(enc.used) == 3 * 4
+        assert enc.cnf.num_vars == 3 * n_pairs + 3 * 4
+
+    def test_counterexample_adds_value_columns(self):
+        enc = ComparatorPlacementEncoding(4, 3)
+        before = enc.cnf.num_vars
+        enc.add_counterexample(0b0010)
+        # One value variable per rail per layer boundary.
+        assert enc.cnf.num_vars == before + 4 * (3 + 1)
+        assert enc.counterexamples == [0b0010]
+
+    def test_counterexample_mask_range(self):
+        enc = ComparatorPlacementEncoding(4, 2)
+        with pytest.raises(ValueError):
+            enc.add_counterexample(1 << 4)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ComparatorPlacementEncoding(1, 3)
+        with pytest.raises(ValueError):
+            ComparatorPlacementEncoding(4, 0)
+
+    def test_decode_synthetic_model(self):
+        enc = ComparatorPlacementEncoding(4, 2)
+        chosen = [enc.place[(0, 0, 1)], enc.place[(0, 2, 3)], enc.place[(1, 1, 2)]]
+        model = [v if v in chosen else -v for v in range(1, enc.cnf.num_vars + 1)]
+        assert enc.decode(model) == [[(0, 1), (2, 3)], [(1, 2)]]
+
+    def test_to_dimacs_is_cnf(self):
+        text = ComparatorPlacementEncoding(3, 2).to_dimacs()
+        header = text.splitlines()[0].split()
+        assert header[:2] == ["p", "cnf"]
+
+
+class TestSimulator:
+    def test_empty_network_fails_on_inversions(self):
+        failures = _simulate_failures(3, [], limit=100)
+        # Exactly the non-sorted 0-1 vectors of width 3.
+        assert failures == [0b010, 0b100, 0b101, 0b110]
+
+    def test_valid_sorter_has_no_failures(self):
+        from repro.search.seeds import _N4_D3
+
+        layers = [[(0, 2), (1, 3)], [(0, 1), (2, 3)], [(1, 2)]]
+        assert [c for l in layers for c in l] == list(_N4_D3)
+        assert _simulate_failures(4, layers, limit=100) == []
+
+    def test_limit_respected(self):
+        assert len(_simulate_failures(4, [], limit=2)) == 2
+
+
+class TestGating:
+    @pytest.mark.skipif(have_pysat(), reason="pysat installed: gate not reachable")
+    def test_sat_search_raises_dependency_error(self):
+        with pytest.raises(SearchDependencyError, match="pysat"):
+            sat_search(4, 3)
+
+    def test_width_cap(self):
+        if have_pysat():
+            with pytest.raises(ValueError, match="width"):
+                sat_search(13, 3)
+        else:
+            # Dependency gate fires first by design: the message must not
+            # be masked by the width complaint.
+            with pytest.raises(SearchDependencyError):
+                sat_search(13, 3)
+
+
+@pytest.mark.skipif(not have_pysat(), reason="needs the 'search' extra (pysat)")
+class TestWithPysat:
+    def test_sat_finds_depth3_width4(self):
+        result = sat_search(4, 3)
+        assert result.found
+        assert result.network is not None and result.network.depth <= 3
+
+    def test_unsat_proves_depth2_width4_impossible(self):
+        result = sat_search(4, 2)
+        assert result.status == "unsat"

@@ -1,0 +1,195 @@
+"""The best-known registry: seed validation, kind filtering, JSON
+round-trip, auto-classification, and every load-time rejection path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.search import (
+    REGISTRY_VERSION,
+    Registry,
+    RegistryEntry,
+    ValidationError,
+    comparator_network,
+    default_registry,
+    reset_default_registry,
+)
+from repro.search.seeds import _N4_D3, bitonic_comparators, seed_records
+from repro.sim import evaluate_comparators
+from repro.verify import find_counting_violation, find_sorting_violation
+
+import numpy as np
+
+
+class TestComparatorNetwork:
+    def test_fixed_rail_semantics(self):
+        # (a, b): top output (largest value) continues on rail a.
+        net = comparator_network(2, [(0, 1)])
+        x = np.array([[3, 9]])
+        assert evaluate_comparators(net, x).tolist() == [[9, 3]]
+        net = comparator_network(2, [(1, 0)])
+        assert evaluate_comparators(net, x).tolist() == [[3, 9]]
+
+    def test_depth_is_asap(self):
+        # (0,1) and (2,3) are disjoint -> same layer; (1,2) depends on both.
+        net = comparator_network(4, [(0, 1), (2, 3), (1, 2)])
+        assert net.depth == 2
+        assert net.size == 3
+
+    @pytest.mark.parametrize("bad", [(0, 0), (0, 4), (-1, 2)])
+    def test_rejects_non_rail_pairs(self, bad):
+        with pytest.raises(ValidationError):
+            comparator_network(4, [bad])
+
+
+class TestSeeds:
+    def test_all_seeds_validate(self):
+        reg = Registry.seeded()
+        assert len(reg) == len(seed_records())
+        assert set(reg.widths()) == {4, 8, 12, 16}
+
+    def test_every_entry_sorts(self):
+        for entry in Registry.seeded():
+            assert find_sorting_violation(entry.network(), exhaustive_limit=20) is None
+
+    def test_counting_entries_count(self):
+        reg = Registry.seeded()
+        counting = [e for e in reg if e.kind == "counting"]
+        assert {e.width for e in counting} == {4, 8, 16}
+        for entry in counting:
+            cv = find_counting_violation(entry.network(), rng=np.random.default_rng(1))
+            assert cv is None
+
+    def test_best_known_depths(self):
+        reg = Registry.seeded()
+        # Best-known sorting depths at these widths (Knuth 5.3.4).
+        assert reg.best(4, kind="sorting").depth == 3
+        assert reg.best(8, kind="sorting").depth == 6
+        assert reg.best(12, kind="sorting").depth == 8
+        # AHS bitonic counting networks match them at powers of two.
+        assert reg.best(4, kind="counting").depth == 3
+        assert reg.best(8, kind="counting").depth == 6
+        assert reg.best(16, kind="counting").depth == 10
+
+
+class TestBestFiltering:
+    def test_counting_kind_excludes_sorting_only(self):
+        reg = Registry.seeded()
+        # Width 12 only has a sorting-only entry: no counting substitute.
+        assert reg.best(12, kind="sorting") is not None
+        assert reg.best(12, kind="counting") is None
+
+    def test_sorting_kind_admits_counting_entries(self):
+        # Every counting network sorts, so kind="sorting" picks the
+        # shallowest of either kind.
+        reg = Registry.from_records(
+            [
+                {
+                    "width": 4,
+                    "kind": "counting",
+                    "comparators": [list(c) for c in bitonic_comparators(4)],
+                    "origin": "bitonic",
+                }
+            ]
+        )
+        assert reg.best(4, kind="sorting").origin == "bitonic"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Registry.seeded().best(4, kind="mystery")
+
+    def test_missing_width_is_none(self):
+        assert Registry.seeded().best(6) is None
+
+
+class TestJsonRoundTrip:
+    def test_save_load(self, tmp_path):
+        reg = Registry.seeded()
+        p = reg.save(tmp_path / "registry.json")
+        loaded = Registry.load(p)
+        assert [e.as_dict() for e in loaded] == [e.as_dict() for e in reg]
+
+    def test_version_gate(self):
+        newer = '{"version": %d, "entries": []}' % (REGISTRY_VERSION + 1)
+        with pytest.raises(ValidationError, match="newer"):
+            Registry.from_json(newer)
+
+    def test_not_json(self):
+        with pytest.raises(ValidationError):
+            Registry.from_json("{nope")
+
+    def test_not_an_object(self):
+        with pytest.raises(ValidationError):
+            Registry.from_json("[1, 2]")
+
+
+class TestAdd:
+    def test_auto_classifies_counting(self):
+        reg = Registry()
+        entry = reg.add(4, bitonic_comparators(4), origin="test")
+        assert entry.kind == "counting"
+        assert entry.depth == 3
+
+    def test_auto_classifies_sorting_only(self):
+        # The optimal depth-3 width-4 sorter is NOT a counting network.
+        reg = Registry()
+        entry = reg.add(4, _N4_D3, origin="test")
+        assert entry.kind == "sorting"
+
+    def test_rejects_non_sorter(self):
+        with pytest.raises(ValidationError):
+            Registry().add(4, [(0, 1)], origin="test")
+
+    def test_rejects_false_counting_claim(self):
+        with pytest.raises(ValidationError, match="counting"):
+            Registry().add(4, _N4_D3, kind="counting", origin="test")
+
+
+class TestValidationRejections:
+    def _record(self, **overrides):
+        rec = {
+            "width": 4,
+            "kind": "sorting",
+            "comparators": [list(c) for c in _N4_D3],
+            "origin": "test",
+        }
+        rec.update(overrides)
+        return rec
+
+    def test_declared_depth_mismatch(self):
+        with pytest.raises(ValidationError, match="depth"):
+            Registry.from_records([self._record(depth=99)])
+
+    def test_declared_size_mismatch(self):
+        with pytest.raises(ValidationError, match="size"):
+            Registry.from_records([self._record(size=99)])
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValidationError, match="kind"):
+            Registry.from_records([self._record(kind="magic")])
+
+    def test_malformed_record(self):
+        with pytest.raises(ValidationError, match="malformed"):
+            Registry.from_records([{"width": 4}])
+
+    def test_width_too_small(self):
+        with pytest.raises(ValidationError, match="width"):
+            Registry.from_records([self._record(width=1, comparators=[])])
+
+
+class TestDefaultRegistry:
+    def test_singleton_and_reset(self):
+        first = default_registry()
+        assert default_registry() is first
+        prev = reset_default_registry(Registry())
+        try:
+            assert len(default_registry()) == 0
+        finally:
+            reset_default_registry(prev)
+        assert default_registry() is first
+
+    def test_entries_are_frozen(self):
+        entry = default_registry().best(4)
+        assert isinstance(entry, RegistryEntry)
+        with pytest.raises(AttributeError):
+            entry.width = 5

@@ -1,0 +1,174 @@
+"""The ``variant="searched"`` construction path: correctness (exhaustive
+0-1 and differential against stock), the depth-formula predictions, the
+fault-injection kill matrix, and variant plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sequences import make_step
+from repro.faults import run_conformance
+from repro.networks import NETWORK_VARIANTS, counting_network, k_network, l_network
+from repro.networks.counting import clear_construction_cache
+from repro.networks.depth_formulas import searched_counting_depth, searched_k_depth
+from repro.networks.r_network import r_base
+from repro.search import default_registry
+from repro.sim import propagate_counts
+from repro.verify import find_counting_violation, find_sorting_violation
+
+SMALL_FACTORIZATIONS = [
+    [2, 2],
+    [2, 2, 2],
+    [2, 2, 2, 2],
+    [2, 3],
+    [3, 2],
+    [2, 2, 3],
+    [4, 2],
+    [3, 3],
+]
+
+
+def _registry_depth(width):
+    entry = default_registry().best(width, kind="counting")
+    return None if entry is None else entry.depth
+
+
+class TestStillSortsAndCounts:
+    """Exhaustive 0-1 proof at small widths: the substituted construction
+    must keep both properties, not just produce plausible outputs."""
+
+    @pytest.mark.parametrize("factors", SMALL_FACTORIZATIONS, ids=lambda f: "x".join(map(str, f)))
+    @pytest.mark.parametrize("family", [k_network, l_network])
+    def test_searched_family_exhaustive(self, family, factors):
+        net = family(factors, variant="searched")
+        assert find_sorting_violation(net, exhaustive_limit=20) is None
+        assert find_counting_violation(net, rng=np.random.default_rng(0)) is None
+
+    def test_searched_c_family(self):
+        net = counting_network([2, 2, 2], searched=True)
+        assert find_sorting_violation(net, exhaustive_limit=20) is None
+
+
+class TestDifferentialVsStock:
+    """Quiescent counting outputs depend only on the total token count, so
+    stock and searched variants must agree *exactly* — a stronger oracle
+    than step-property spot checks, and it scales past exhaustive widths."""
+
+    @given(total=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=40, deadline=None)
+    def test_step_inputs_agree(self, total):
+        factors = [2, 2, 2, 2]
+        x = make_step(16, total)
+        assert np.array_equal(
+            propagate_counts(k_network(factors), x),
+            propagate_counts(k_network(factors, variant="searched"), x),
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_count_vectors_agree_wide(self, seed):
+        # Width 32: past the exhaustive 0-1 limit; stock K is the oracle.
+        factors = [2, 2, 2, 2, 2]
+        x = np.random.default_rng(seed).integers(0, 50, size=32)
+        assert np.array_equal(
+            propagate_counts(k_network(factors), x),
+            propagate_counts(k_network(factors, variant="searched"), x),
+        )
+
+    def test_l_family_agrees(self):
+        factors = [3, 2, 2]
+        x = np.random.default_rng(7).integers(0, 30, size=(4, 12))
+        assert np.array_equal(
+            propagate_counts(l_network(factors), x),
+            propagate_counts(l_network(factors, variant="searched"), x),
+        )
+
+
+class TestDepthPredictions:
+    """Satellite: the closed-form searched predictor must match the
+    measured depth of the actual construction, factorization by
+    factorization — and the searched depths must never exceed stock."""
+
+    @pytest.mark.parametrize(
+        "factors",
+        [[2, 2], [2, 2, 2], [2, 2, 2, 2], [2, 2, 2, 2, 2], [4, 4, 2, 2], [2, 3], [3, 3, 2]],
+        ids=lambda f: "x".join(map(str, f)),
+    )
+    def test_searched_k_depth_exact(self, factors):
+        measured = k_network(factors, variant="searched").depth
+        assert searched_k_depth(factors, _registry_depth) == measured
+        assert measured <= k_network(factors).depth
+
+    @pytest.mark.parametrize("factors", [[2, 2], [2, 2, 2], [2, 2, 2, 2], [3, 2, 2]], ids=lambda f: "x".join(map(str, f)))
+    def test_searched_l_depth_exact(self, factors):
+        def r_depth(p, q):
+            return counting_network([p, q], base=r_base, variant="opt_bitonic").depth
+
+        measured = l_network(factors, variant="searched").depth
+        predicted = searched_counting_depth(factors, "opt_bitonic", r_depth, _registry_depth)
+        assert predicted == measured
+
+    def test_headline_deltas(self):
+        # The measured wins this PR records in BENCH_build_scale.json.
+        assert k_network([2, 2, 2, 2]).depth == 12
+        assert k_network([2, 2, 2, 2], variant="searched").depth == 10
+        assert l_network([2, 2, 2]).depth == 12
+        assert l_network([2, 2, 2], variant="searched").depth == 6
+
+    def test_registry_depths_of_entries_match(self):
+        # The predictor's registry hook must see the same depths the
+        # networks module substitutes.
+        for w in (4, 8, 16):
+            entry = default_registry().best(w, kind="counting")
+            assert entry is not None
+            assert entry.network().depth == entry.depth == _registry_depth(w)
+
+    def test_predictor_variant_validation(self):
+        with pytest.raises(ValueError):
+            searched_counting_depth([2, 2], "basic", 1, _registry_depth)
+
+
+class TestFaultKillMatrix:
+    """Satellite: the verifier stack must catch injected faults in a
+    searched-base network exactly as it does for stock constructions."""
+
+    def test_searched_network_kill_matrix_complete(self):
+        km = run_conformance(
+            networks=[l_network([2, 2, 2], variant="searched")],
+            seed=11,
+            sites_per_fault=2,
+        )
+        assert km.trials
+        assert km.escapes() == []
+        assert km.complete()
+
+
+class TestVariantPlumbing:
+    def test_variants_tuple(self):
+        assert NETWORK_VARIANTS == ("stock", "searched")
+
+    @pytest.mark.parametrize("family", [k_network, l_network])
+    def test_unknown_variant_rejected(self, family):
+        with pytest.raises(ValueError, match="variant"):
+            family([2, 2], variant="bogus")
+
+    def test_searched_name_suffix(self):
+        assert "[searched]" in k_network([2, 2], variant="searched").name
+        assert "[searched]" not in k_network([2, 2]).name
+
+    def test_registry_swap_changes_construction(self):
+        # With an empty registry there is nothing to substitute: the
+        # searched variant degrades to the stock construction.
+        from repro.search import Registry, reset_default_registry
+
+        stock_depth = k_network([2, 2, 2, 2]).depth
+        prev = reset_default_registry(Registry())
+        clear_construction_cache()
+        try:
+            assert k_network([2, 2, 2, 2], variant="searched").depth == stock_depth
+        finally:
+            reset_default_registry(prev)
+            clear_construction_cache()

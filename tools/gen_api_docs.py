@@ -83,7 +83,8 @@ def main() -> None:
         "chaos injection) see `testing.md`; for the evaluation engine",
         "(`repro.core.plan`), the persistent build/plan cache",
         "(`repro.core.cache`), and parallel batch evaluation see",
-        "`performance.md`.",
+        "`performance.md`; for base-network discovery and the best-known",
+        "registry (`repro.search`) see `search.md`.",
         "",
     ]
     names = ["repro"]
