@@ -1,14 +1,19 @@
 #!/usr/bin/env python
-"""CI perf gate: compare BENCH_build_scale.json against benchmarks/budgets.json.
+"""CI perf gate: compare BENCH_*.json files against benchmarks/budgets.json.
 
 Usage::
 
-    python benchmarks/check_budgets.py [BENCH_build_scale.json] [budgets.json]
+    python benchmarks/check_budgets.py [BENCH_build_scale.json] [budgets.json] [BENCH_throughput.json]
 
 Exits nonzero when any measured metric exceeds ``regression_factor`` times
 its budget — i.e. a >2x regression of build or evaluation cost fails CI
 while ordinary runner noise does not.  Budgets are plain expected values,
 so tightening them is a one-line diff reviewed like any other.
+
+A ``throughput_backends`` section gates *minimum* speedups instead: the
+bit-sliced exhaustive proof must stay at least ``budget /
+regression_factor`` times faster than the int64 path (10.0 / 2.0 = a hard
+5x floor against runner noise, with 10x the expected steady number).
 """
 
 from __future__ import annotations
@@ -19,9 +24,43 @@ import sys
 
 DEFAULT_BENCH = "BENCH_build_scale.json"
 DEFAULT_BUDGETS = pathlib.Path(__file__).parent / "budgets.json"
+DEFAULT_THROUGHPUT = "BENCH_throughput.json"
 
 
-def check(bench_path, budgets_path) -> list[str]:
+def check_backend_speedups(throughput_path, spec) -> list[str]:
+    """Min-bound gate: measured ``speedup_x`` per width in ``backend_rows``
+    must stay above ``min_speedup_x / regression_factor``."""
+    budgets = spec.get("throughput_backends")
+    if not budgets:
+        return []
+    path = pathlib.Path(throughput_path)
+    if not path.exists():
+        return [f"throughput_backends budget set but {throughput_path} missing"]
+    factor = float(spec.get("regression_factor", 2.0))
+    bench = json.loads(path.read_text())
+    rows = {str(r["width"]): r for r in bench.get("backend_rows", [])}
+    failures = []
+    for width, budget in budgets.items():
+        row = rows.get(width)
+        if row is None:
+            failures.append(f"width {width}: no backend_rows entry in {throughput_path}")
+            continue
+        floor = float(budget["min_speedup_x"]) / factor
+        measured = float(row["speedup_x"])
+        if measured < floor:
+            failures.append(
+                f"width {width}: bitsliced speedup_x={measured} below "
+                f"floor {floor:g} (budget {budget['min_speedup_x']} / {factor})"
+            )
+        else:
+            print(
+                f"ok width {width} speedup_x={measured} "
+                f"(budget {budget['min_speedup_x']}, floor {floor:g})"
+            )
+    return failures
+
+
+def check(bench_path, budgets_path, throughput_path=DEFAULT_THROUGHPUT) -> list[str]:
     bench = json.loads(pathlib.Path(bench_path).read_text())
     spec = json.loads(pathlib.Path(budgets_path).read_text())
     factor = float(spec.get("regression_factor", 2.0))
@@ -51,13 +90,15 @@ def check(bench_path, budgets_path) -> list[str]:
                     f"ok width {width} {metric}={measured} "
                     f"(budget {limit}, limit {factor * float(limit):g})"
                 )
+    failures.extend(check_backend_speedups(throughput_path, spec))
     return failures
 
 
 def main(argv: list[str]) -> int:
     bench = argv[1] if len(argv) > 1 else DEFAULT_BENCH
     budgets = argv[2] if len(argv) > 2 else DEFAULT_BUDGETS
-    failures = check(bench, budgets)
+    throughput = argv[3] if len(argv) > 3 else DEFAULT_THROUGHPUT
+    failures = check(bench, budgets, throughput)
     for f in failures:
         print(f"PERF REGRESSION: {f}", file=sys.stderr)
     return 1 if failures else 0

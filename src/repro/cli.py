@@ -105,6 +105,15 @@ def _add_variant_arg(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--backend", choices=["auto", "int64", "bitsliced"], default="auto",
+        help="0-1 evaluation engine: bitsliced packs 64 inputs per uint64 "
+        "word (auto picks it); int64 keeps the legacy lane-per-value path. "
+        "Verdicts are byte-identical either way.",
+    )
+
+
 def _build(args: argparse.Namespace):
     net = _make_network(args.family, args.factors, args.variant)
     s = network_stats(net)
@@ -119,9 +128,12 @@ def _verify(args: argparse.Namespace) -> int:
     from .verify import minimize_violation
 
     net = _make_network(args.family, args.factors, args.variant)
-    cv = find_counting_violation(net, rng=np.random.default_rng(args.seed))
-    sv = find_sorting_violation(net)
-    print(f"{net.name}: width={net.width} depth={net.depth}")
+    backend = getattr(args, "backend", "auto")
+    cv = find_counting_violation(
+        net, rng=np.random.default_rng(args.seed), backend=backend
+    )
+    sv = find_sorting_violation(net, backend=backend)
+    print(f"{net.name}: width={net.width} depth={net.depth} backend={backend}")
     print(f"  sorting: {'OK (0-1 principle)' if sv is None else f'VIOLATION: {sv}'}")
     if cv is None:
         print("  counting: no violation found")
@@ -407,13 +419,14 @@ def _fuzz_mutate(args: argparse.Namespace) -> int:
     from . import obs
     from .faults import run_conformance
 
-    km = run_conformance(seed=args.seed, sites_per_fault=args.sites)
+    backend = getattr(args, "backend", "auto")
+    km = run_conformance(seed=args.seed, sites_per_fault=args.sites, backend=backend)
     d = km.as_dict()
     rows = [
         {k: str(v) for k, v in row.items()}
         for row in d["matrix"]
     ]
-    print(f"kill matrix (seed={args.seed}, sites/fault={args.sites}):")
+    print(f"kill matrix (seed={args.seed}, sites/fault={args.sites}, backend={backend}):")
     print(format_table(rows))
     s = d["summary"]
     print(
@@ -740,6 +753,7 @@ def main(argv: list[str] | None = None) -> int:
     pv.add_argument("factors", type=int, nargs="+")
     pv.add_argument("--seed", type=int, default=0)
     _add_variant_arg(pv)
+    _add_backend_arg(pv)
     pv.set_defaults(fn=_verify)
 
     pf = sub.add_parser("family", help="factorization family table for a width")
@@ -856,6 +870,7 @@ def main(argv: list[str] | None = None) -> int:
     zm.add_argument("--seed", type=int, default=0)
     zm.add_argument("--sites", type=int, default=2, help="injection sites per fault class")
     zm.add_argument("--out-dir", default=".", help="where BENCH_fuzz.json lands")
+    _add_backend_arg(zm)
     zm.set_defaults(fn=_fuzz_mutate)
 
     zi = zsub.add_parser("inputs", help="fuzz a network's step property with shrinking")

@@ -3,6 +3,13 @@ flat execution plans, and the persistent build/plan cache."""
 
 from .network import Balancer, Network, NetworkBuilder, identity_network, single_balancer_network
 from .compiled import CompiledNetwork, WidthGroup, compile_network
+from .bitplan import (
+    BitPlan,
+    NotZeroOneError,
+    evaluate_zero_one_packed,
+    pack_zero_one,
+    unpack_zero_one,
+)
 from .plan import ExecutionPlan, PlanExecutor, lower_network, plan_executor
 from .cache import PlanCache, cached_network, cached_plan, code_version_hash, default_cache
 from .compose import parallel, repeat, serial
@@ -17,6 +24,11 @@ __all__ = [
     "CompiledNetwork",
     "WidthGroup",
     "compile_network",
+    "BitPlan",
+    "NotZeroOneError",
+    "evaluate_zero_one_packed",
+    "pack_zero_one",
+    "unpack_zero_one",
     "ExecutionPlan",
     "PlanExecutor",
     "lower_network",

@@ -33,6 +33,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..obs import runtime as _obs
+from .bitplan import BitPlan
 from .network import Balancer, Network
 from .plan import ExecutionPlan, lower_network
 
@@ -53,6 +54,7 @@ _HASHED_SOURCES = (
     "core/network.py",
     "core/compiled.py",
     "core/plan.py",
+    "core/bitplan.py",
     "networks/counting.py",
     "networks/staircase.py",
     "networks/two_merger.py",
@@ -272,16 +274,31 @@ class PlanCache:
 
     # -- plans --------------------------------------------------------------
 
+    @staticmethod
+    def _plan_kind(backend: str) -> str:
+        """Artifact kind per backend: bit-sliced plans are stored (and
+        therefore invalidated, counted, and listed) separately from int64
+        plans — the backend is part of the artifact's identity."""
+        if backend == "int64":
+            return "plan"
+        if backend == "bitsliced":
+            return "bitplan"
+        raise ValueError(f"unknown plan backend {backend!r}")
+
     def get_plan(
-        self, family: str, factors: Sequence[int], variant: str | None = None
-    ) -> ExecutionPlan | None:
-        key = self.entry_key("plan", family, factors, variant)
+        self,
+        family: str,
+        factors: Sequence[int],
+        variant: str | None = None,
+        backend: str = "int64",
+    ) -> ExecutionPlan | BitPlan | None:
+        key = self.entry_key(self._plan_kind(backend), family, factors, variant)
         loaded = self._get(key)
         if loaded is None:
             return None
         arrays, entry = loaded
         try:
-            return ExecutionPlan.from_arrays(
+            plan = ExecutionPlan.from_arrays(
                 arrays, name=entry.get("meta", {}).get("name", key)
             )
         except (ValueError, KeyError):
@@ -289,21 +306,26 @@ class PlanCache:
             self._count("corrupt", "cache.corrupt")
             self._write_manifest()
             return None
+        return BitPlan(plan) if backend == "bitsliced" else plan
 
     def put_plan(
         self,
         family: str,
         factors: Sequence[int],
-        plan: ExecutionPlan,
+        plan: ExecutionPlan | BitPlan,
         variant: str | None = None,
+        backend: str = "int64",
     ) -> None:
-        key = self.entry_key("plan", family, factors, variant)
+        key = self.entry_key(self._plan_kind(backend), family, factors, variant)
+        if isinstance(plan, BitPlan):
+            plan = plan.plan
         meta = {
             "name": plan.name,
             "width": plan.width,
             "depth": plan.depth,
             "size": plan.size,
             "variant": variant or "default",
+            "backend": backend,
         }
         self._put(key, plan.to_arrays(), meta)
 
@@ -347,21 +369,28 @@ class PlanCache:
     # -- maintenance --------------------------------------------------------
 
     def stats(self) -> dict:
-        """Entry count, bytes on disk, the persistent counters, and a
+        """Entry count, bytes on disk, the persistent counters, a
         per-variant entry breakdown (searched-base plans never collide with
         stock plans — the variant is part of every key and recorded in every
-        entry's meta)."""
+        entry's meta), and a per-backend breakdown of plan artifacts
+        (``plan-*`` int64 vs ``bitplan-*`` bit-sliced)."""
         m = self._load_manifest()
         entries = m["entries"]
         variants: dict[str, int] = {}
-        for e in entries.values():
-            v = str(e.get("meta", {}).get("variant", "default"))
+        backends: dict[str, int] = {}
+        for key, e in entries.items():
+            meta = e.get("meta", {})
+            v = str(meta.get("variant", "default"))
             variants[v] = variants.get(v, 0) + 1
+            if not str(key).startswith("net-"):
+                b = str(meta.get("backend", "int64"))
+                backends[b] = backends.get(b, 0) + 1
         return {
             "root": str(self.root),
             "entries": len(entries),
             "bytes": int(sum(int(e.get("bytes", 0)) for e in entries.values())),
             "variants": dict(sorted(variants.items())),
+            "backends": dict(sorted(backends.items())),
             **{k: int(v) for k, v in m["counters"].items()},
         }
 
@@ -407,23 +436,28 @@ def cached_plan(
     builder: Callable[[], Network],
     *,
     variant: str | None = None,
+    backend: str = "int64",
     cache: PlanCache | None = None,
-) -> ExecutionPlan:
-    """The execution plan for ``(family, factors, variant)``, from disk when
-    possible.
+) -> ExecutionPlan | BitPlan:
+    """The execution plan for ``(family, factors, variant, backend)``, from
+    disk when possible.
 
     On a hit the network is never materialized — evaluation needs only the
     plan.  On a miss ``builder()`` runs once and **both** artifacts (the
-    network's flat arrays and the lowered plan) are stored for next time.
+    network's flat arrays and the lowered plan, tagged with ``backend``)
+    are stored for next time.  ``backend="bitsliced"`` returns a
+    :class:`~repro.core.bitplan.BitPlan` over the same arrays.
     """
     cache = cache or default_cache()
-    plan = cache.get_plan(family, factors, variant)
+    plan = cache.get_plan(family, factors, variant, backend=backend)
     if plan is not None:
         return plan
     net = builder()
     plan = lower_network(net)
     cache.put_network(family, factors, net, variant)
-    cache.put_plan(family, factors, plan, variant)
+    cache.put_plan(family, factors, plan, variant, backend=backend)
+    if backend == "bitsliced":
+        return BitPlan(plan)
     return plan
 
 

@@ -40,10 +40,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..obs import runtime as _obs
+from .bitplan import LANES, BitPlan, pack_zero_one, unpack_zero_one
 from .compiled import compile_network
 from .network import Network
 
 __all__ = ["ExecutionPlan", "PlanExecutor", "lower_network", "plan_executor"]
+
+#: Execution backends a :class:`PlanExecutor` can run.
+BACKENDS = ("int64", "bitsliced")
 
 #: Arrays that round-trip a plan through ``np.savez`` (see ``to_arrays``).
 _ARRAY_FIELDS = (
@@ -204,7 +208,9 @@ def lower_plan(net: Network) -> ExecutionPlan:
 
 
 _plan_cache: "weakref.WeakKeyDictionary[Network, ExecutionPlan]" = weakref.WeakKeyDictionary()
-_executor_cache: "weakref.WeakKeyDictionary[Network, PlanExecutor]" = weakref.WeakKeyDictionary()
+_executor_cache: "weakref.WeakKeyDictionary[Network, dict[str, PlanExecutor]]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 def lower_network(net: Network) -> ExecutionPlan:
@@ -237,12 +243,19 @@ def lower_network(net: Network) -> ExecutionPlan:
     return plan
 
 
-def plan_executor(net: Network) -> "PlanExecutor":
-    """The long-lived, scratch-pooled executor for ``net`` (memoized)."""
-    ex = _executor_cache.get(net)
+def plan_executor(net: Network, backend: str = "int64") -> "PlanExecutor":
+    """The long-lived, scratch-pooled executor for ``net`` (memoized).
+
+    One executor per ``(network, backend)`` pair; both share the same
+    memoized :class:`ExecutionPlan`."""
+    per_net = _executor_cache.get(net)
+    if per_net is None:
+        per_net = {}
+        _executor_cache[net] = per_net
+    ex = per_net.get(backend)
     if ex is None:
-        ex = PlanExecutor(lower_network(net))
-        _executor_cache[net] = ex
+        ex = PlanExecutor(lower_network(net), backend=backend)
+        per_net[backend] = ex
     return ex
 
 
@@ -264,6 +277,18 @@ class _Scratch:
         self.last_used = 0
 
 
+class _BitScratch:
+    """One word-count's worth of reusable bit-sliced buffers (uint64)."""
+
+    __slots__ = ("state", "gather", "tmp", "last_used")
+
+    def __init__(self, bitplan: BitPlan, nwords: int) -> None:
+        self.state = np.empty((bitplan.num_wires, nwords), dtype=np.uint64)
+        self.gather = np.empty((bitplan.max_gather, nwords), dtype=np.uint64)
+        self.tmp = np.empty((bitplan.max_count, nwords), dtype=np.uint64)
+        self.last_used = 0
+
+
 class PlanExecutor:
     """Evaluates an :class:`ExecutionPlan` with zero steady-state allocation.
 
@@ -275,15 +300,27 @@ class PlanExecutor:
     ``buffer_allocs`` / ``buffer_reuses`` count pool misses/hits; they are
     plain attributes (always maintained) and are mirrored into the obs
     registry when observability is enabled.
+
+    ``backend="bitsliced"`` evaluates through a :class:`BitPlan` instead:
+    :meth:`run` packs each ``(B, w)`` 0-1 batch into uint64 words (64 rows
+    per word), sweeps the same segment tables with bitwise kernels, and
+    unpacks — byte-identical to the int64 path on 0-1 inputs, and a
+    :class:`~repro.core.bitplan.NotZeroOneError` on anything else.  The
+    packed form is also exposed directly via :meth:`run_packed`.
     """
 
-    def __init__(self, plan: ExecutionPlan, max_pooled: int = 4) -> None:
+    def __init__(self, plan: ExecutionPlan, max_pooled: int = 4, backend: str = "int64") -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
         self.plan = plan
+        self.backend = backend
         self.max_pooled = int(max_pooled)
         self.buffer_allocs = 0
         self.buffer_reuses = 0
         self.batches = 0
         self._pool: dict[int, _Scratch] = {}
+        self._bit_pool: dict[int, _BitScratch] = {}
+        self._bitplan = BitPlan(plan) if backend == "bitsliced" else None
         self._clock = 0
         # Per-width position column (p, 1, 1) for the general kernel.
         self._offsets: dict[int, np.ndarray] = {}
@@ -315,10 +352,34 @@ class PlanExecutor:
         s.last_used = self._clock
         return s
 
+    def _bit_scratch(self, nwords: int) -> _BitScratch:
+        """Bit-sliced twin of :meth:`_scratch`, keyed by word count."""
+        self._clock += 1
+        s = self._bit_pool.get(nwords)
+        if s is None:
+            if len(self._bit_pool) >= self.max_pooled:
+                evict = min(self._bit_pool, key=lambda n: self._bit_pool[n].last_used)
+                del self._bit_pool[evict]
+            s = _BitScratch(self._bitplan, nwords)
+            self._bit_pool[nwords] = s
+            self.buffer_allocs += 1
+            if _obs.enabled:
+                from ..obs.metrics import default_registry
+
+                default_registry().counter("plan.buffer_allocs").inc()
+        else:
+            self.buffer_reuses += 1
+            if _obs.enabled:
+                from ..obs.metrics import default_registry
+
+                default_registry().counter("plan.buffer_reuses").inc()
+        s.last_used = self._clock
+        return s
+
     def scratch_stats(self) -> dict:
         """Pool accounting: sizes held, allocs, reuses, batches run."""
         return {
-            "pooled_batch_sizes": sorted(self._pool),
+            "pooled_batch_sizes": sorted(self._pool) + sorted(self._bit_pool),
             "buffer_allocs": self.buffer_allocs,
             "buffer_reuses": self.buffer_reuses,
             "batches": self.batches,
@@ -344,6 +405,7 @@ class PlanExecutor:
             "executor",
             parent_id=None if parent is None else parent.span_id,
             plan=self.plan.name,
+            backend=self.backend,
             run=self.batches,
             rows=int(x.shape[0]) if x.ndim == 2 else None,
         )
@@ -363,6 +425,11 @@ class PlanExecutor:
         plan = self.plan
         if x.ndim != 2 or x.shape[1] != plan.width:
             raise ValueError(f"expected input shape (B, {plan.width}), got {x.shape}")
+        if self.backend == "bitsliced":
+            # Raises NotZeroOneError on anything a bit cannot hold.
+            packed, batch = pack_zero_one(x)
+            out = self._run_packed_impl(packed, layer_times)
+            return unpack_zero_one(out, batch)
         x = np.ascontiguousarray(x, dtype=np.int64)
         batch = x.shape[0]
         self.batches += 1
@@ -422,6 +489,35 @@ class PlanExecutor:
         np.add(out, p - 1, out=out)
         np.floor_divide(out, p, out=out)
 
+    # -- bit-sliced evaluation ----------------------------------------------
+
+    def run_packed(
+        self, packed: np.ndarray, layer_times: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Evaluate pre-packed ``(w, nwords)`` uint64 words (64 0-1 input
+        vectors per word; see :func:`~repro.core.bitplan.pack_zero_one`).
+
+        Only valid on the ``bitsliced`` backend.  Returns the packed
+        ``(w, nwords)`` output words; exhaustive sweeps stay packed end to
+        end and never pay the unpack."""
+        if self.backend != "bitsliced":
+            raise ValueError("run_packed needs PlanExecutor(backend='bitsliced')")
+        packed = np.ascontiguousarray(packed, dtype=np.uint64)
+        if packed.ndim != 2 or packed.shape[0] != self.plan.width:
+            raise ValueError(
+                f"expected packed shape ({self.plan.width}, nwords), got {packed.shape}"
+            )
+        return self._run_packed_impl(packed, layer_times)
+
+    def _run_packed_impl(
+        self, packed: np.ndarray, layer_times: np.ndarray | None = None
+    ) -> np.ndarray:
+        self.batches += 1
+        s = self._bit_scratch(packed.shape[1])
+        return self._bitplan.run_packed(
+            packed, s.state, s.gather, s.tmp, layer_times=layer_times
+        )
+
     # -- parallel batch evaluation ------------------------------------------
 
     def run_parallel(self, x: np.ndarray, workers: int) -> np.ndarray:
@@ -433,7 +529,9 @@ class PlanExecutor:
         """
         workers = int(workers)
         batch = x.shape[0]
-        if workers <= 1 or batch < 2 * workers:
+        # Worker processes rebuild int64 executors from the plan arrays;
+        # bit-sliced batches are cheap enough that sharding never pays.
+        if workers <= 1 or batch < 2 * workers or self.backend != "int64":
             return self.run(x)
         pool = self._ensure_pool(workers)
         if pool is None:

@@ -41,7 +41,14 @@ from .mutator import (
     swap_outputs,
     toggle_balancer,
 )
-from .harness import KillMatrix, FaultTrial, VERIFIERS, default_networks, run_conformance
+from .harness import (
+    KillMatrix,
+    FaultTrial,
+    VERIFIERS,
+    default_networks,
+    run_conformance,
+    verifiers_for_backend,
+)
 from .fuzzer import (
     CorpusEntry,
     FuzzReport,
@@ -83,6 +90,7 @@ __all__ = [
     "VERIFIERS",
     "default_networks",
     "run_conformance",
+    "verifiers_for_backend",
     "CorpusEntry",
     "FuzzReport",
     "FuzzViolation",

@@ -56,6 +56,7 @@ __all__ = [
     "KillMatrix",
     "default_networks",
     "semantically_equivalent",
+    "verifiers_for_backend",
     "run_conformance",
 ]
 
@@ -92,6 +93,31 @@ VERIFIERS: dict[str, Verifier] = {
     "contract": _v_contract,
     "structure": _v_structure,
 }
+
+
+def verifiers_for_backend(backend: str) -> dict[str, Verifier]:
+    """The stock verifier columns with ``counting``/``sorting`` pinned to an
+    evaluation backend.
+
+    Both backends cover the same inputs in the same order, so the matrix a
+    conformance run produces must be *identical* across backends — the
+    bit-sliced conformance test asserts exactly that.
+    """
+    if backend == "auto":
+        return dict(VERIFIERS)
+    if backend not in ("int64", "bitsliced"):
+        raise ValueError(f"unknown backend {backend!r}")
+
+    def v_counting(mutant: Network, pristine: Network, rng: np.random.Generator) -> bool:
+        return find_counting_violation(mutant, rng=rng, backend=backend) is not None
+
+    def v_sorting(mutant: Network, pristine: Network, rng: np.random.Generator) -> bool:
+        return find_sorting_violation(mutant, rng=rng, backend=backend) is not None
+
+    out = dict(VERIFIERS)
+    out["counting"] = v_counting
+    out["sorting"] = v_sorting
+    return out
 
 
 def default_networks() -> list[Network]:
@@ -169,6 +195,7 @@ class KillMatrix:
     verifiers: tuple[str, ...] = tuple(VERIFIERS)
     faults: tuple[str, ...] = FAULT_CLASSES
     seed: int = 0
+    backend: str = "auto"
 
     def cell(self, fault: str, verifier: str) -> tuple[int, int]:
         """``(caught, total)`` live mutants of ``fault`` where ``verifier``
@@ -209,6 +236,7 @@ class KillMatrix:
     def as_dict(self) -> dict:
         return {
             "seed": self.seed,
+            "backend": self.backend,
             "verifiers": list(self.verifiers),
             "faults": list(self.faults),
             "matrix": self.rows(),
@@ -241,19 +269,26 @@ def run_conformance(
     verifiers: dict[str, Verifier] | None = None,
     seed: int = 0,
     sites_per_fault: int = 3,
+    backend: str = "auto",
 ) -> KillMatrix:
     """Inject ``faults`` into each network and score every verifier.
 
     Fully seeded: the same ``seed`` reproduces the same mutants (sites are
     sampled per network/fault from a child generator), so a CI escape is
     reproducible locally from the printed ``(network, fault, site)``.
+    ``backend`` pins the counting/sorting verifier engines (see
+    :func:`verifiers_for_backend`); the mutants injected and the inputs
+    covered do not depend on it, so matrices are comparable — and must be
+    equal — across backends.
     """
     networks = list(networks) if networks is not None else default_networks()
-    verifiers = dict(verifiers) if verifiers is not None else dict(VERIFIERS)
+    verifiers = dict(verifiers) if verifiers is not None else verifiers_for_backend(backend)
     unknown = [f for f in faults if f not in FAULT_CLASSES]
     if unknown:
         raise ValueError(f"unknown fault classes {unknown}; choose from {FAULT_CLASSES}")
-    matrix = KillMatrix(verifiers=tuple(verifiers), faults=tuple(faults), seed=seed)
+    matrix = KillMatrix(
+        verifiers=tuple(verifiers), faults=tuple(faults), seed=seed, backend=backend
+    )
     root = np.random.default_rng(seed)
     for net in networks:
         rng = np.random.default_rng(root.integers(0, 2**31 - 1))

@@ -245,7 +245,9 @@ def beam_search(
         [c for layer in best.layers for c in layer],
         name=f"beam[{width}]d{len(best.layers)}s{seed}",
     )
-    violation = find_sorting_violation(net, exhaustive_limit=20)
+    # Bit-sliced exhaustive re-prove (backend default): 2^w packed words,
+    # cheap at every width the beam search can reach.
+    violation = find_sorting_violation(net)
     if violation is not None:  # pragma: no cover - the mask semantics ARE the 0-1 run
         raise AssertionError(f"beam search returned a non-sorting network: {violation}")
     return BeamResult(

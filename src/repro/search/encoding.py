@@ -223,19 +223,43 @@ class SatResult:
 
 
 def _simulate_failures(width: int, layers: list[list[tuple[int, int]]], limit: int) -> list[int]:
-    """0-1 masks the candidate fails to sort (first ``limit`` of them)."""
-    sorted_set = {(1 << k) - 1 for k in range(width + 1)}
+    """0-1 masks the candidate fails to sort (first ``limit`` of them).
+
+    Bit-sliced over Python big ints: wire ``k`` carries one ``2^w``-bit
+    integer whose bit ``m`` is input ``m``'s value on that wire, so a
+    compare-exchange is one AND plus one OR across *all* inputs at once
+    (a 1 moves to the lower rail index: ``v[i] |= v[j]``, ``v[j] &= old
+    v[i]``) and the whole CEGAR simulation is ``O(depth * size)`` bigint
+    ops instead of ``2^w`` per-input walks.  Sorted means the low rails
+    hold the 1s, so a lane fails iff some adjacent pair reads 0 below 1;
+    failures come out in ascending input order, exactly as the per-input
+    loop produced them.
+    """
+    total = 1 << width
+    wires = []
+    for k in range(width):
+        # Square wave of period 2^(k+1): bit m is (m >> k) & 1, doubled
+        # out to 2^w bits.
+        pat = ((1 << (1 << k)) - 1) << (1 << k)
+        span = 1 << (k + 1)
+        while span < total:
+            pat |= pat << span
+            span <<= 1
+        wires.append(pat)
+    for layer in layers:
+        for i, j in layer:
+            lo = wires[i] & wires[j]
+            wires[i] |= wires[j]
+            wires[j] = lo
+    viol = 0
+    for k in range(width - 1):
+        viol |= ~wires[k] & wires[k + 1]
+    viol &= (1 << total) - 1
     failures = []
-    for m0 in range(1 << width):
-        m = m0
-        for layer in layers:
-            for i, j in layer:
-                if (m >> j) & 1 and not (m >> i) & 1:
-                    m ^= (1 << i) | (1 << j)
-        if m not in sorted_set:
-            failures.append(m0)
-            if len(failures) >= limit:
-                break
+    while viol and len(failures) < limit:
+        lsb = viol & -viol
+        failures.append(lsb.bit_length() - 1)
+        viol ^= lsb
     return failures
 
 

@@ -50,7 +50,9 @@ __all__ = [
 REGISTRY_VERSION = 1
 
 #: Widths up to this get the full 2^w exhaustive 0-1 sorting proof at load.
-EXHAUSTIVE_WIDTH_LIMIT = 20
+#: The bit-sliced backend (64 packed inputs per uint64 word) makes 2^24
+#: evaluations cheap; the prior int64 budget stopped at 20.
+EXHAUSTIVE_WIDTH_LIMIT = 24
 
 
 class ValidationError(ValueError):

@@ -1,6 +1,7 @@
 """Verification: counting-property search, 0-1 sorting proofs, contracts."""
 
 from .counting import (
+    ZERO_ONE_EXHAUSTIVE_WIDTH,
     CountingViolation,
     check_step_batch,
     find_counting_violation,
@@ -8,7 +9,14 @@ from .counting import (
     step_mask,
     verify_counting,
 )
-from .sorting import SortingViolation, find_sorting_violation, is_sorting_network, sorts_batch
+from .exhaustive import exhaustive_sorting_witness, iter_packed_zero_one
+from .sorting import (
+    EXHAUSTIVE_LIMITS,
+    SortingViolation,
+    find_sorting_violation,
+    is_sorting_network,
+    sorts_batch,
+)
 from .contracts import (
     ContractViolation,
     bitonic_inputs,
@@ -25,6 +33,10 @@ from .inputs import all_zero_one, exhaustive_counts, random_counts, structured_c
 from .smoothing import SmoothingViolation, find_smoothing_violation, is_smoother, observed_smoothness
 
 __all__ = [
+    "ZERO_ONE_EXHAUSTIVE_WIDTH",
+    "EXHAUSTIVE_LIMITS",
+    "exhaustive_sorting_witness",
+    "iter_packed_zero_one",
     "CountingViolation",
     "check_step_batch",
     "find_counting_violation",

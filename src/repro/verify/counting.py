@@ -16,15 +16,27 @@ import numpy as np
 from ..core.network import Network
 from ..core.sequences import is_step
 from ..sim.count_sim import propagate_counts
-from .inputs import exhaustive_counts, random_counts, structured_counts
+from .exhaustive import (
+    iter_packed_zero_one,
+    packed_descending_violations,
+    witness_from_lane,
+)
+from .inputs import all_zero_one, exhaustive_counts, random_counts, structured_counts
 
 __all__ = [
     "CountingViolation",
+    "ZERO_ONE_EXHAUSTIVE_WIDTH",
     "check_step_batch",
     "find_counting_violation",
     "minimize_violation",
     "verify_counting",
 ]
+
+#: Widths up to this get a dedicated exhaustive 0-1 sweep (all ``2^w``
+#: boolean count vectors) inside :func:`find_counting_violation` — the
+#: ``c=1`` slice of the bounded exhaustive stage, promoted because the
+#: bit-sliced backend makes it nearly free.
+ZERO_ONE_EXHAUSTIVE_WIDTH = 16
 
 
 @dataclass(frozen=True)
@@ -63,6 +75,42 @@ def check_step_batch(net: Network, batch: np.ndarray) -> CountingViolation | Non
     return CountingViolation(np.asarray(batch)[idx].copy(), outs[idx].copy())
 
 
+def _zero_one_stage(net: Network, backend: str) -> CountingViolation | None:
+    """Exhaustive sweep of all ``2^w`` 0-1 count vectors.
+
+    On 0-1 inputs the quiescent counting semantics of a pristine balancer
+    coincides with the bitwise compare-exchange, so the bit-sliced engine
+    covers the space in ``2^w / 64`` packed words.  Networks carrying
+    semantic fault overrides cannot ride one bit per wire (a stuck
+    balancer concentrates its whole total, up to ``p``, on one port), so
+    they — and ``backend="int64"`` — take the int64 engine over the same
+    inputs in the same order.  Either engine returns the identical first
+    violation.
+    """
+    w = net.width
+    overridden = bool(getattr(net, "fault_overrides", None))
+    if backend == "bitsliced" and not overridden:
+        from ..core.bitplan import evaluate_zero_one_packed
+
+        for packed, base in iter_packed_zero_one(w):
+            viol = packed_descending_violations(evaluate_zero_one_packed(net, packed))
+            if w < 6:
+                viol &= np.uint64((1 << (1 << w)) - 1)
+            if viol.any():
+                word_idx = int(np.nonzero(viol)[0][0])
+                word = int(viol[word_idx])
+                lane = base + word_idx * 64 + ((word & -word).bit_length() - 1)
+                witness = witness_from_lane(w, lane).astype(np.int64)
+                return check_step_batch(net, witness[None, :])
+        return None
+    vectors = all_zero_one(w).astype(np.int64)
+    for start in range(0, vectors.shape[0], 65_536):
+        v = check_step_batch(net, vectors[start : start + 65_536])
+        if v is not None:
+            return v
+    return None
+
+
 def find_counting_violation(
     net: Network,
     rng: np.random.Generator | None = None,
@@ -70,15 +118,22 @@ def find_counting_violation(
     batch_size: int = 512,
     max_count: int = 64,
     exhaustive_bound: int = 200_000,
+    backend: str = "auto",
 ) -> CountingViolation | None:
     """Search for an input count vector violating the step property.
 
     Strategy: structured adversarial vectors first (they catch almost every
-    broken network immediately), then an exhaustive bounded sweep if the
-    space ``(c+1)^w`` fits under ``exhaustive_bound``, then random batches.
+    broken network immediately), then an exhaustive 0-1 sweep for ``width
+    <= ZERO_ONE_EXHAUSTIVE_WIDTH`` (bit-sliced by default — 64 vectors per
+    uint64 word), then the bounded exhaustive sweeps for totals up to 3
+    when ``(c+1)^w`` fits under ``exhaustive_bound``, then random batches.
+    ``backend`` only selects the 0-1 engine; the inputs covered — and
+    therefore the verdict and witness — are identical on every backend.
     Returns ``None`` when no violation was found (evidence, not proof,
-    except when the exhaustive sweep covered the space for small totals).
+    except when the exhaustive sweeps covered the space for small totals).
     """
+    if backend not in ("auto", "int64", "bitsliced"):
+        raise ValueError(f"unknown backend {backend!r}")
     rng = rng or np.random.default_rng(0)
     w = net.width
 
@@ -86,7 +141,17 @@ def find_counting_violation(
     if v is not None:
         return v
 
+    zero_one_done = False
+    if w <= ZERO_ONE_EXHAUSTIVE_WIDTH:
+        engine = "bitsliced" if backend == "auto" else backend
+        v = _zero_one_stage(net, engine)
+        if v is not None:
+            return v
+        zero_one_done = True
+
     for c in (1, 2, 3):
+        if c == 1 and zero_one_done:
+            continue  # the 0-1 stage already covered {0,1}^w exhaustively
         if (c + 1) ** w <= exhaustive_bound:
             for batch in exhaustive_counts(w, c):
                 v = check_step_batch(net, batch)

@@ -1,0 +1,129 @@
+"""Exhaustive 0-1 sweeps, generated directly in packed uint64 form.
+
+The 0-1 principle reduces "does this network sort?" to ``2^w`` boolean
+evaluations.  The bit-sliced backend (:mod:`repro.core.bitplan`) evaluates
+64 of them per uint64 word; this module *generates* the full input set
+already packed — ``2^w / 64`` words per wire, with no ``(2^w, w)``
+materialization and no packing pass:
+
+* enumeration order matches :func:`repro.verify.inputs.all_zero_one`
+  exactly — input index ``n`` has wire ``k`` carrying bit
+  ``(n >> (w-1-k)) & 1``, so witnesses found packed are the *same*
+  witnesses the int64 path reports;
+* within a word, bit ``s = w-1-k < 6`` is a fixed 64-bit square wave of
+  period ``2^(s+1)`` (``0xAAAA…``, ``0xCCCC…``, …); bit ``s >= 6`` is
+  constant per word — all-ones when ``(word_index >> (s-6)) & 1``;
+* widths below 6 fit one word whose surplus lanes replicate the ``2^w``
+  real inputs (period divides 64), which cannot create a spurious verdict
+  and never holds the *minimal* witness.
+
+:func:`exhaustive_sorting_witness` sweeps the whole space through
+:func:`~repro.core.bitplan.evaluate_zero_one_packed` and returns the first
+(lexicographically minimal) unsorted input, or ``None`` as a proof.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..core.bitplan import LANES, evaluate_zero_one_packed
+from ..core.network import Network
+
+__all__ = [
+    "iter_packed_zero_one",
+    "exhaustive_sorting_witness",
+    "packed_descending_violations",
+    "witness_from_lane",
+]
+
+#: 64-bit square waves: bit ``i`` of ``_LOW_PATTERNS[s]`` is ``(i >> s) & 1``.
+_LOW_PATTERNS = tuple(
+    np.uint64(sum(1 << i for i in range(64) if (i >> s) & 1)) for s in range(6)
+)
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def iter_packed_zero_one(
+    width: int, lanes_per_batch: int = 1 << 18
+) -> Iterator[tuple[np.ndarray, int]]:
+    """Yield ``(packed, base)`` batches covering all ``2^width`` 0-1 inputs.
+
+    ``packed`` is ``(width, nwords)`` uint64; lane ``i`` of word ``j``
+    holds input index ``base + 64*j + i`` in ``all_zero_one`` order.  For
+    ``width < 6`` the single word's high lanes repeat the input set
+    (harmless: duplicates of already-covered inputs).
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    total = 1 << width
+    if total <= LANES:
+        packed = np.empty((width, 1), dtype=np.uint64)
+        for k in range(width):
+            packed[k, 0] = _LOW_PATTERNS[width - 1 - k]
+        yield packed, 0
+        return
+    nwords_total = total // LANES
+    nwords_batch = max(1, lanes_per_batch // LANES)
+    for wstart in range(0, nwords_total, nwords_batch):
+        nw = min(nwords_batch, nwords_total - wstart)
+        packed = np.empty((width, nw), dtype=np.uint64)
+        j = np.arange(wstart, wstart + nw, dtype=np.uint64)
+        for k in range(width):
+            s = width - 1 - k
+            if s < 6:
+                packed[k] = _LOW_PATTERNS[s]
+            else:
+                packed[k] = ((j >> np.uint64(s - 6)) & np.uint64(1)) * _ALL_ONES
+        yield packed, wstart * LANES
+
+
+def packed_descending_violations(out: np.ndarray) -> np.ndarray:
+    """Per-word mask of lanes whose output is not non-increasing.
+
+    ``out`` is ``(w, nwords)`` packed output words; a lane violates when
+    some adjacent pair reads ``0`` above ``1`` (``~out[r] & out[r+1]``).
+    For 0-1 sequences non-increasing is also exactly the step property —
+    ``out[0] - out[-1] <= 1`` holds for free.
+    """
+    if out.shape[0] < 2:
+        return np.zeros(out.shape[1], dtype=np.uint64)
+    return np.bitwise_or.reduce(~out[:-1] & out[1:], axis=0)
+
+
+def witness_from_lane(width: int, index: int) -> np.ndarray:
+    """Input vector ``index`` in ``all_zero_one`` order, as int8 (the dtype
+    the int64 verification path hands to the evaluator)."""
+    return np.array(
+        [(index >> (width - 1 - k)) & 1 for k in range(width)], dtype=np.int8
+    )
+
+
+def _first_lane(viol: np.ndarray, base: int) -> int:
+    word_idx = int(np.nonzero(viol)[0][0])
+    word = int(viol[word_idx])
+    return base + word_idx * LANES + ((word & -word).bit_length() - 1)
+
+
+def exhaustive_sorting_witness(
+    net: Network, lanes_per_batch: int = 1 << 18
+) -> np.ndarray | None:
+    """First 0-1 input ``net`` fails to sort descending, or ``None``.
+
+    Covers all ``2^w`` inputs bit-sliced (comparator semantics; fault
+    overrides pass through unexchanged, matching
+    :func:`~repro.sim.sort_sim.evaluate_comparators`).  ``None`` is a
+    proof by the 0-1 principle; a returned witness is the lexicographically
+    first violating input — identical to what the int64 sweep over
+    :func:`~repro.verify.inputs.all_zero_one` finds.
+    """
+    w = net.width
+    for packed, base in iter_packed_zero_one(w, lanes_per_batch):
+        viol = packed_descending_violations(evaluate_zero_one_packed(net, packed))
+        if w < 6:  # surplus replica lanes in the single word are not inputs
+            viol &= np.uint64((1 << (1 << w)) - 1)
+        if viol.any():
+            return witness_from_lane(w, _first_lane(viol, base))
+    return None

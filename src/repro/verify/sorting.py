@@ -15,9 +15,21 @@ import numpy as np
 
 from ..core.network import Network
 from ..sim.sort_sim import evaluate_comparators
+from .exhaustive import exhaustive_sorting_witness
 from .inputs import all_zero_one
 
-__all__ = ["SortingViolation", "is_sorting_network", "find_sorting_violation", "sorts_batch"]
+__all__ = [
+    "SortingViolation",
+    "EXHAUSTIVE_LIMITS",
+    "is_sorting_network",
+    "find_sorting_violation",
+    "sorts_batch",
+]
+
+#: Default exhaustive-proof ceiling per backend: the bit-sliced sweep
+#: (64 inputs per uint64 word, branchless AND/OR kernels) affords 2^24
+#: evaluations where the int64 path stops at 2^20.
+EXHAUSTIVE_LIMITS = {"int64": 20, "bitsliced": 24}
 
 
 @dataclass(frozen=True)
@@ -49,20 +61,38 @@ def sorts_batch(net: Network, batch: np.ndarray) -> SortingViolation | None:
 
 def find_sorting_violation(
     net: Network,
-    exhaustive_limit: int = 20,
+    exhaustive_limit: int | None = None,
     rng: np.random.Generator | None = None,
     samples: int = 20_000,
     chunk: int = 65_536,
+    backend: str = "auto",
 ) -> SortingViolation | None:
     """Search for an input the network fails to sort.
 
     For ``width <= exhaustive_limit`` this is a *proof* by the 0-1
-    principle (all ``2^w`` 0-1 vectors are checked, in chunks).  For wider
-    networks, ``samples`` random 0-1 vectors and random permutations are
-    tried instead (evidence only).
+    principle (all ``2^w`` 0-1 vectors are checked).  ``backend`` selects
+    the exhaustive engine: ``"bitsliced"`` (the default under ``"auto"``)
+    sweeps 64 packed inputs per uint64 word, ``"int64"`` keeps the legacy
+    chunked comparator evaluation.  Both enumerate in the same order and
+    return identical verdicts and witnesses; ``exhaustive_limit=None``
+    resolves to the backend's ceiling (:data:`EXHAUSTIVE_LIMITS`).  For
+    wider networks, ``samples`` random 0-1 vectors and random permutations
+    are tried instead (evidence only, identical on every backend).
     """
+    if backend not in ("auto", "int64", "bitsliced"):
+        raise ValueError(f"unknown backend {backend!r}")
+    engine = "bitsliced" if backend == "auto" else backend
+    if exhaustive_limit is None:
+        exhaustive_limit = EXHAUSTIVE_LIMITS[engine]
     w = net.width
     if w <= exhaustive_limit:
+        if engine == "bitsliced":
+            witness = exhaustive_sorting_witness(net)
+            if witness is None:
+                return None
+            # Re-evaluate the single witness on the legacy path so the
+            # reported violation is byte-identical across backends.
+            return sorts_batch(net, witness[None, :])
         vectors = all_zero_one(w)
         for start in range(0, vectors.shape[0], chunk):
             v = sorts_batch(net, vectors[start : start + chunk])

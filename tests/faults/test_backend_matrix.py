@@ -1,0 +1,74 @@
+"""Backend conformance: the kill matrix must not depend on the evaluation
+engine.  Both backends cover the same inputs in the same order, so a
+conformance run on ``bitsliced`` must catch every mutant the ``int64`` run
+catches — same cells, same per-trial verdicts, zero escapes on either."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import bitonic_network
+from repro.faults.harness import run_conformance, verifiers_for_backend
+from repro.networks import k_network
+
+_NETWORKS = lambda: [k_network([2, 3]), bitonic_network(8)]  # noqa: E731
+
+
+@pytest.fixture(scope="module")
+def matrices():
+    kw = dict(networks=_NETWORKS(), seed=7, sites_per_fault=2)
+    return (
+        run_conformance(backend="int64", **kw),
+        run_conformance(backend="bitsliced", **kw),
+    )
+
+
+class TestBackendMatrix:
+    def test_both_complete_zero_escapes(self, matrices):
+        for km in matrices:
+            assert km.complete(), [t.as_dict() for t in km.escapes()]
+
+    def test_backend_recorded(self, matrices):
+        int64, bit = matrices
+        assert int64.backend == "int64" and bit.backend == "bitsliced"
+        assert int64.as_dict()["backend"] == "int64"
+        assert bit.as_dict()["backend"] == "bitsliced"
+
+    def test_matrices_identical_modulo_backend_tag(self, matrices):
+        a, b = (km.as_dict() for km in matrices)
+        a.pop("backend"), b.pop("backend")
+        assert a == b
+
+    def test_per_trial_catches_identical(self, matrices):
+        int64, bit = matrices
+        assert len(int64.trials) == len(bit.trials)
+        for ta, tb in zip(int64.trials, bit.trials):
+            assert (ta.fault, ta.caught_by, ta.equivalent) == (
+                tb.fault,
+                tb.caught_by,
+                tb.equivalent,
+            )
+
+
+class TestVerifierColumns:
+    def test_auto_is_the_stock_table(self):
+        from repro.faults.harness import VERIFIERS
+
+        assert verifiers_for_backend("auto") == VERIFIERS
+
+    def test_pinned_columns_keep_names(self):
+        cols = verifiers_for_backend("bitsliced")
+        assert set(cols) == {"counting", "sorting", "smoothing", "contract", "structure"}
+
+    def test_pinned_sorting_column_catches_a_flip(self):
+        import numpy as np
+
+        from repro.faults.mutator import flip_balancer
+
+        net = k_network([2, 2, 2])
+        bad = flip_balancer(net, net.layers()[-1][0].index)
+        rng = np.random.default_rng(0)
+        for backend in ("int64", "bitsliced"):
+            cols = verifiers_for_backend(backend)
+            assert cols["sorting"](bad, net, rng), backend
+            assert not cols["sorting"](net, net, rng), backend

@@ -53,7 +53,9 @@ class TestKillMatrix:
 
     def test_as_dict_shape(self, matrix):
         d = matrix.as_dict()
-        assert set(d) == {"seed", "verifiers", "faults", "matrix", "trials", "summary"}
+        assert set(d) == {
+            "seed", "backend", "verifiers", "faults", "matrix", "trials", "summary",
+        }
         assert d["summary"]["mutants"] == len(matrix.trials)
         assert d["summary"]["complete"] is True
         assert len(d["matrix"]) == len(matrix.faults)

@@ -1,0 +1,168 @@
+"""The promoted exhaustive tier: both verification backends must return
+byte-identical verdicts and witnesses on every input they cover, the packed
+input generator must enumerate exactly ``all_zero_one`` order, and the
+widths the int64 path already proved must stay proven on both engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitplan import pack_zero_one
+from repro.faults.mutator import flip_balancer, stuck_balancer, swap_outputs
+from repro.networks import k_network, l_network
+from repro.search.registry import EXHAUSTIVE_WIDTH_LIMIT
+from repro.verify import (
+    EXHAUSTIVE_LIMITS,
+    ZERO_ONE_EXHAUSTIVE_WIDTH,
+    all_zero_one,
+    exhaustive_sorting_witness,
+    find_counting_violation,
+    find_sorting_violation,
+    iter_packed_zero_one,
+)
+
+
+def _violation_bytes(v):
+    if v is None:
+        return None
+    if hasattr(v, "input_values"):
+        return (v.input_values.tobytes(), v.output_values.tobytes())
+    return (v.input_counts.tobytes(), v.output_counts.tobytes())
+
+
+# ---------------------------------------------------------------------------
+# The packed generator is the exhaustive tier's foundation: cross-validate
+# it against the materialized input set it replaces.
+# ---------------------------------------------------------------------------
+
+
+class TestPackedGenerator:
+    @pytest.mark.parametrize("width", list(range(1, 11)))
+    def test_matches_all_zero_one_packing(self, width):
+        expected, batch = pack_zero_one(all_zero_one(width))
+        chunks = list(iter_packed_zero_one(width, lanes_per_batch=256))
+        got = np.concatenate([p for p, _ in chunks], axis=1)
+        bases = [b for _, b in chunks]
+        assert bases == [256 * i for i in range(len(bases))]
+        if width < 6:
+            # One word whose low 2^w lanes are the real inputs.
+            mask = np.uint64((1 << (1 << width)) - 1)
+            assert np.array_equal(got[:, 0] & mask, expected[:, 0])
+        else:
+            assert got.shape == expected.shape
+            assert got.tobytes() == expected.tobytes()
+
+    def test_batching_covers_all_words_once(self):
+        width = 9  # 512 inputs = 8 words, batches of 4 words
+        seen = []
+        for packed, base in iter_packed_zero_one(width, lanes_per_batch=256):
+            assert base % 64 == 0
+            seen.extend(range(base // 64, base // 64 + packed.shape[1]))
+        assert seen == list(range((1 << width) // 64))
+
+    def test_width_zero_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            next(iter_packed_zero_one(0))
+
+
+# ---------------------------------------------------------------------------
+# Verdict identity across backends — pristine and broken networks alike.
+# ---------------------------------------------------------------------------
+
+
+def _mutants(base):
+    yield base
+    yield flip_balancer(base, base.layers()[-1][0].index)
+    yield swap_outputs(base, 0, base.width - 1)
+    yield stuck_balancer(base, base.balancers[0].index)
+
+
+class TestBackendIdentity:
+    @pytest.mark.parametrize("factors", [[2, 2], [2, 3], [3, 2], [2, 2, 2]])
+    def test_sorting_verdicts_identical(self, factors):
+        for net in _mutants(k_network(factors)):
+            a = find_sorting_violation(net, backend="int64")
+            b = find_sorting_violation(net, backend="bitsliced")
+            assert _violation_bytes(a) == _violation_bytes(b), net.name
+
+    @pytest.mark.parametrize("factors", [[2, 2], [2, 3], [2, 2, 2]])
+    def test_counting_verdicts_identical(self, factors):
+        for net in _mutants(k_network(factors)):
+            a = find_counting_violation(net, backend="int64")
+            b = find_counting_violation(net, backend="bitsliced")
+            assert _violation_bytes(a) == _violation_bytes(b), net.name
+
+    def test_auto_means_bitsliced_for_sorting(self):
+        net = flip_balancer(k_network([2, 2, 2]), 0)
+        assert _violation_bytes(find_sorting_violation(net)) == _violation_bytes(
+            find_sorting_violation(net, backend="bitsliced")
+        )
+
+    def test_unknown_backend_rejected(self):
+        net = k_network([2, 2])
+        with pytest.raises(ValueError, match="unknown backend"):
+            find_sorting_violation(net, backend="gpu")
+        with pytest.raises(ValueError, match="unknown backend"):
+            find_counting_violation(net, backend="gpu")
+
+    def test_witness_is_lexicographically_first(self):
+        # The packed sweep must report the same minimal witness the int64
+        # enumeration finds, not merely *a* witness.
+        net = swap_outputs(k_network([2, 2]), 0, 3)
+        wit = exhaustive_sorting_witness(net)
+        vecs = all_zero_one(net.width)
+        legacy = None
+        from repro.verify import sorts_batch
+
+        for row in vecs:
+            if sorts_batch(net, row[None, :]) is not None:
+                legacy = row
+                break
+        assert legacy is not None
+        assert np.array_equal(wit, legacy)
+
+
+# ---------------------------------------------------------------------------
+# Ceiling regression: everything proved at the old limits stays proved, and
+# the promoted limits actually hold.
+# ---------------------------------------------------------------------------
+
+
+class TestCeilings:
+    def test_limits_promoted(self):
+        assert EXHAUSTIVE_LIMITS["int64"] == 20
+        assert EXHAUSTIVE_LIMITS["bitsliced"] >= 24
+        assert EXHAUSTIVE_WIDTH_LIMIT >= 24
+        assert ZERO_ONE_EXHAUSTIVE_WIDTH >= 16
+
+    @pytest.mark.parametrize(
+        "factors", [[2, 2], [2, 2, 2], [2, 2, 3], [2, 7]]
+    )  # widths 4, 8, 12, 14
+    def test_old_widths_prove_on_both_backends(self, factors):
+        net = k_network(factors)
+        for backend in ("int64", "bitsliced"):
+            assert (
+                find_sorting_violation(net, exhaustive_limit=net.width, backend=backend)
+                is None
+            ), (net.name, backend)
+
+    def test_width_16_exhaustive_proof_bitsliced(self):
+        # 2^16 inputs in 1024 words per wire — the tier the bit-sliced
+        # backend promotes from "overnight" to "unit test".
+        net = k_network([2, 2, 2, 2])
+        assert net.width == 16
+        assert exhaustive_sorting_witness(net) is None
+        assert find_sorting_violation(net, exhaustive_limit=16, backend="bitsliced") is None
+
+    def test_width_16_broken_network_caught(self):
+        net = k_network([2, 2, 2, 2])
+        bad = flip_balancer(net, net.layers()[-1][0].index)
+        v = find_sorting_violation(bad, exhaustive_limit=16, backend="bitsliced")
+        assert v is not None
+
+    def test_l_family_agrees_at_width_12(self):
+        net = l_network([2, 2, 3])
+        a = find_sorting_violation(net, exhaustive_limit=12, backend="int64")
+        b = find_sorting_violation(net, exhaustive_limit=12, backend="bitsliced")
+        assert a is None and b is None

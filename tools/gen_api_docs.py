@@ -81,7 +81,8 @@ def main() -> None:
         "source docstrings for full details.  For the adversarial test",
         "tooling around this API (mutation kill-matrix, input fuzzing,",
         "chaos injection) see `testing.md`; for the evaluation engine",
-        "(`repro.core.plan`), the persistent build/plan cache",
+        "(`repro.core.plan`), the bit-sliced 0-1 backend",
+        "(`repro.core.bitplan`), the persistent build/plan cache",
         "(`repro.core.cache`), and parallel batch evaluation see",
         "`performance.md`; for base-network discovery and the best-known",
         "registry (`repro.search`) see `search.md`.",
