@@ -3,7 +3,7 @@
 
 Usage::
 
-    python benchmarks/check_budgets.py [BENCH_build_scale.json] [budgets.json] [BENCH_throughput.json]
+    python benchmarks/check_budgets.py [BENCH_build_scale.json] [budgets.json] [BENCH_throughput.json] [BENCH_serve_scale.json]
 
 Exits nonzero when any measured metric exceeds ``regression_factor`` times
 its budget — i.e. a >2x regression of build or evaluation cost fails CI
@@ -25,6 +25,7 @@ import sys
 DEFAULT_BENCH = "BENCH_build_scale.json"
 DEFAULT_BUDGETS = pathlib.Path(__file__).parent / "budgets.json"
 DEFAULT_THROUGHPUT = "BENCH_throughput.json"
+DEFAULT_SERVE_SCALE = "BENCH_serve_scale.json"
 
 
 def check_backend_speedups(throughput_path, spec) -> list[str]:
@@ -60,7 +61,54 @@ def check_backend_speedups(throughput_path, spec) -> list[str]:
     return failures
 
 
-def check(bench_path, budgets_path, throughput_path=DEFAULT_THROUGHPUT) -> list[str]:
+def check_cluster_rows(serve_scale_path, spec) -> list[str]:
+    """Hard gate on the cluster weak-scaling sweep.
+
+    Unlike the timing budgets, these are the PR's acceptance criteria
+    verbatim: the ``cluster_rows`` speedup at each budgeted shard count
+    must meet ``min_speedup_x`` with no regression_factor slack, and every
+    cluster row — whatever its shard count — must report ``exactly_once``
+    (a fast cluster that double-issues values is not a cluster).
+    """
+    budgets = spec.get("cluster")
+    if not budgets:
+        return []
+    path = pathlib.Path(serve_scale_path)
+    if not path.exists():
+        return [f"cluster budget set but {serve_scale_path} missing"]
+    bench = json.loads(path.read_text())
+    rows = bench.get("cluster_rows", [])
+    failures = []
+    for row in rows:
+        if not row.get("exactly_once"):
+            failures.append(
+                f"cluster shards={row.get('shards')}: exactly_once is false "
+                f"(duplicates={row.get('duplicates')}, gaps={row.get('gap_total')})"
+            )
+    by_shards = {str(r["shards"]): r for r in rows}
+    for shards, budget in budgets.items():
+        row = by_shards.get(shards)
+        if row is None:
+            failures.append(f"cluster shards={shards}: no cluster_rows entry in {serve_scale_path}")
+            continue
+        floor = float(budget["min_speedup_x"])
+        measured = float(row.get("speedup_vs_1shard", 0.0))
+        if measured < floor:
+            failures.append(
+                f"cluster shards={shards}: speedup_vs_1shard={measured} "
+                f"below hard floor {floor:g}"
+            )
+        else:
+            print(f"ok cluster shards={shards} speedup_vs_1shard={measured} (floor {floor:g})")
+    return failures
+
+
+def check(
+    bench_path,
+    budgets_path,
+    throughput_path=DEFAULT_THROUGHPUT,
+    serve_scale_path=DEFAULT_SERVE_SCALE,
+) -> list[str]:
     bench = json.loads(pathlib.Path(bench_path).read_text())
     spec = json.loads(pathlib.Path(budgets_path).read_text())
     factor = float(spec.get("regression_factor", 2.0))
@@ -91,6 +139,7 @@ def check(bench_path, budgets_path, throughput_path=DEFAULT_THROUGHPUT) -> list[
                     f"(budget {limit}, limit {factor * float(limit):g})"
                 )
     failures.extend(check_backend_speedups(throughput_path, spec))
+    failures.extend(check_cluster_rows(serve_scale_path, spec))
     return failures
 
 
@@ -98,7 +147,8 @@ def main(argv: list[str]) -> int:
     bench = argv[1] if len(argv) > 1 else DEFAULT_BENCH
     budgets = argv[2] if len(argv) > 2 else DEFAULT_BUDGETS
     throughput = argv[3] if len(argv) > 3 else DEFAULT_THROUGHPUT
-    failures = check(bench, budgets, throughput)
+    serve_scale = argv[4] if len(argv) > 4 else DEFAULT_SERVE_SCALE
+    failures = check(bench, budgets, throughput, serve_scale)
     for f in failures:
         print(f"PERF REGRESSION: {f}", file=sys.stderr)
     return 1 if failures else 0

@@ -14,8 +14,14 @@ audit       per-layer profile and critical path of a network
 profile     observability: run a workload, print hot-spot tables, emit
             BENCH_profile.json + a JSON-lines trace
 serve       run the TCP counting service (repro.serve)
+cluster     sharded, WAL-durable counting cluster (repro.cluster):
+            ``start`` runs shards + router in the foreground, ``status``
+            reads the state file (and probes the router), ``kill-shard``
+            SIGKILLs one shard so the supervisor's WAL replay can be
+            watched live
 loadgen     drive a counting service with open/closed-loop load and emit
-            BENCH_serve.json
+            BENCH_serve.json (``--procs`` fans the client side out over
+            OS processes for cluster targets)
 fuzz        fault injection (repro.faults): ``mutate`` checks that every
             verifier catches every fault class (kill matrix), ``inputs``
             fuzzes the step property with corpus + shrinking, ``chaos``
@@ -370,7 +376,27 @@ def _loadgen(args: argparse.Namespace) -> int:
     import pathlib
 
     from . import obs
-    from .serve import LoadGenerator
+    from .serve import LoadGenerator, run_multiprocess_tcp
+
+    if args.procs > 1:
+        if not args.connect:
+            raise SystemExit("--procs > 1 needs --connect (a running server or cluster router)")
+        host, _, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit(f"--connect needs HOST:PORT, got {args.connect!r}")
+        report = run_multiprocess_tcp(
+            host,
+            int(port),
+            procs=args.procs,
+            clients=args.clients,
+            ops=args.ops,
+            amount=args.amount,
+            mode=args.mode,
+            rate=args.rate,
+            seed=args.seed,
+            reconnect=args.reconnect,
+        )
+        return _loadgen_emit(args, report)
 
     gen = LoadGenerator(
         mode=args.mode,
@@ -379,6 +405,7 @@ def _loadgen(args: argparse.Namespace) -> int:
         amount=args.amount,
         rate=args.rate,
         seed=args.seed,
+        reconnect=args.reconnect,
     )
 
     async def run():
@@ -392,6 +419,14 @@ def _loadgen(args: argparse.Namespace) -> int:
             return await gen.run_service(service)
 
     report = asyncio.run(run())
+    return _loadgen_emit(args, report)
+
+
+def _loadgen_emit(args: argparse.Namespace, report) -> int:
+    import pathlib
+
+    from . import obs
+
     summary = report.summary()
     net = report.service_stats.get("network", {})
     family = str(net.get("name", "")).partition("(")[0] or None
@@ -410,6 +445,148 @@ def _loadgen(args: argparse.Namespace) -> int:
     if not report.exactly_once:
         print("ERROR: exactly-once violated (values not one contiguous distinct range)")
         return 1
+    return 0
+
+
+def _cluster_start(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal as _signal
+
+    from .cluster import Cluster, ClusterConfig
+
+    factors = _parse_widths(args.widths)
+    cfg = ClusterConfig(
+        shards=args.shards,
+        wal_dir=args.wal_dir,
+        factors=tuple(factors),
+        construction=args.construction,
+        host=args.host,
+        router_port=args.port,
+        mode=args.mode,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+        queue_limit=args.queue_limit,
+        fsync=not args.no_fsync,
+        adaptive=args.adaptive,
+        obs=args.obs,
+        rate=args.rate,
+        burst=args.burst,
+    )
+
+    async def run() -> None:
+        async with Cluster(cfg) as cluster:
+            host, port = cluster.address
+            print(
+                f"cluster: {cfg.shards} shard(s) behind router {host}:{port} "
+                f"(mode={cfg.mode}, wal_dir={cfg.wal_dir})",
+                flush=True,
+            )
+            for w in cluster.workers:
+                info = w.last_ready or {}
+                print(
+                    f"  shard {w.shard_id}: pid={info.get('pid')} port={w.port} "
+                    f"recovered_total={info.get('recovered_total', 0)}",
+                    flush=True,
+                )
+            print(f"state file: {cfg.state_path}", flush=True)
+            # Serve until signalled.  SIGTERM matters as much as SIGINT:
+            # backgrounded jobs inherit SIGINT=SIG_IGN (POSIX), so process
+            # managers and CI scripts stop us with `kill -TERM`, and the
+            # handler lets Cluster.__aexit__ terminate the shard children
+            # and unlink the state file instead of orphaning them.
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (_signal.SIGTERM, _signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, stop.set)
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-Unix loop: KeyboardInterrupt still works
+            await stop.wait()
+            print("shutting down", flush=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    return 0
+
+
+def _cluster_status(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .cluster import Cluster
+
+    try:
+        state = Cluster.read_state(args.wal_dir)
+    except FileNotFoundError:
+        print(f"no cluster state file under {args.wal_dir!r} (is a cluster running?)")
+        return 1
+    router = state.get("router", {})
+    print(
+        f"cluster pid={state.get('pid')}: {state.get('num_shards')} shard(s), "
+        f"router {router.get('host')}:{router.get('port')} (mode={router.get('mode')}), "
+        f"restarts={state.get('restarts')}"
+    )
+    for s in state.get("shards", []):
+        print(
+            f"  shard {s.get('shard_id')}: pid={s.get('pid')} port={s.get('port')} "
+            f"up={s.get('up')} restarts={s.get('restarts')} "
+            f"recovered_total={s.get('recovered_total')}"
+        )
+    if args.no_probe:
+        return 0
+
+    async def probe() -> dict | None:
+        from .serve import TCPCounterClient
+
+        try:
+            client = await TCPCounterClient.connect(router.get("host"), int(router.get("port")))
+        except (OSError, TypeError, ValueError):
+            return None
+        try:
+            return await client.stats()
+        finally:
+            await client.close()
+
+    stats = asyncio.run(probe())
+    if stats is None:
+        print("router probe: not reachable (stale state file?)")
+        return 1
+    print(f"router probe: issued={stats.get('issued')} queue_depth={stats.get('queue_depth')}")
+    if args.json:
+        print(json.dumps(stats, indent=2, default=str))
+    return 0
+
+
+def _cluster_kill_shard(args: argparse.Namespace) -> int:
+    import os
+    import signal as _signal
+
+    from .cluster import Cluster
+
+    try:
+        state = Cluster.read_state(args.wal_dir)
+    except FileNotFoundError:
+        print(f"no cluster state file under {args.wal_dir!r} (is a cluster running?)")
+        return 1
+    shards = {s.get("shard_id"): s for s in state.get("shards", [])}
+    if args.shard_id not in shards:
+        print(f"no shard {args.shard_id} (cluster has {sorted(shards)})")
+        return 1
+    pid = shards[args.shard_id].get("pid")
+    if not pid:
+        print(f"shard {args.shard_id} has no recorded pid")
+        return 1
+    try:
+        os.kill(int(pid), _signal.SIGKILL)
+    except ProcessLookupError:
+        print(f"shard {args.shard_id} (pid {pid}) is already gone")
+        return 1
+    print(
+        f"sent SIGKILL to shard {args.shard_id} (pid {pid}); "
+        "the cluster supervisor will restart it with a WAL replay"
+    )
     return 0
 
 
@@ -515,8 +692,10 @@ def _fuzz_chaos(args: argparse.Namespace) -> int:
     from .serve import CountingService
 
     factors = _parse_widths(args.widths)
-    base_net = net = _BUILDERS[args.construction](factors)
     inject = getattr(args, "inject", "none")
+    if inject == "shard-kill":
+        return _fuzz_chaos_shard_kill(args, factors)
+    base_net = net = _BUILDERS[args.construction](factors)
     if inject == "stuck":
         from .faults.mutator import stuck_balancer
 
@@ -559,6 +738,48 @@ def _fuzz_chaos(args: argparse.Namespace) -> int:
     )
     print(f"wrote {path}")
     return 0 if (report.exactly_once and token_escape is None) else 1
+
+
+def _fuzz_chaos_shard_kill(args: argparse.Namespace, factors: list[int]) -> int:
+    import pathlib
+
+    from . import obs
+    from .faults import run_shard_kill_chaos
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    report = run_shard_kill_chaos(
+        shards=args.shards,
+        clients=args.clients,
+        ops=max(1, args.requests // args.clients),
+        kills=args.kills,
+        seed=args.seed,
+        factors=tuple(factors),
+        flight_dir=out_dir,
+    )
+    print(
+        f"shard-kill chaos: {args.shards} shard(s), {report.requests} requests "
+        f"(seed={args.seed})"
+    )
+    print(
+        f"  issued={report.issued} delivered={report.delivered} "
+        f"gaps={report.lost_to_drops} rejected_during_restart={report.retries}"
+    )
+    print("  injected: " + "  ".join(f"{k}={v}" for k, v in sorted(report.injected.items())))
+    for e in report.escapes:
+        print(f"  FAULT ESCAPE [{e.kind}]: {e.detail}")
+    if report.flight_dump:
+        print(f"  flight recorder dump: {report.flight_dump}")
+    print(f"  exactly-once: {report.exactly_once}")
+    path = obs.write_bench_json(
+        "fuzz",
+        {"mode": "chaos-shard-kill", "shards": args.shards, "kills": args.kills,
+         **report.as_dict()},
+        directory=out_dir,
+        family=args.construction,
+    )
+    print(f"wrote {path}")
+    return 0 if report.exactly_once else 1
 
 
 def _cache(args: argparse.Namespace) -> int:
@@ -823,6 +1044,64 @@ def main(argv: list[str] | None = None) -> int:
     pserve.add_argument("--port", type=int, default=0, help="0 binds an ephemeral port")
     pserve.set_defaults(fn=_serve)
 
+    pcl = sub.add_parser(
+        "cluster",
+        help="sharded WAL-durable counting cluster: start, status, kill-shard",
+    )
+    clsub = pcl.add_subparsers(dest="cluster_command", required=True)
+
+    cls_ = clsub.add_parser("start", help="run shards + router in the foreground")
+    cls_.add_argument("--shards", type=int, default=2, help="shard processes (residue classes)")
+    cls_.add_argument(
+        "--wal-dir", required=True,
+        help="directory for per-shard WALs and the cluster state file",
+    )
+    cls_.add_argument("--widths", default="2,3", help="balancer-width factors per shard")
+    cls_.add_argument("--construction", choices=["K", "L", "C"], default="K")
+    cls_.add_argument("--host", default="127.0.0.1")
+    cls_.add_argument("--port", type=int, default=0, help="router port (0 = ephemeral)")
+    cls_.add_argument(
+        "--mode", choices=["line", "splice"], default="line",
+        help="router forwarding: line parses/aggregates, splice shovels bytes",
+    )
+    cls_.add_argument("--max-batch", type=int, default=64)
+    cls_.add_argument("--max-delay", type=float, default=0.001)
+    cls_.add_argument("--queue-limit", type=int, default=1024)
+    cls_.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip fsync on WAL appends (faster; durable only to the OS cache)",
+    )
+    cls_.add_argument(
+        "--adaptive", action="store_true",
+        help="run the adaptive batch tuner in every shard",
+    )
+    cls_.add_argument(
+        "--obs", action="store_true",
+        help="enable observability (REPRO_OBS) inside every shard",
+    )
+    cls_.add_argument(
+        "--rate", type=float, default=None,
+        help="per-client token-bucket rate (tokens/second; default: no limiting)",
+    )
+    cls_.add_argument(
+        "--burst", type=float, default=None,
+        help="token-bucket capacity (default 2x rate)",
+    )
+    cls_.set_defaults(fn=_cluster_start)
+
+    clst = clsub.add_parser("status", help="read the state file and probe the router")
+    clst.add_argument("--wal-dir", required=True)
+    clst.add_argument("--no-probe", action="store_true", help="skip the live router STATS probe")
+    clst.add_argument("--json", action="store_true", help="dump the full STATS JSON")
+    clst.set_defaults(fn=_cluster_status)
+
+    clk = clsub.add_parser(
+        "kill-shard", help="SIGKILL one shard; the supervisor restarts it via WAL replay"
+    )
+    clk.add_argument("shard_id", type=int)
+    clk.add_argument("--wal-dir", required=True)
+    clk.set_defaults(fn=_cluster_kill_shard)
+
     plg = sub.add_parser(
         "loadgen",
         help="drive a counting service with load; writes BENCH_serve.json",
@@ -841,6 +1120,14 @@ def main(argv: list[str] | None = None) -> int:
     plg.add_argument("--amount", type=int, default=1, help="values per INC request")
     plg.add_argument("--rate", type=float, default=2000.0, help="open-loop arrivals/second")
     plg.add_argument("--seed", type=int, default=0)
+    plg.add_argument(
+        "--procs", type=int, default=1,
+        help="client-side OS processes (>1 needs --connect; seeds offset per process)",
+    )
+    plg.add_argument(
+        "--reconnect", action="store_true",
+        help="TCP clients survive dropped connections (backoff + retry)",
+    )
     plg.add_argument("--out-dir", default=".", help="where BENCH_serve.json lands")
     plg.set_defaults(fn=_loadgen)
 
@@ -901,14 +1188,23 @@ def main(argv: list[str] | None = None) -> int:
     zc.add_argument("--dup-rate", type=float, default=0.02)
     zc.add_argument("--cancel-rate", type=float, default=0.03)
     zc.add_argument(
-        "--inject", choices=["none", "stuck", "state"], default="none",
+        "--inject", choices=["none", "stuck", "state", "shard-kill"], default="none",
         help="exactly-once violation to inject: a stuck balancer (semantic "
-        "fault) or a silent issuance-state corruption (executor path); "
-        "either arms the flight recorder into --out-dir",
+        "fault), a silent issuance-state corruption (executor path), or "
+        "shard-kill (SIGKILL cluster shards mid-load and audit the WAL "
+        "replay); all arm the flight recorder into --out-dir",
     )
     zc.add_argument(
         "--inject-after", type=int, default=5,
         help="batch number at which --inject state corrupts the state",
+    )
+    zc.add_argument(
+        "--shards", type=int, default=2,
+        help="shard-kill: cluster size (shard processes)",
+    )
+    zc.add_argument(
+        "--kills", type=int, default=1,
+        help="shard-kill: how many SIGKILLs to deal out",
     )
     zc.add_argument("--out-dir", default=".", help="where BENCH_fuzz.json lands")
     zc.set_defaults(fn=_fuzz_chaos)

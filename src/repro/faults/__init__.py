@@ -68,6 +68,7 @@ from .chaos import (
     audit_exactly_once,
     chaos_token_check,
     run_chaos,
+    run_shard_kill_chaos,
 )
 
 __all__ = [
@@ -107,4 +108,5 @@ __all__ = [
     "audit_exactly_once",
     "chaos_token_check",
     "run_chaos",
+    "run_shard_kill_chaos",
 ]

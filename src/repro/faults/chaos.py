@@ -47,6 +47,7 @@ __all__ = [
     "ChaosReport",
     "audit_exactly_once",
     "run_chaos",
+    "run_shard_kill_chaos",
     "chaos_token_check",
 ]
 
@@ -424,6 +425,185 @@ def run_chaos(
             report.flight_dump = str(service.last_flight_dump)
     else:
         asyncio.run(main())
+    return report
+
+
+def run_shard_kill_chaos(
+    *,
+    shards: int = 2,
+    clients: int = 6,
+    ops: int = 120,
+    kills: int = 1,
+    kill_after_s: float = 0.3,
+    kill_spacing_s: float = 0.6,
+    amount_max: int = 3,
+    seed: int = 0,
+    factors: Sequence[int] = (2, 2),
+    wal_dir: str | None = None,
+    flight_dir=None,
+) -> ChaosReport:
+    """SIGKILL shards under live cluster load and audit exactly-once.
+
+    The process-level analogue of :func:`run_chaos`: a real
+    :class:`~repro.cluster.Cluster` (``shards`` workers behind the line-mode
+    router, supervised) is driven by ``clients`` reconnecting TCP clients
+    while a chaos task ``kill -9``\\ s a seeded choice of shard ``kills``
+    times.  The supervisor restarts each victim, which replays its
+    write-ahead log before reopening its socket.
+
+    The audit is the cluster form of "delivered exactly once or
+    attributably lost": all delivered values distinct (a duplicate means
+    WAL replay under-counted — the fatal escape), and per-residue-class
+    gaps bounded by the risked-token budget.  A *gap* is a value a shard
+    committed to its WAL but whose ack died with the process; every such
+    value belongs to a request whose client saw the connection drop and
+    retried, so ``gaps <= risked_requests * amount_max`` — anything beyond
+    that is an ``unaccounted-gap`` escape (WAL replay over-counted).
+
+    Returns a :class:`ChaosReport`; cluster facts land in ``injected``
+    (``shard_kill``, ``restarts``, ``risked``, ``reconnects``).  With
+    ``flight_dir`` set, any escape triggers a flight-recorder dump whose
+    path is attached as ``flight_dump``.
+    """
+    import tempfile
+
+    from ..cluster import Cluster, ClusterConfig
+    from ..serve.batching import OverloadedError
+    from ..serve.loadgen import TCPCounterClient, audit_values
+
+    report = ChaosReport(seed=seed)
+    delivered: list[int] = []
+    rng = np.random.default_rng(seed)
+
+    async def main(wal_dir: str) -> None:
+        cfg = ClusterConfig(
+            shards=shards,
+            wal_dir=wal_dir,
+            factors=tuple(factors),
+            max_delay=0.0005,
+            poll_interval=0.1,
+            mode="line",
+        )
+        async with Cluster(cfg) as cluster:
+            host, port = cluster.address
+            stop = asyncio.Event()
+
+            async def client_worker(i: int) -> None:
+                client = await TCPCounterClient.connect(
+                    host, port, reconnect=True, backoff_seed=seed + i, backoff_base=0.02
+                )
+                crng = np.random.default_rng(seed + 7919 * i)
+                try:
+                    for _ in range(ops):
+                        amount = int(crng.integers(1, amount_max + 1))
+                        report.requests += 1
+                        try:
+                            delivered.extend(await client.inc(amount))
+                        except OverloadedError:
+                            # A shard is down/restarting: clean, value-free
+                            # rejection.  Back off and keep offering load.
+                            report.retries += 1
+                            await asyncio.sleep(0.02)
+                finally:
+                    report.injected["risked"] = report.injected.get("risked", 0) + client.risked
+                    report.injected["reconnects"] = (
+                        report.injected.get("reconnects", 0) + client.reconnects
+                    )
+                    await client.close()
+
+            async def busiest_shard() -> int:
+                """The shard with the most traffic — killing an idle shard
+                would make the chaos vacuous (few clients can all hash to
+                one shard).  Falls back to a seeded pick."""
+                try:
+                    probe = await TCPCounterClient.connect(host, port)
+                    try:
+                        st = await probe.stats()
+                    finally:
+                        await probe.close()
+                    entries = [
+                        e
+                        for e in st.get("cluster", {}).get("shards", [])
+                        if e.get("reachable")
+                    ]
+                    if entries:
+                        return int(
+                            max(entries, key=lambda e: e.get("submitted", 0))["shard_id"]
+                        )
+                except (OSError, ConnectionError):
+                    pass
+                return int(rng.integers(0, shards))
+
+            async def chaos_task() -> None:
+                await asyncio.sleep(kill_after_s)
+                for k in range(kills):
+                    if stop.is_set():
+                        return
+                    cluster.kill_shard(await busiest_shard())
+                    report.injected["shard_kill"] = report.injected.get("shard_kill", 0) + 1
+                    if k + 1 < kills:
+                        await asyncio.sleep(kill_spacing_s)
+
+            await asyncio.gather(*(client_worker(i) for i in range(clients)), chaos_task())
+            stop.set()
+            # Let the supervisor finish any in-flight restart, then wait for
+            # every shard to answer STATS (alive != socket bound).
+            for _ in range(200):
+                if cluster.settled:
+                    break
+                await asyncio.sleep(0.05)
+            stats: dict = {}
+            for _ in range(100):
+                probe = await TCPCounterClient.connect(host, port)
+                try:
+                    stats = await probe.stats()
+                finally:
+                    await probe.close()
+                entries = stats.get("cluster", {}).get("shards", [])
+                if entries and all(e.get("reachable") for e in entries):
+                    break
+                await asyncio.sleep(0.1)
+            report.issued = int(stats.get("issued", 0))
+            report.injected["restarts"] = cluster.restarts
+
+        report.delivered = len(delivered)
+        audit = audit_values(delivered, stride=shards)
+        if audit["duplicates"]:
+            dupes = sorted(
+                {v for v in delivered if delivered.count(v) > 1} if len(delivered) < 10000 else []
+            )
+            report.escapes.append(
+                FaultEscape(
+                    "duplicate-delivery",
+                    f"{audit['duplicates']} value(s) delivered more than once after "
+                    f"{report.injected.get('shard_kill', 0)} shard kill(s) — WAL replay "
+                    "under-counted",
+                    tuple(dupes[:16]),
+                )
+            )
+        budget = report.injected.get("risked", 0) * amount_max
+        if audit["gap_total"] > budget:
+            report.escapes.append(
+                FaultEscape(
+                    "unaccounted-gap",
+                    f"{audit['gap_total']} missing value(s) but the risked-request "
+                    f"budget only covers {budget} — WAL replay over-counted",
+                )
+            )
+        report.lost_to_drops = audit["gap_total"]
+
+    if wal_dir is not None:
+        asyncio.run(main(wal_dir))
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            asyncio.run(main(tmp))
+
+    if report.escapes and flight_dir is not None:
+        from ..obs.flight import dump_flight
+
+        report.flight_dump = str(
+            dump_flight("fault-escape", detail=report.escapes[0].kind, directory=flight_dir)
+        )
     return report
 
 

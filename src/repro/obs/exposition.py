@@ -40,6 +40,8 @@ __all__ = [
     "metric_name",
     "render_registry",
     "render_registries",
+    "relabel_exposition",
+    "merge_expositions",
     "parse_prometheus",
     "histogram_from_samples",
     "percentile_from_buckets",
@@ -140,6 +142,56 @@ def render_registries(registries, prefix: str = METRIC_PREFIX) -> str:
     return "".join(render_registry(r, prefix, _seen=seen) for r in registries)
 
 
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def relabel_exposition(text: str, labels: dict[str, str]) -> str:
+    """Inject ``labels`` into every sample of a Prometheus exposition.
+
+    The cluster router scrapes each shard's ``METRICS`` payload and tags it
+    with ``shard="i"`` before aggregation, so per-shard series stay
+    distinguishable in one scrape.  Existing labels are preserved; on a
+    name collision the injected label wins.  Comment lines (``# TYPE`` ...)
+    pass through untouched; malformed sample lines raise ``ValueError``.
+    """
+    if not labels:
+        return text
+    out: list[str] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip() or line.startswith("#"):
+            out.append(line)
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        merged = _parse_labels(m.group("labels"))
+        merged.update(labels)
+        pairs = ",".join(f'{k}="{_escape_label_value(str(v))}"' for k, v in sorted(merged.items()))
+        out.append(f"{m.group('name')}{{{pairs}}} {m.group('value')}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def merge_expositions(texts) -> str:
+    """Concatenate expositions, keeping only the first ``# TYPE`` per series.
+
+    Prometheus forbids a series name being typed twice in one scrape; when
+    the router merges per-shard payloads (same series names, different
+    ``shard`` labels) the duplicate ``# TYPE`` lines must be dropped.
+    """
+    seen_types: set[str] = set()
+    out: list[str] = []
+    for text in texts:
+        for line in text.splitlines():
+            m = _TYPE_RE.match(line)
+            if m is not None:
+                if m.group("name") in seen_types:
+                    continue
+                seen_types.add(m.group("name"))
+            out.append(line)
+    return "\n".join(out) + ("\n" if out else "")
+
+
 # -- consumer half ------------------------------------------------------------
 
 
@@ -202,25 +254,35 @@ def _validate_histograms(series: dict[str, dict]) -> None:
         if not name.endswith("_bucket") or entry["type"] != "histogram":
             continue
         base = name[: -len("_bucket")]
-        pairs = []
-        inf_count = None
+        # Group by the non-le labels: a merged cluster scrape carries one
+        # bucket family per shard= label, each cumulative on its own.
+        groups: dict[tuple, list[tuple[str, float]]] = {}
         for labels, value in entry["samples"]:
             le = labels.get("le")
             if le is None:
                 raise ValueError(f"{name}: bucket sample without le label")
-            if le == "+Inf":
-                inf_count = value
-            else:
-                pairs.append((float(le), value))
-        if inf_count is None:
-            raise ValueError(f"{name}: missing le=\"+Inf\" bucket")
-        pairs.sort()
-        cum = [v for _, v in pairs] + [inf_count]
-        if any(b > a for a, b in zip(cum[1:], cum[:-1])):
-            raise ValueError(f"{name}: bucket counts are not cumulative")
-        count = series.get(f"{base}_count")
-        if count and count["samples"][0][1] != inf_count:
-            raise ValueError(f"{base}: _count disagrees with the +Inf bucket")
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            groups.setdefault(key, []).append((le, value))
+        counts = {
+            tuple(sorted(labels.items())): value
+            for labels, value in series.get(f"{base}_count", {"samples": []})["samples"]
+        }
+        for key, raw in groups.items():
+            pairs = []
+            inf_count = None
+            for le, value in raw:
+                if le == "+Inf":
+                    inf_count = value
+                else:
+                    pairs.append((float(le), value))
+            if inf_count is None:
+                raise ValueError(f"{name}: missing le=\"+Inf\" bucket")
+            pairs.sort()
+            cum = [v for _, v in pairs] + [inf_count]
+            if any(b > a for a, b in zip(cum[1:], cum[:-1])):
+                raise ValueError(f"{name}: bucket counts are not cumulative")
+            if key in counts and counts[key] != inf_count:
+                raise ValueError(f"{base}: _count disagrees with the +Inf bucket")
 
 
 def histogram_from_samples(

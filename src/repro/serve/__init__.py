@@ -17,7 +17,12 @@ service.  Pieces:
 * :mod:`repro.serve.loadgen` — :class:`LoadGenerator` (seeded open-/
   closed-loop load) and :class:`LoadReport`;
 * :mod:`repro.serve.top` — the ``repro top`` live terminal dashboard
-  (throughput, p50/p99, queue depth, shed and cache-hit rates).
+  (throughput, p50/p99, queue depth, shed and cache-hit rates; per-shard
+  rows when pointed at a cluster router).
+
+The multi-process flavour of all of this — sharded workers behind a
+consistent-hash router, with write-ahead durability — lives in
+:mod:`repro.cluster` and speaks this exact protocol.
 
 Quickstart::
 
@@ -37,8 +42,14 @@ From the shell: ``python -m repro serve`` and ``python -m repro loadgen``
 """
 
 from .batching import Batcher, BatcherStats, OverloadedError
-from .loadgen import LoadGenerator, LoadReport, TCPCounterClient
-from .protocol import ProtocolError, Request, parse_request, parse_response
+from .loadgen import (
+    LoadGenerator,
+    LoadReport,
+    TCPCounterClient,
+    audit_values,
+    run_multiprocess_tcp,
+)
+from .protocol import ProtocolError, Request, ThrottledError, parse_request, parse_response
 from .server import CountingServer
 from .service import CountingService, ExactlyOnceError
 from .top import TopSample, render_frame, run_top
@@ -54,10 +65,13 @@ __all__ = [
     "ExactlyOnceError",
     "CountingServer",
     "ProtocolError",
+    "ThrottledError",
     "Request",
     "parse_request",
     "parse_response",
     "LoadGenerator",
     "LoadReport",
     "TCPCounterClient",
+    "audit_values",
+    "run_multiprocess_tcp",
 ]

@@ -21,6 +21,7 @@ clients received.
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Awaitable, Callable
@@ -31,23 +32,100 @@ from .batching import OverloadedError
 from .protocol import encode_request, parse_payload_header, parse_response
 from .service import CountingService
 
-__all__ = ["TCPCounterClient", "LoadReport", "LoadGenerator"]
+__all__ = [
+    "TCPCounterClient",
+    "LoadReport",
+    "LoadGenerator",
+    "audit_values",
+    "run_multiprocess_tcp",
+]
+
+#: Errors that mean "the TCP peer went away" (a shard was killed, the
+#: router dropped us) as opposed to a protocol-level rejection.
+_CONN_ERRORS = (ConnectionError, BrokenPipeError, OSError, asyncio.IncompleteReadError, EOFError)
 
 
 class TCPCounterClient:
-    """Minimal asyncio client for the line protocol (one connection)."""
+    """Asyncio client for the line protocol (one connection).
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    With ``reconnect=True`` (requires connecting via :meth:`connect` so the
+    address is known), :meth:`inc` survives the peer dropping the
+    connection — ``ConnectionResetError``/``BrokenPipeError``/EOF — by
+    re-dialing with capped exponential backoff plus jitter and *retrying*
+    the request.  A retried request is counted in :attr:`risked`: its
+    first send may have reached a shard that committed values to the WAL
+    before dying, so those values can resurface as *gaps* (never
+    duplicates) in the cluster audit — :func:`audit_values` budgets gaps
+    against exactly this counter.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        reconnect: bool = False,
+        max_retries: int = 8,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        backoff_seed: int | None = None,
+    ):
         self._reader = reader
         self._writer = writer
+        self.host = host
+        self.port = port
+        self.reconnect = reconnect
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self._rng = random.Random(backoff_seed)
+        self.reconnects = 0
+        self.risked = 0
+        if reconnect and (host is None or port is None):
+            raise ValueError("reconnect=True requires host and port")
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "TCPCounterClient":
+    async def connect(cls, host: str, port: int, **kwargs) -> "TCPCounterClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(reader, writer, host=host, port=port, **kwargs)
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Capped exponential backoff with jitter for retry ``attempt``."""
+        delay = min(self.backoff_cap, self.backoff_base * (2**attempt))
+        return delay * (0.5 + 0.5 * self._rng.random())
+
+    async def _redial(self) -> None:
+        """Re-open the connection, backing off between failed attempts."""
+        for attempt in range(self.max_retries):
+            await asyncio.sleep(self.backoff_delay(attempt))
+            try:
+                self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+            except OSError:
+                continue
+            self.reconnects += 1
+            return
+        raise ConnectionError(
+            f"could not reconnect to {self.host}:{self.port} after {self.max_retries} attempts"
+        )
 
     async def inc(self, amount: int = 1) -> list[int]:
-        """``INC <amount>`` → the dispensed values."""
+        """``INC <amount>`` → the dispensed values (reconnecting if enabled)."""
+        for _attempt in range(self.max_retries + 1):
+            try:
+                return await self._inc_once(amount)
+            except _CONN_ERRORS:
+                if not self.reconnect:
+                    raise
+                # The request line may have reached a shard that committed
+                # before dying: the retry risks a gap, never a duplicate.
+                self.risked += 1
+                self._writer.close()
+                await self._redial()
+        raise ConnectionError(f"request failed after {self.max_retries} reconnects")
+
+    async def _inc_once(self, amount: int) -> list[int]:
         self._writer.write(encode_request(amount))
         await self._writer.drain()
         line = await self._reader.readline()
@@ -97,6 +175,46 @@ class TCPCounterClient:
             pass
 
 
+def audit_values(values, stride: int = 1) -> dict:
+    """The exactly-once audit over a set of dispensed values.
+
+    A single server dispenses one contiguous range; a cluster of ``S``
+    shards dispenses ``S`` interleaved residue classes, each contiguous
+    *within its own class* (shard ``i`` serves ``i, i+S, i+2S, ...``).
+    The audit therefore checks: all values distinct, and every residue
+    class mod ``stride`` gap-free from its own minimum.  ``gap_total``
+    counts missing values inside those spans — after a shard kill these
+    are tokens committed to the WAL whose ack never reached a client, and
+    the chaos harness budgets them against the clients' risked-request
+    count (gaps are the benign failure mode; duplicates never are).
+    """
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    n = len(values)
+    distinct = len(set(values)) == n
+    classes: dict[int, dict] = {}
+    gap_total = 0
+    if values:
+        by_class: dict[int, list[int]] = {}
+        for v in values:
+            by_class.setdefault(v % stride, []).append(v)
+        for r, vs in sorted(by_class.items()):
+            vs.sort()
+            span = (vs[-1] - vs[0]) // stride + 1
+            gaps = span - len(set(vs))
+            gap_total += gaps
+            classes[r] = {"n": len(vs), "min": vs[0], "max": vs[-1], "gaps": gaps}
+    return {
+        "n": n,
+        "stride": stride,
+        "distinct": distinct,
+        "duplicates": n - len(set(values)),
+        "classes": classes,
+        "gap_total": gap_total,
+        "exactly_once": bool(values) and distinct and gap_total == 0,
+    }
+
+
 @dataclass
 class LoadReport:
     """Everything one load run measured."""
@@ -110,6 +228,9 @@ class LoadReport:
     duration_s: float
     service_stats: dict = field(default_factory=dict)
     seed: int = 0
+    stride: int = 1  # value-space stride (num_shards for a cluster target)
+    risked: int = 0  # requests retried after a connection drop
+    reconnects: int = 0
 
     # -- derived ------------------------------------------------------------
 
@@ -129,20 +250,24 @@ class LoadReport:
             return float("nan")
         return float(np.percentile(self.latencies_s, pct))
 
+    def audit(self) -> dict:
+        """The stride-aware exactly-once audit (see :func:`audit_values`)."""
+        return audit_values(self.values, self.stride)
+
     @property
     def distinct(self) -> bool:
         return len(set(self.values)) == len(self.values)
 
     @property
     def contiguous(self) -> bool:
-        """Values form a gap-free range (from their own minimum)."""
+        """Values gap-free per residue class (one contiguous range at stride 1)."""
         if not self.values:
             return False
-        return self.distinct and max(self.values) - min(self.values) + 1 == len(self.values)
+        return self.distinct and self.audit()["gap_total"] == 0
 
     @property
     def exactly_once(self) -> bool:
-        """Every request got distinct values forming one contiguous range."""
+        """Every request got distinct values, gap-free per residue class."""
         return self.contiguous
 
     def summary(self) -> dict:
@@ -165,6 +290,9 @@ class LoadReport:
             "exactly_once": self.exactly_once,
             "first_value": min(self.values) if self.values else None,
             "seed": self.seed,
+            "stride": self.stride,
+            "risked": self.risked,
+            "reconnects": self.reconnects,
         }
 
     def bench_payload(self) -> dict:
@@ -195,6 +323,9 @@ class LoadGenerator:
     seed:
         Seeds the arrival-schedule RNG; two runs with equal config and seed
         offer identical schedules.
+    reconnect:
+        TCP targets only: survive dropped connections by re-dialing with
+        backoff and retrying (the chaos-under-load client behaviour).
     """
 
     def __init__(
@@ -206,6 +337,7 @@ class LoadGenerator:
         amount: int = 1,
         rate: float = 2000.0,
         seed: int = 0,
+        reconnect: bool = False,
     ) -> None:
         if mode not in ("closed", "open"):
             raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
@@ -219,6 +351,7 @@ class LoadGenerator:
         self.amount = amount
         self.rate = rate
         self.seed = seed
+        self.reconnect = reconnect
 
     # -- targets --------------------------------------------------------------
 
@@ -230,8 +363,18 @@ class LoadGenerator:
         return report
 
     async def run_tcp(self, host: str, port: int) -> LoadReport:
-        """Drive a TCP server: one connection per client slot."""
-        pool = [await TCPCounterClient.connect(host, port) for _ in range(self.clients)]
+        """Drive a TCP server: one connection per client slot.
+
+        The target may be a single :class:`CountingServer` or a cluster
+        router — the report's ``stride`` is auto-detected from the
+        target's ``STATS`` so the exactly-once audit fits either.
+        """
+        pool = [
+            await TCPCounterClient.connect(
+                host, port, reconnect=self.reconnect, backoff_seed=self.seed + i
+            )
+            for i in range(self.clients)
+        ]
         locks = [asyncio.Lock() for _ in pool]
 
         def make_submit(i: int) -> Callable[[int], Awaitable[list[int]]]:
@@ -245,7 +388,13 @@ class LoadGenerator:
 
         try:
             report = await self._drive(make_submit)
-            report.service_stats = await pool[0].stats()
+            report.risked = sum(c.risked for c in pool)
+            report.reconnects = sum(c.reconnects for c in pool)
+            try:
+                report.service_stats = await pool[0].stats()
+            except _CONN_ERRORS:
+                report.service_stats = {}
+            report.stride = _stride_from_stats(report.service_stats)
         finally:
             for c in pool:
                 await c.close()
@@ -304,3 +453,124 @@ class LoadGenerator:
             duration_s=duration,
             seed=self.seed,
         )
+
+
+def _stride_from_stats(stats: dict) -> int:
+    """The value-space stride a ``STATS`` payload implies (1 = single server)."""
+    cluster = stats.get("cluster")
+    if isinstance(cluster, dict) and cluster.get("value_stride"):
+        return int(cluster["value_stride"])
+    if stats.get("value_stride"):
+        return int(stats["value_stride"])
+    return 1
+
+
+# -- multi-process load generation --------------------------------------------
+
+
+def _mp_child(conn, host, port, kwargs) -> None:
+    """Child entry: run one LoadGenerator and ship the raw measurements back."""
+    try:
+        gen = LoadGenerator(**kwargs)
+        report = asyncio.run(gen.run_tcp(host, port))
+        conn.send(
+            {
+                "values": report.values,
+                "latencies": report.latencies_s.tolist(),
+                "requests": report.requests,
+                "rejected": report.rejected,
+                "duration_s": report.duration_s,
+                "risked": report.risked,
+                "reconnects": report.reconnects,
+                "stride": report.stride,
+                "service_stats": report.service_stats,
+            }
+        )
+    except Exception as exc:  # noqa: BLE001 — report child failure to parent
+        conn.send({"error": f"{type(exc).__name__}: {exc}"})
+    finally:
+        conn.close()
+
+
+def run_multiprocess_tcp(
+    host: str,
+    port: int,
+    *,
+    procs: int = 2,
+    clients: int = 8,
+    ops: int = 50,
+    amount: int = 1,
+    mode: str = "closed",
+    rate: float = 2000.0,
+    seed: int = 0,
+    reconnect: bool = False,
+    timeout: float = 600.0,
+) -> LoadReport:
+    """Drive one TCP target from ``procs`` OS processes and merge the reports.
+
+    A single asyncio loop saturates around one core; a cluster needs
+    *client-side* parallelism too, or the loadgen itself becomes the
+    bottleneck it is trying to measure.  Each child runs an independent
+    seeded :class:`LoadGenerator` (``seed + 1000 * i``); the merged report
+    concatenates values and latencies, so the stride-aware exactly-once
+    audit runs over *everything every process saw* — the cluster-level
+    verdict, not a per-process one.
+    """
+    import multiprocessing
+
+    if procs < 1:
+        raise ValueError("procs must be >= 1")
+    ctx = multiprocessing.get_context("spawn")
+    children = []
+    for i in range(procs):
+        parent_end, child_end = ctx.Pipe(duplex=False)
+        kwargs = dict(
+            mode=mode,
+            clients=clients,
+            ops=ops,
+            amount=amount,
+            rate=rate,
+            seed=seed + 1000 * i,
+            reconnect=reconnect,
+        )
+        proc = ctx.Process(target=_mp_child, args=(child_end, host, port, kwargs), daemon=True)
+        proc.start()
+        child_end.close()
+        children.append((proc, parent_end))
+
+    results = []
+    errors = []
+    for proc, parent_end in children:
+        if parent_end.poll(timeout):
+            payload = parent_end.recv()
+            if "error" in payload:
+                errors.append(payload["error"])
+            else:
+                results.append(payload)
+        else:
+            errors.append(f"loadgen worker pid={proc.pid} timed out")
+            proc.kill()
+        parent_end.close()
+        proc.join(timeout=10)
+    if errors:
+        raise RuntimeError("; ".join(errors))
+
+    values: list[int] = []
+    latencies: list[float] = []
+    for r in results:
+        values.extend(r["values"])
+        latencies.extend(r["latencies"])
+    return LoadReport(
+        mode=mode,
+        clients=procs * clients,
+        requests=sum(r["requests"] for r in results),
+        rejected=sum(r["rejected"] for r in results),
+        values=values,
+        latencies_s=np.asarray(latencies, dtype=np.float64),
+        duration_s=max((r["duration_s"] for r in results), default=0.0),
+        service_stats=results[0]["service_stats"] if results else {},
+        seed=seed,
+        stride=max((r["stride"] for r in results), default=1),
+        risked=sum(r["risked"] for r in results),
+        reconnects=sum(r["reconnects"] for r in results),
+    )

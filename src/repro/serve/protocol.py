@@ -26,6 +26,13 @@ of body) so pipelined clients stay in sync without sniffing payload
 content.  Responses are answered strictly in request order, so the framing
 is unambiguous per verb.
 
+The cluster router (:mod:`repro.cluster.router`) speaks exactly this
+protocol and adds one error code: ``ERR throttled <detail>`` when a
+client's token bucket is empty.  Clients decode it as
+:class:`ThrottledError`, a subclass of
+:class:`~repro.serve.batching.OverloadedError`, so retry/back-off logic
+written for load shedding handles rate limiting unchanged.
+
 ``parse_request``/``encode_*`` are pure functions shared by the server and
 the load-generator client, so both sides agree by construction.
 """
@@ -40,6 +47,7 @@ __all__ = [
     "MAX_LINE_BYTES",
     "MAX_AMOUNT",
     "ProtocolError",
+    "ThrottledError",
     "Request",
     "parse_request",
     "encode_request",
@@ -60,6 +68,10 @@ MAX_AMOUNT = 1 << 20
 
 class ProtocolError(ValueError):
     """A malformed request or response line."""
+
+
+class ThrottledError(OverloadedError):
+    """The router's per-client token bucket rejected the request."""
 
 
 @dataclass(frozen=True)
@@ -168,6 +180,8 @@ def parse_response(line: str) -> list[int]:
         parts = line.split(maxsplit=2)
         code = parts[1] if len(parts) > 1 else "unknown"
         detail = parts[2] if len(parts) > 2 else ""
+        if code == "throttled":
+            raise ThrottledError(detail or "rate limited")
         if code == "overloaded":
             raise OverloadedError(detail or "server overloaded")
         raise ProtocolError(f"server error {code}: {detail}")

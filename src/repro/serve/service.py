@@ -66,6 +66,23 @@ class CountingService:
     validate:
         Re-check per batch that dispensed values form the contiguous range
         ``[issued, issued + n)``.  Costs one O(n) comparison per batch.
+    value_base / value_stride:
+        Affine transform applied to dispensed values: the ``k``-th token this
+        service issues is handed out as ``value_base + value_stride * k``.
+        The defaults (0, 1) are the plain counter.  A shard in a
+        :mod:`repro.cluster` deployment serves ``value_base=shard_id`` and
+        ``value_stride=num_shards`` so the shards jointly partition the
+        integers by residue class — the same decomposition the paper applies
+        to a counting network's output wires — and exactly-once across the
+        cluster reduces to exactly-once per shard.  Validation always runs
+        on the untransformed local values.
+    commit:
+        Optional durability hook ``commit(seq, total)`` called after a batch
+        is issued and validated but *before* any waiter is acked — the
+        append-before-ack point where :class:`repro.cluster.TokenWAL`
+        records ``total`` (tokens issued so far).  If it raises, the batch's
+        waiters all receive the error and the values count as lost (clients
+        retry and get fresh ones); the hook is never retried for that batch.
     flight_dir:
         When set (and observability is on), the first
         :class:`ExactlyOnceError` this service raises writes a
@@ -83,10 +100,21 @@ class CountingService:
         queue_limit: int = 1024,
         validate: bool = True,
         flight_dir=None,
+        value_base: int = 0,
+        value_stride: int = 1,
+        commit=None,
     ) -> None:
+        if value_stride < 1:
+            raise ValueError("value_stride must be >= 1")
+        if value_base < 0 or value_base >= value_stride:
+            raise ValueError("value_base must be in [0, value_stride)")
         self.net = net
         self.validate = bool(validate)
         self.flight_dir = flight_dir
+        self.value_base = int(value_base)
+        self.value_stride = int(value_stride)
+        self.commit = commit
+        self._batch_seq = 0
         self.last_flight_dump = None
         self._flight_dumped = False
         self._total = 0
@@ -182,8 +210,29 @@ class CountingService:
 
     @property
     def issued(self) -> int:
-        """Total values dispensed so far."""
+        """Total values dispensed so far (local token count, pre-transform)."""
         return self._total
+
+    def restore(self, total: int) -> None:
+        """Reset issuance state to ``total`` tokens already dispensed.
+
+        This is the WAL-recovery entry point (see :mod:`repro.cluster.wal`):
+        a restarted shard replays its log to the last durable token count and
+        resumes issuing from there, never re-dispensing a value that could
+        already have been acked.  The per-wire output counts are re-derived
+        from the quiescent-state identity — ``total`` alone determines them —
+        so no per-wire state needs logging.  Only valid while no batch is in
+        flight (call before :meth:`start` or between batches).
+        """
+        if total < 0:
+            raise ValueError("total must be >= 0")
+        w = self.net.width
+        self._total = int(total)
+        self._out_counts = (
+            propagate_counts(self.net, make_step(w, int(total)))
+            if total
+            else np.zeros(w, dtype=np.int64)
+        )
 
     @property
     def batcher_stats(self) -> BatcherStats:
@@ -202,6 +251,8 @@ class CountingService:
                 "size": self.net.size,
             },
             "issued": self._total,
+            "value_base": self.value_base,
+            "value_stride": self.value_stride,
             "queue_depth": self._batcher.queue_depth,
             "max_batch": self._batcher.max_batch,
             "max_delay": self._batcher.max_delay,
@@ -279,6 +330,8 @@ class CountingService:
         self._out_counts = out_after
         if _obs.enabled:
             self._obs_mark("verified")
+        if self.value_stride != 1 or self.value_base:
+            return self.value_base + self.value_stride * values
         return values
 
     def _exactly_once_error(self, message: str) -> ExactlyOnceError:
@@ -319,6 +372,13 @@ class CountingService:
         """Batcher callback: one vectorized pass serves every request."""
         n = int(sum(amounts))
         values = self.issue_batch(n)
+        self._batch_seq += 1
+        if self.commit is not None:
+            # Append-before-ack: the durability hook sees the post-batch
+            # token count before any waiter's future resolves.  A failure
+            # here fails the whole batch — issued but unacked values are
+            # lost, never silently handed out without a durable record.
+            self.commit(self._batch_seq, self._total)
         if _obs.enabled:
             self._obs_record(len(amounts), n)
         bounds = np.cumsum(amounts[:-1])

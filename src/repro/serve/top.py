@@ -141,10 +141,55 @@ def render_frame(prev: TopSample, cur: TopSample) -> str:
     ]
     width = max(len(label) for label, _ in rows)
     lines.extend(f"  {label:<{width}}  {value}" for label, value in rows)
+    if "cluster" in st:
+        lines.extend(_cluster_rows(prev, cur))
     if not cur.series:
         lines.append("")
         lines.append("  (METRICS histograms empty — start the server with REPRO_OBS=1)")
     return "\n".join(lines) + "\n"
+
+
+def _cluster_rows(prev: TopSample, cur: TopSample) -> list[str]:
+    """Per-shard rows for a cluster router target.
+
+    The aggregate panel above already sums the shards; these rows break the
+    same quantities out per shard (rates from successive samples, p99 from
+    the router's per-shard scrape) plus supervisor facts (up, restarts).
+    Falls back cleanly: a single-process server has no ``cluster`` key and
+    never reaches here.
+    """
+    cluster = cur.stats.get("cluster", {})
+    shards = cluster.get("shards", [])
+    prev_shards = {
+        s.get("shard_id"): s for s in prev.stats.get("cluster", {}).get("shards", [])
+    }
+    dt = cur.t - prev.t
+    router = cluster.get("router", {})
+    lines = [
+        "",
+        f"  cluster: {cluster.get('num_shards', '?')} shards, "
+        f"router mode={router.get('mode', '?')}, "
+        f"throttled={router.get('throttled', 0)}, "
+        f"shard errors={router.get('shard_errors', 0)}",
+        f"  {'shard':>5}  {'state':<7} {'req/s':>9}  {'queue':>9}  {'shed':>7}  "
+        f"{'p99':>8}  {'restarts':>8}",
+    ]
+    for s in shards:
+        sid = s.get("shard_id")
+        p = prev_shards.get(sid, {})
+        if dt > 0 and "submitted" in s and "submitted" in p:
+            rate = (s.get("submitted", 0) - p.get("submitted", 0)) / dt
+            shed = (s.get("rejected", 0) - p.get("rejected", 0)) / dt
+        else:
+            rate = shed = float("nan")
+        state = "up" if s.get("up", s.get("reachable")) else "DOWN"
+        queue = f"{s.get('queue_depth', '?')}/{s.get('queue_limit', '?')}"
+        lines.append(
+            f"  {sid:>5}  {state:<7} {_fmt_num(rate):>9}  {queue:>9}  "
+            f"{_fmt_num(shed):>7}  {_fmt_latency(s.get('request_p99_s')):>8}  "
+            f"{s.get('restarts', 0):>8}"
+        )
+    return lines
 
 
 async def run_top(

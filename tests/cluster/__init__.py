@@ -1,0 +1,1 @@
+"""Tests for :mod:`repro.cluster` — shards, WAL, router, supervision."""

@@ -1,0 +1,99 @@
+"""Consistent-hash ring properties: balance and stability (ISSUE satellite).
+
+The two hypothesis properties pin the guarantees the router relies on:
+with 64 virtual nodes per shard the load spread over many clients stays
+bounded, and growing the ring by one shard remaps only a small fraction
+of keys (removing it restores the previous assignment exactly).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.hashing import HashRing, stable_hash
+
+
+def make_keys(n, prefix=""):
+    return [f"{prefix}10.0.{i >> 8}.{i & 255}:{40000 + i}" for i in range(n)]
+
+
+class TestStableHash:
+    def test_deterministic_and_64_bit(self):
+        h = stable_hash("10.0.0.1:40001")
+        assert h == stable_hash("10.0.0.1:40001")
+        assert 0 <= h < 2**64
+
+    def test_distinct_keys_distinct_hashes(self):
+        keys = make_keys(500)
+        assert len({stable_hash(k) for k in keys}) == len(keys)
+
+
+class TestRingBasics:
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+    def test_empty_ring_has_no_owner(self):
+        with pytest.raises(KeyError):
+            HashRing().node_for("x")
+
+    def test_add_is_idempotent(self):
+        ring = HashRing([0, 1])
+        ring.add(1)
+        assert len(ring) == 2
+        assert ring.members == [0, 1]
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            HashRing([0]).remove(7)
+
+    def test_every_key_maps_to_a_member(self):
+        ring = HashRing(range(3))
+        for key in make_keys(200):
+            assert ring.node_for(key) in (0, 1, 2)
+
+    def test_distribution_counts_sum_to_keys(self):
+        ring = HashRing(range(4))
+        keys = make_keys(400)
+        dist = ring.distribution(keys)
+        assert sum(dist.values()) == len(keys)
+        assert set(dist) == {0, 1, 2, 3}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shards=st.integers(min_value=2, max_value=8),
+    salt=st.integers(min_value=0, max_value=1000),
+)
+def test_balance_max_min_ratio_is_bounded(shards, salt):
+    """With 64 vnodes/member, no shard is starved and none is a hotspot."""
+    ring = HashRing(range(shards), replicas=64)
+    dist = ring.distribution(make_keys(2000, prefix=f"{salt}/"))
+    lo, hi = min(dist.values()), max(dist.values())
+    assert lo > 0, "a shard received no clients at all"
+    assert hi / lo <= 6.0, f"load spread too wide: {dist}"
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shards=st.integers(min_value=2, max_value=8),
+    salt=st.integers(min_value=0, max_value=1000),
+)
+def test_stability_adding_a_shard_remaps_a_small_fraction(shards, salt):
+    """Growing n → n+1 shards moves ~1/(n+1) of keys, never to/from others."""
+    keys = make_keys(2000, prefix=f"{salt}/")
+    ring = HashRing(range(shards), replicas=64)
+    before = {k: ring.node_for(k) for k in keys}
+    ring.add(shards)  # the new member
+    after = {k: ring.node_for(k) for k in keys}
+    moved = [k for k in keys if before[k] != after[k]]
+    # Everything that moved moved *onto* the new shard — consistent hashing
+    # never reshuffles keys between surviving members.
+    assert all(after[k] == shards for k in moved)
+    expected = len(keys) / (shards + 1)
+    assert len(moved) <= 3.0 * expected, f"remapped {len(moved)} of {len(keys)}"
+    # Removing the new shard restores the original assignment exactly.
+    ring.remove(shards)
+    assert {k: ring.node_for(k) for k in keys} == before

@@ -10,9 +10,11 @@ import pytest
 from repro.obs.exposition import (
     VECTOR_INDEX_LIMIT,
     histogram_from_samples,
+    merge_expositions,
     metric_name,
     parse_prometheus,
     percentile_from_buckets,
+    relabel_exposition,
     render_registries,
     render_registry,
 )
@@ -190,3 +192,82 @@ class TestHistogramPercentileRegression:
         for v in (0.5, 1.5, 9.0):
             h.observe(v)
         assert h.cumulative_counts() == [1, 2, 3]
+
+
+class TestRelabelExposition:
+    def test_labels_are_injected_into_every_sample(self):
+        text = (
+            "# TYPE repro_serve_issued_total counter\n"
+            "repro_serve_issued_total 42\n"
+            'repro_serve_batches{kind="fast"} 7\n'
+        )
+        out = relabel_exposition(text, {"shard": "3"})
+        assert 'repro_serve_issued_total{shard="3"} 42' in out
+        assert 'repro_serve_batches{kind="fast",shard="3"} 7' in out
+        assert "# TYPE repro_serve_issued_total counter" in out
+
+    def test_injected_label_wins_collisions(self):
+        out = relabel_exposition('m{shard="9"} 1\n', {"shard": "0"})
+        assert out == 'm{shard="0"} 1\n'
+
+    def test_empty_labels_is_identity(self):
+        text = "repro_x 1\n"
+        assert relabel_exposition(text, {}) == text
+
+    def test_malformed_sample_raises(self):
+        with pytest.raises(ValueError, match="malformed"):
+            relabel_exposition("not a sample line at all!\n", {"shard": "1"})
+
+    def test_label_values_are_escaped(self):
+        out = relabel_exposition("m 1\n", {"path": 'a"b\\c'})
+        assert out == 'm{path="a\\"b\\\\c"} 1\n'
+
+
+class TestMergeExpositions:
+    def test_duplicate_type_lines_are_dropped(self):
+        a = "# TYPE repro_x counter\nrepro_x{shard=\"0\"} 1\n"
+        b = "# TYPE repro_x counter\nrepro_x{shard=\"1\"} 2\n"
+        merged = merge_expositions([a, b])
+        assert merged.count("# TYPE repro_x counter") == 1
+        series = parse_prometheus(merged)
+        assert len(series["repro_x"]["samples"]) == 2
+
+    def test_distinct_series_keep_their_types(self):
+        merged = merge_expositions(
+            ["# TYPE a counter\na 1\n", "# TYPE b gauge\nb 2\n"]
+        )
+        assert "# TYPE a counter" in merged
+        assert "# TYPE b gauge" in merged
+
+
+class TestMergedHistogramValidation:
+    def make_shard_text(self, shard: str, counts: tuple[int, int]) -> str:
+        lo, total = counts
+        text = (
+            "# TYPE repro_serve_request_seconds histogram\n"
+            f'repro_serve_request_seconds_bucket{{le="0.001"}} {lo}\n'
+            f'repro_serve_request_seconds_bucket{{le="+Inf"}} {total}\n'
+            f"repro_serve_request_seconds_sum {total * 0.001}\n"
+            f"repro_serve_request_seconds_count {total}\n"
+        )
+        return relabel_exposition(text, {"shard": shard})
+
+    def test_per_shard_histograms_validate_independently(self):
+        # Shard 1's buckets are smaller than shard 0's: interleaved in one
+        # scrape they would look non-cumulative unless grouped by labels.
+        merged = merge_expositions(
+            [self.make_shard_text("0", (90, 100)), self.make_shard_text("1", (3, 5))]
+        )
+        series = parse_prometheus(merged)  # must not raise
+        assert len(series["repro_serve_request_seconds_bucket"]["samples"]) == 4
+
+    def test_grouped_validation_still_catches_bad_shards(self):
+        bad = (
+            "# TYPE repro_serve_request_seconds histogram\n"
+            'repro_serve_request_seconds_bucket{le="0.001",shard="1"} 10\n'
+            'repro_serve_request_seconds_bucket{le="+Inf",shard="1"} 4\n'
+            'repro_serve_request_seconds_count{shard="1"} 4\n'
+        )
+        good = self.make_shard_text("0", (90, 100))
+        with pytest.raises(ValueError, match="cumulative|non-cumulative|decreas"):
+            parse_prometheus(merge_expositions([good, bad]))

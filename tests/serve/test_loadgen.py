@@ -140,3 +140,177 @@ class TestReport:
     def test_bad_config_rejected(self, kwargs):
         with pytest.raises(ValueError):
             LoadGenerator(**kwargs)
+
+
+class TestAuditValues:
+    def test_contiguous_single_stride(self):
+        from repro.serve import audit_values
+
+        audit = audit_values([0, 1, 2, 3, 4])
+        assert audit["exactly_once"]
+        assert audit["gap_total"] == 0
+        assert audit["duplicates"] == 0
+
+    def test_duplicates_are_counted(self):
+        from repro.serve import audit_values
+
+        audit = audit_values([0, 1, 1, 2])
+        assert not audit["exactly_once"]
+        assert audit["duplicates"] == 1
+        assert not audit["distinct"]
+
+    def test_gaps_inside_a_class_span(self):
+        from repro.serve import audit_values
+
+        audit = audit_values([0, 1, 3, 4])  # 2 is missing
+        assert audit["gap_total"] == 1
+        assert not audit["exactly_once"]
+
+    def test_residue_classes_audit_independently(self):
+        from repro.serve import audit_values
+
+        # Two shards of stride 2, each contiguous in its own class but with
+        # very different totals — globally full of "holes", still exactly-once.
+        values = [0, 2, 4, 6] + [1, 3]
+        audit = audit_values(values, stride=2)
+        assert audit["exactly_once"]
+        assert audit["classes"][0]["n"] == 4
+        assert audit["classes"][1]["n"] == 2
+
+    def test_class_gap_detected_at_stride(self):
+        from repro.serve import audit_values
+
+        audit = audit_values([0, 2, 6, 1, 3], stride=2)  # class 0 missing 4
+        assert audit["gap_total"] == 1
+        assert audit["classes"][0]["gaps"] == 1
+        assert audit["classes"][1]["gaps"] == 0
+
+    def test_empty_is_not_exactly_once(self):
+        from repro.serve import audit_values
+
+        assert not audit_values([])["exactly_once"]
+
+    def test_stride_validation(self):
+        from repro.serve import audit_values
+
+        with pytest.raises(ValueError):
+            audit_values([1], stride=0)
+
+
+class DroppyCounterServer:
+    """A line-protocol counter that drops each connection once, mid-request.
+
+    The first ``INC`` on every fresh connection is answered by closing the
+    socket with no response — exactly the failure surface a router exposes
+    when its shard dies with a request in flight.  Subsequent connections
+    serve sequential values normally.
+    """
+
+    def __init__(self, drops: int = 1):
+        self.drops_left = drops
+        self.next_value = 0
+        self.connections = 0
+        self._server = None
+
+    async def __aenter__(self):
+        self._server = await asyncio.start_server(self._handle, "127.0.0.1", 0)
+        return self
+
+    async def __aexit__(self, *exc):
+        self._server.close()
+        await self._server.wait_closed()
+
+    @property
+    def address(self):
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def _handle(self, reader, writer):
+        self.connections += 1
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            if self.drops_left > 0:
+                self.drops_left -= 1
+                break  # drop the connection with the request unanswered
+            amount = int(line.split()[1]) if len(line.split()) > 1 else 1
+            vals = range(self.next_value, self.next_value + amount)
+            self.next_value += amount
+            writer.write(f"OK {' '.join(map(str, vals))}\n".encode())
+            await writer.drain()
+        writer.close()
+
+
+class TestReconnect:
+    def test_inc_survives_a_dropped_connection(self):
+        from repro.serve import TCPCounterClient
+
+        async def main():
+            async with DroppyCounterServer(drops=1) as server:
+                host, port = server.address
+                client = await TCPCounterClient.connect(
+                    host, port, reconnect=True, backoff_base=0.001, backoff_seed=3
+                )
+                vals = await client.inc()
+                more = await client.inc()
+                await client.close()
+                return vals, more, client, server.connections
+
+        vals, more, client, connections = run(main())
+        assert vals == [0]
+        assert more == [1]
+        assert client.reconnects == 1
+        assert client.risked == 1
+        assert connections == 2
+
+    def test_without_reconnect_the_error_surfaces(self):
+        from repro.serve import TCPCounterClient
+
+        async def main():
+            async with DroppyCounterServer(drops=1) as server:
+                client = await TCPCounterClient.connect(*server.address)
+                await client.inc()
+
+        with pytest.raises((ConnectionError, asyncio.IncompleteReadError, EOFError)):
+            run(main())
+
+    def test_gives_up_after_max_retries(self):
+        from repro.serve import TCPCounterClient
+
+        async def main():
+            async with DroppyCounterServer(drops=100) as server:
+                client = await TCPCounterClient.connect(
+                    *server.address,
+                    reconnect=True,
+                    max_retries=2,
+                    backoff_base=0.001,
+                )
+                await client.inc()
+
+        with pytest.raises(ConnectionError):
+            run(main())
+
+    def test_backoff_is_capped_jittered_and_seeded(self):
+        from repro.serve import TCPCounterClient
+
+        async def main():
+            async with DroppyCounterServer(drops=0) as server:
+                a = await TCPCounterClient.connect(
+                    *server.address, reconnect=True, backoff_seed=42,
+                    backoff_base=0.05, backoff_cap=2.0,
+                )
+                b = await TCPCounterClient.connect(
+                    *server.address, reconnect=True, backoff_seed=42,
+                    backoff_base=0.05, backoff_cap=2.0,
+                )
+                delays_a = [a.backoff_delay(k) for k in range(12)]
+                delays_b = [b.backoff_delay(k) for k in range(12)]
+                await a.close()
+                await b.close()
+                return delays_a, delays_b
+
+        delays_a, delays_b = run(main())
+        assert delays_a == delays_b  # same seed, same schedule
+        assert all(d <= 2.0 for d in delays_a)  # capped
+        assert all(d >= 0.5 * 0.05 for d in delays_a)  # jitter floor of first step
+        assert delays_a[1] != delays_a[2] or delays_a[2] != delays_a[3]

@@ -99,3 +99,72 @@ class TestSampleServer:
         assert "repro_serve_request_seconds_bucket" in s1.series
         frame = render_frame(s0, s1)
         assert "issued total" in frame
+
+
+def make_cluster_stats(s0_submitted=400, s1_submitted=300, s1_up=True) -> dict:
+    st = make_stats(submitted=s0_submitted + s1_submitted)
+    st["cluster"] = {
+        "num_shards": 2,
+        "value_stride": 2,
+        "router": {"mode": "line", "throttled": 4, "shard_errors": 1},
+        "shards": [
+            {
+                "shard_id": 0,
+                "up": True,
+                "reachable": True,
+                "submitted": s0_submitted,
+                "rejected": 0,
+                "queue_depth": 2,
+                "queue_limit": 1024,
+                "request_p99_s": 0.004,
+                "restarts": 0,
+            },
+            {
+                "shard_id": 1,
+                "up": s1_up,
+                "reachable": s1_up,
+                "submitted": s1_submitted,
+                "rejected": 10,
+                "queue_depth": 0,
+                "queue_limit": 1024,
+                "request_p99_s": None,
+                "restarts": 1,
+            },
+        ],
+    }
+    return st
+
+
+class TestClusterFrame:
+    def test_per_shard_rows_render(self):
+        prev = TopSample(0.0, make_cluster_stats(100, 100))
+        cur = TopSample(2.0, make_cluster_stats(500, 300))
+        frame = render_frame(prev, cur)
+        assert "cluster: 2 shards" in frame
+        assert "mode=line" in frame
+        assert "throttled=4" in frame
+        # Per-shard request rates are deltas over dt: (500-100)/2, (300-100)/2.
+        assert "200.0" in frame
+        assert "100.0" in frame
+        assert "4.00ms" in frame  # shard 0 p99
+        assert frame.count("up") >= 2
+
+    def test_down_shard_is_flagged(self):
+        prev = TopSample(0.0, make_cluster_stats())
+        cur = TopSample(1.0, make_cluster_stats(s1_up=False))
+        frame = render_frame(prev, cur)
+        assert "DOWN" in frame
+
+    def test_missing_prev_shard_degrades_to_na(self):
+        prev = TopSample(0.0, make_stats())  # no cluster key last sample
+        cur = TopSample(1.0, make_cluster_stats())
+        frame = render_frame(prev, cur)
+        assert "cluster: 2 shards" in frame
+        assert "n/a" in frame  # rates need two cluster samples
+
+    def test_single_process_layout_unchanged(self):
+        prev = TopSample(0.0, make_stats(), make_series())
+        cur = TopSample(1.0, make_stats(issued=2000), make_series())
+        frame = render_frame(prev, cur)
+        assert "cluster" not in frame
+        assert "shard" not in frame
