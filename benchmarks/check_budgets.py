@@ -14,6 +14,10 @@ A ``throughput_backends`` section gates *minimum* speedups instead: the
 bit-sliced exhaustive proof must stay at least ``budget /
 regression_factor`` times faster than the int64 path (10.0 / 2.0 = a hard
 5x floor against runner noise, with 10x the expected steady number).
+
+``throughput_sim`` and ``cluster`` are hard floors with no slack: both are
+acceptance criteria stated as speedup ratios measured in one process, so
+runner speed divides out.
 """
 
 from __future__ import annotations
@@ -58,6 +62,47 @@ def check_backend_speedups(throughput_path, spec) -> list[str]:
                 f"ok width {width} speedup_x={measured} "
                 f"(budget {budget['min_speedup_x']}, floor {floor:g})"
             )
+    return failures
+
+
+def check_sim_speedups(throughput_path, spec) -> list[str]:
+    """Hard gate on the simulator-substrate sweep.
+
+    The ``sim_rows`` sort-semantics speedup (plan executor vs the retired
+    per-layer walker) at each budgeted width must meet ``min_speedup_x``
+    with no regression_factor slack — it is the substrate PR's acceptance
+    criterion verbatim, and both timings run on the same machine in the
+    same process, so runner speed cancels out of the ratio.
+    """
+    budgets = spec.get("throughput_sim")
+    if not budgets:
+        return []
+    path = pathlib.Path(throughput_path)
+    if not path.exists():
+        return [f"throughput_sim budget set but {throughput_path} missing"]
+    bench = json.loads(path.read_text())
+    rows = {
+        str(r["width"]): r
+        for r in bench.get("sim_rows", [])
+        if r.get("semantics") == "sort"
+    }
+    failures = []
+    for width, budget in budgets.items():
+        row = rows.get(width)
+        if row is None:
+            failures.append(
+                f"sim width {width}: no sort-semantics sim_rows entry in {throughput_path}"
+            )
+            continue
+        floor = float(budget["min_speedup_x"])
+        measured = float(row["speedup_x"])
+        if measured < floor:
+            failures.append(
+                f"sim width {width}: sort plan speedup_x={measured} "
+                f"below hard floor {floor:g}"
+            )
+        else:
+            print(f"ok sim width {width} sort speedup_x={measured} (floor {floor:g})")
     return failures
 
 
@@ -139,6 +184,7 @@ def check(
                     f"(budget {limit}, limit {factor * float(limit):g})"
                 )
     failures.extend(check_backend_speedups(throughput_path, spec))
+    failures.extend(check_sim_speedups(throughput_path, spec))
     failures.extend(check_cluster_rows(serve_scale_path, spec))
     return failures
 

@@ -266,11 +266,12 @@ def _profile(args: argparse.Namespace) -> int:
         batch=args.batch,
         workers=args.workers,
         seed=args.seed,
+        semantics=args.semantics,
     )
     n = report.network
     print(
         f"{n['name']}: width={n['width']} depth={n['depth']} size={n['size']} "
-        f"workload={report.workload}"
+        f"workload={report.workload} semantics={report.semantics}"
     )
     print("  " + "  ".join(f"{k}={v}" for k, v in report.summary.items()))
     print("\nper-layer hot spots:")
@@ -1029,6 +1030,10 @@ def main(argv: list[str] | None = None) -> int:
     pr.add_argument("--procs", type=int, default=8, help="processes (contention workload)")
     pr.add_argument("--ops", type=int, default=4, help="ops per process (contention workload)")
     pr.add_argument("--batch", type=int, default=64, help="batch size (counts workload)")
+    pr.add_argument(
+        "--semantics", choices=["count", "sort", "token"], default="count",
+        help="plan kernel the counts workload drives (counts workload)",
+    )
     pr.add_argument(
         "--workers", type=int, default=None,
         help="shard the counts batch over N worker processes (counts workload)",

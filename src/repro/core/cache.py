@@ -35,7 +35,7 @@ import numpy as np
 from ..obs import runtime as _obs
 from .bitplan import BitPlan
 from .network import Balancer, Network
-from .plan import ExecutionPlan, lower_network
+from .plan import SEMANTICS, ExecutionPlan, lower_network
 
 __all__ = [
     "code_version_hash",
@@ -55,6 +55,7 @@ _HASHED_SOURCES = (
     "core/compiled.py",
     "core/plan.py",
     "core/bitplan.py",
+    "core/semantics.py",
     "networks/counting.py",
     "networks/staircase.py",
     "networks/two_merger.py",
@@ -275,15 +276,23 @@ class PlanCache:
     # -- plans --------------------------------------------------------------
 
     @staticmethod
-    def _plan_kind(backend: str) -> str:
-        """Artifact kind per backend: bit-sliced plans are stored (and
-        therefore invalidated, counted, and listed) separately from int64
-        plans — the backend is part of the artifact's identity."""
+    def _plan_kind(backend: str, semantics: str = "count") -> str:
+        """Artifact kind per backend and semantics: bit-sliced plans are
+        stored (and therefore invalidated, counted, and listed) separately
+        from int64 plans, and non-count semantics get a ``.{semantics}``
+        kind suffix — both are part of the artifact's identity.  (The
+        segment tables are semantics-independent today, but a key that
+        names what produced it keeps distinct eviction/stats accounting and
+        room for semantics-specialized lowering.)"""
         if backend == "int64":
-            return "plan"
-        if backend == "bitsliced":
-            return "bitplan"
-        raise ValueError(f"unknown plan backend {backend!r}")
+            kind = "plan"
+        elif backend == "bitsliced":
+            kind = "bitplan"
+        else:
+            raise ValueError(f"unknown plan backend {backend!r}")
+        if semantics not in SEMANTICS:
+            raise ValueError(f"unknown semantics {semantics!r}; choose from {SEMANTICS}")
+        return kind if semantics == "count" else f"{kind}.{semantics}"
 
     def get_plan(
         self,
@@ -291,8 +300,9 @@ class PlanCache:
         factors: Sequence[int],
         variant: str | None = None,
         backend: str = "int64",
+        semantics: str = "count",
     ) -> ExecutionPlan | BitPlan | None:
-        key = self.entry_key(self._plan_kind(backend), family, factors, variant)
+        key = self.entry_key(self._plan_kind(backend, semantics), family, factors, variant)
         loaded = self._get(key)
         if loaded is None:
             return None
@@ -315,8 +325,9 @@ class PlanCache:
         plan: ExecutionPlan | BitPlan,
         variant: str | None = None,
         backend: str = "int64",
+        semantics: str = "count",
     ) -> None:
-        key = self.entry_key(self._plan_kind(backend), family, factors, variant)
+        key = self.entry_key(self._plan_kind(backend, semantics), family, factors, variant)
         if isinstance(plan, BitPlan):
             plan = plan.plan
         meta = {
@@ -326,6 +337,7 @@ class PlanCache:
             "size": plan.size,
             "variant": variant or "default",
             "backend": backend,
+            "semantics": semantics,
         }
         self._put(key, plan.to_arrays(), meta)
 
@@ -372,12 +384,14 @@ class PlanCache:
         """Entry count, bytes on disk, the persistent counters, a
         per-variant entry breakdown (searched-base plans never collide with
         stock plans — the variant is part of every key and recorded in every
-        entry's meta), and a per-backend breakdown of plan artifacts
-        (``plan-*`` int64 vs ``bitplan-*`` bit-sliced)."""
+        entry's meta), and per-backend / per-semantics breakdowns of plan
+        artifacts (``plan-*`` int64 vs ``bitplan-*`` bit-sliced;
+        ``plan.sort-*`` / ``plan.token-*`` non-count semantics)."""
         m = self._load_manifest()
         entries = m["entries"]
         variants: dict[str, int] = {}
         backends: dict[str, int] = {}
+        semantics: dict[str, int] = {}
         for key, e in entries.items():
             meta = e.get("meta", {})
             v = str(meta.get("variant", "default"))
@@ -385,12 +399,15 @@ class PlanCache:
             if not str(key).startswith("net-"):
                 b = str(meta.get("backend", "int64"))
                 backends[b] = backends.get(b, 0) + 1
+                s = str(meta.get("semantics", "count"))
+                semantics[s] = semantics.get(s, 0) + 1
         return {
             "root": str(self.root),
             "entries": len(entries),
             "bytes": int(sum(int(e.get("bytes", 0)) for e in entries.values())),
             "variants": dict(sorted(variants.items())),
             "backends": dict(sorted(backends.items())),
+            "semantics": dict(sorted(semantics.items())),
             **{k: int(v) for k, v in m["counters"].items()},
         }
 
@@ -437,25 +454,26 @@ def cached_plan(
     *,
     variant: str | None = None,
     backend: str = "int64",
+    semantics: str = "count",
     cache: PlanCache | None = None,
 ) -> ExecutionPlan | BitPlan:
-    """The execution plan for ``(family, factors, variant, backend)``, from
-    disk when possible.
+    """The execution plan for ``(family, factors, variant, backend,
+    semantics)``, from disk when possible.
 
     On a hit the network is never materialized — evaluation needs only the
     plan.  On a miss ``builder()`` runs once and **both** artifacts (the
-    network's flat arrays and the lowered plan, tagged with ``backend``)
-    are stored for next time.  ``backend="bitsliced"`` returns a
-    :class:`~repro.core.bitplan.BitPlan` over the same arrays.
+    network's flat arrays and the lowered plan, tagged with ``backend`` and
+    ``semantics``) are stored for next time.  ``backend="bitsliced"``
+    returns a :class:`~repro.core.bitplan.BitPlan` over the same arrays.
     """
     cache = cache or default_cache()
-    plan = cache.get_plan(family, factors, variant, backend=backend)
+    plan = cache.get_plan(family, factors, variant, backend=backend, semantics=semantics)
     if plan is not None:
         return plan
     net = builder()
     plan = lower_network(net)
     cache.put_network(family, factors, net, variant)
-    cache.put_plan(family, factors, plan, variant, backend=backend)
+    cache.put_plan(family, factors, plan, variant, backend=backend, semantics=semantics)
     if backend == "bitsliced":
         return BitPlan(plan)
     return plan

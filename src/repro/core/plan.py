@@ -18,12 +18,15 @@ further, to an :class:`ExecutionPlan`:
   one contiguous block, position-major.  Writing a layer's outputs is then a
   plain slice store (a memcpy), not a fancy scatter — only the gather side
   pays for indexed addressing;
-* the dominant width-2 case gets a dedicated branchless kernel: one
-  :func:`np.take` gather, one add, two shifts (``ceil(t/2) = (t+1) >> 1``,
-  ``floor(t/2) = t >> 1``), two slice stores;
-* a :class:`PlanExecutor` owns a reusable scratch-buffer pool so
-  steady-state evaluation allocates **nothing** per call, and optionally
-  shards large batches over a process pool (``run_parallel``).
+* the per-balancer arithmetic is a pluggable :mod:`~repro.core.semantics`
+  kernel — quiescent count transfer, descending compare-exchange, or
+  batched mod-p token routing — so one executor serves all three of the
+  paper's isomorphic network views (the dominant width-2 case gets a
+  dedicated branchless kernel in every semantics);
+* a :class:`PlanExecutor` owns a reusable scratch-buffer pool (shared
+  across the semantics of one network/backend pair) so steady-state
+  evaluation allocates **nothing** per call, and optionally shards large
+  batches over a process pool (``run_parallel``).
 
 Lowering results are memoized per :class:`~repro.core.network.Network`
 instance (``WeakKeyDictionary``), mirroring :func:`compile_network`; plans
@@ -43,8 +46,16 @@ from ..obs import runtime as _obs
 from .bitplan import LANES, BitPlan, pack_zero_one, unpack_zero_one
 from .compiled import compile_network
 from .network import Network
+from .semantics import SEMANTICS, get_semantics
 
-__all__ = ["ExecutionPlan", "PlanExecutor", "lower_network", "plan_executor"]
+__all__ = [
+    "BACKENDS",
+    "SEMANTICS",
+    "ExecutionPlan",
+    "PlanExecutor",
+    "lower_network",
+    "plan_executor",
+]
 
 #: Execution backends a :class:`PlanExecutor` can run.
 BACKENDS = ("int64", "bitsliced")
@@ -208,7 +219,7 @@ def lower_plan(net: Network) -> ExecutionPlan:
 
 
 _plan_cache: "weakref.WeakKeyDictionary[Network, ExecutionPlan]" = weakref.WeakKeyDictionary()
-_executor_cache: "weakref.WeakKeyDictionary[Network, dict[str, PlanExecutor]]" = (
+_executor_cache: "weakref.WeakKeyDictionary[Network, dict[tuple[str, str], PlanExecutor]]" = (
     weakref.WeakKeyDictionary()
 )
 
@@ -243,37 +254,50 @@ def lower_network(net: Network) -> ExecutionPlan:
     return plan
 
 
-def plan_executor(net: Network, backend: str = "int64") -> "PlanExecutor":
+def plan_executor(
+    net: Network, backend: str = "int64", semantics: str = "count"
+) -> "PlanExecutor":
     """The long-lived, scratch-pooled executor for ``net`` (memoized).
 
-    One executor per ``(network, backend)`` pair; both share the same
-    memoized :class:`ExecutionPlan`."""
+    One executor per ``(network, backend, semantics)`` triple; all share
+    the same memoized :class:`ExecutionPlan`, and the executors of one
+    ``(network, backend)`` pair share one LRU scratch-buffer pool — the
+    count, sort, and token views of a network reuse each other's warm
+    buffers instead of tripling the steady-state footprint."""
     per_net = _executor_cache.get(net)
     if per_net is None:
         per_net = {}
         _executor_cache[net] = per_net
-    ex = per_net.get(backend)
+    key = (backend, semantics)
+    ex = per_net.get(key)
     if ex is None:
-        ex = PlanExecutor(lower_network(net), backend=backend)
-        per_net[backend] = ex
+        # Adopt the scratch pool of a sibling semantics on the same backend.
+        pool = next(
+            (e.pool for (b, _), e in per_net.items() if b == backend), None
+        )
+        ex = PlanExecutor(lower_network(net), backend=backend, semantics=semantics, pool=pool)
+        per_net[key] = ex
     return ex
 
 
 class _Scratch:
-    """One batch-size's worth of reusable evaluation buffers."""
+    """One ``(batch, dtype)``'s worth of reusable evaluation buffers."""
 
-    __slots__ = ("state", "gather", "totals", "last_used")
+    __slots__ = ("state", "gather", "totals", "numeric", "last_used")
 
-    def __init__(self, plan: ExecutionPlan, batch: int) -> None:
+    def __init__(self, plan: ExecutionPlan, batch: int, dtype: np.dtype) -> None:
         sizes = plan.seg_width * plan.seg_count
         max_flat = int(sizes.max()) if sizes.size else 0
         max_count = int(plan.seg_count.max()) if plan.seg_count.size else 0
         # No zero-init needed: every wire read is either a network input
         # (written from x) or a segment output (written before any reader,
         # by topological layer order).
-        self.state = np.empty((plan.num_wires, batch), dtype=np.int64)
-        self.gather = np.empty((max_flat, batch), dtype=np.int64)
-        self.totals = np.empty((max_count, batch), dtype=np.int64)
+        self.state = np.empty((plan.num_wires, batch), dtype=dtype)
+        self.gather = np.empty((max_flat, batch), dtype=dtype)
+        self.totals = np.empty((max_count, batch), dtype=dtype)
+        # Whether the branchless min/max width-2 kernel applies (sort
+        # semantics falls back to the generic sort kernel for e.g. str_).
+        self.numeric = dtype.kind in "biufc"
         self.last_used = 0
 
 
@@ -287,6 +311,67 @@ class _BitScratch:
         self.gather = np.empty((bitplan.max_gather, nwords), dtype=np.uint64)
         self.tmp = np.empty((bitplan.max_count, nwords), dtype=np.uint64)
         self.last_used = 0
+
+
+class _ScratchPool:
+    """The LRU scratch-buffer pool, shareable between executors.
+
+    Keys are ``(batch, dtype)`` for int64/typed scratch and word counts
+    for bit-sliced scratch.  ``plan_executor`` hands one pool to every
+    semantics of a ``(network, backend)`` pair, so e.g. the count and
+    sort executors of one served network reuse the same warm buffers.
+    ``buffer_allocs`` / ``buffer_reuses`` count pool misses/hits; they
+    are plain attributes (always maintained) and mirrored into the obs
+    registry when observability is enabled.
+    """
+
+    __slots__ = ("max_pooled", "buffer_allocs", "buffer_reuses", "_pool", "_bit_pool", "_clock")
+
+    def __init__(self, max_pooled: int = 4) -> None:
+        self.max_pooled = int(max_pooled)
+        self.buffer_allocs = 0
+        self.buffer_reuses = 0
+        self._pool: dict[tuple[int, str], _Scratch] = {}
+        self._bit_pool: dict[int, _BitScratch] = {}
+        self._clock = 0
+
+    def _count_hit_miss(self, hit: bool) -> None:
+        if hit:
+            self.buffer_reuses += 1
+        else:
+            self.buffer_allocs += 1
+        if _obs.enabled:
+            from ..obs.metrics import default_registry
+
+            name = "plan.buffer_reuses" if hit else "plan.buffer_allocs"
+            default_registry().counter(name).inc()
+
+    def scratch(self, plan: ExecutionPlan, batch: int, dtype: np.dtype) -> _Scratch:
+        self._clock += 1
+        key = (batch, dtype.str)
+        s = self._pool.get(key)
+        if s is None:
+            if len(self._pool) >= self.max_pooled:
+                evict = min(self._pool, key=lambda k: self._pool[k].last_used)
+                del self._pool[evict]
+            s = _Scratch(plan, batch, dtype)
+            self._pool[key] = s
+        self._count_hit_miss(hit=s.last_used > 0)
+        s.last_used = self._clock
+        return s
+
+    def bit_scratch(self, bitplan: BitPlan, nwords: int) -> _BitScratch:
+        self._clock += 1
+        s = self._bit_pool.get(nwords)
+        if s is None:
+            if len(self._bit_pool) >= self.max_pooled:
+                evict = min(self._bit_pool, key=lambda n: self._bit_pool[n].last_used)
+                del self._bit_pool[evict]
+            s = _BitScratch(bitplan, nwords)
+            self._bit_pool[nwords] = s
+        self._count_hit_miss(hit=s.last_used > 0)
+        s.last_used = self._clock
+        return s
 
 
 class PlanExecutor:
@@ -306,83 +391,61 @@ class PlanExecutor:
     per word), sweeps the same segment tables with bitwise kernels, and
     unpacks — byte-identical to the int64 path on 0-1 inputs, and a
     :class:`~repro.core.bitplan.NotZeroOneError` on anything else.  The
-    packed form is also exposed directly via :meth:`run_packed`.
+    packed form is also exposed directly via :meth:`run_packed`.  On 0-1
+    inputs the counting transfer and the descending compare-exchange
+    coincide (OR on top, AND below), so the bit-sliced backend serves both
+    ``count`` and ``sort`` semantics with the same kernels; ``token``
+    semantics is rejected (balancer state is a count, not a bit).
     """
 
-    def __init__(self, plan: ExecutionPlan, max_pooled: int = 4, backend: str = "int64") -> None:
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        max_pooled: int = 4,
+        backend: str = "int64",
+        semantics: str = "count",
+        pool: _ScratchPool | None = None,
+    ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        if backend == "bitsliced" and semantics == "token":
+            raise ValueError(
+                "the bitsliced backend packs wires into single bits and cannot "
+                "hold token-semantics balancer state; use backend='int64'"
+            )
         self.plan = plan
         self.backend = backend
-        self.max_pooled = int(max_pooled)
-        self.buffer_allocs = 0
-        self.buffer_reuses = 0
+        self.semantics = get_semantics(semantics)
+        self.pool = pool if pool is not None else _ScratchPool(max_pooled)
         self.batches = 0
-        self._pool: dict[int, _Scratch] = {}
-        self._bit_pool: dict[int, _BitScratch] = {}
         self._bitplan = BitPlan(plan) if backend == "bitsliced" else None
-        self._clock = 0
-        # Per-width position column (p, 1, 1) for the general kernel.
-        self._offsets: dict[int, np.ndarray] = {}
         self._workers_pool = None
         self._workers_n = 0
 
     # -- scratch pool -------------------------------------------------------
 
-    def _scratch(self, batch: int) -> _Scratch:
-        self._clock += 1
-        s = self._pool.get(batch)
-        if s is None:
-            if len(self._pool) >= self.max_pooled:
-                evict = min(self._pool, key=lambda b: self._pool[b].last_used)
-                del self._pool[evict]
-            s = _Scratch(self.plan, batch)
-            self._pool[batch] = s
-            self.buffer_allocs += 1
-            if _obs.enabled:
-                from ..obs.metrics import default_registry
+    @property
+    def max_pooled(self) -> int:
+        return self.pool.max_pooled
 
-                default_registry().counter("plan.buffer_allocs").inc()
-        else:
-            self.buffer_reuses += 1
-            if _obs.enabled:
-                from ..obs.metrics import default_registry
+    @property
+    def buffer_allocs(self) -> int:
+        return self.pool.buffer_allocs
 
-                default_registry().counter("plan.buffer_reuses").inc()
-        s.last_used = self._clock
-        return s
-
-    def _bit_scratch(self, nwords: int) -> _BitScratch:
-        """Bit-sliced twin of :meth:`_scratch`, keyed by word count."""
-        self._clock += 1
-        s = self._bit_pool.get(nwords)
-        if s is None:
-            if len(self._bit_pool) >= self.max_pooled:
-                evict = min(self._bit_pool, key=lambda n: self._bit_pool[n].last_used)
-                del self._bit_pool[evict]
-            s = _BitScratch(self._bitplan, nwords)
-            self._bit_pool[nwords] = s
-            self.buffer_allocs += 1
-            if _obs.enabled:
-                from ..obs.metrics import default_registry
-
-                default_registry().counter("plan.buffer_allocs").inc()
-        else:
-            self.buffer_reuses += 1
-            if _obs.enabled:
-                from ..obs.metrics import default_registry
-
-                default_registry().counter("plan.buffer_reuses").inc()
-        s.last_used = self._clock
-        return s
+    @property
+    def buffer_reuses(self) -> int:
+        return self.pool.buffer_reuses
 
     def scratch_stats(self) -> dict:
         """Pool accounting: sizes held, allocs, reuses, batches run."""
         return {
-            "pooled_batch_sizes": sorted(self._pool) + sorted(self._bit_pool),
-            "buffer_allocs": self.buffer_allocs,
-            "buffer_reuses": self.buffer_reuses,
+            "pooled_batch_sizes": sorted({b for b, _ in self.pool._pool})
+            + sorted(self.pool._bit_pool),
+            "buffer_allocs": self.pool.buffer_allocs,
+            "buffer_reuses": self.pool.buffer_reuses,
             "batches": self.batches,
+            "backend": self.backend,
+            "semantics": self.semantics.name,
         }
 
     # -- evaluation ---------------------------------------------------------
@@ -406,6 +469,7 @@ class PlanExecutor:
             parent_id=None if parent is None else parent.span_id,
             plan=self.plan.name,
             backend=self.backend,
+            semantics=self.semantics.name,
             run=self.batches,
             rows=int(x.shape[0]) if x.ndim == 2 else None,
         )
@@ -430,13 +494,15 @@ class PlanExecutor:
             packed, batch = pack_zero_one(x)
             out = self._run_packed_impl(packed, layer_times)
             return unpack_zero_one(out, batch)
-        x = np.ascontiguousarray(x, dtype=np.int64)
+        sem = self.semantics
+        x = sem.prepare(x)
         batch = x.shape[0]
         self.batches += 1
-        s = self._scratch(batch)
+        s = self.pool.scratch(plan, batch, x.dtype)
         state = s.state
         state[plan.input_idx] = x.T
 
+        segment = sem.segment
         seg_width = plan.seg_width
         seg_count = plan.seg_count
         seg_in_off = plan.seg_in_off
@@ -444,7 +510,7 @@ class PlanExecutor:
         in_flat = plan.in_flat
         if layer_times is None:
             for i in range(plan.num_segments):
-                self._segment(
+                segment(
                     state, s, in_flat,
                     int(seg_width[i]), int(seg_count[i]),
                     int(seg_in_off[i]), int(seg_out_base[i]),
@@ -453,41 +519,13 @@ class PlanExecutor:
             seg_layer = plan.seg_layer
             for i in range(plan.num_segments):
                 t0 = time.perf_counter()
-                self._segment(
+                segment(
                     state, s, in_flat,
                     int(seg_width[i]), int(seg_count[i]),
                     int(seg_in_off[i]), int(seg_out_base[i]),
                 )
                 layer_times[int(seg_layer[i])] += time.perf_counter() - t0
         return state[plan.output_idx].T.copy()
-
-    def _segment(self, state, s: _Scratch, in_flat, p: int, k: int, off: int, ob: int):
-        """Evaluate one (layer, width) segment in place."""
-        if p == 2:
-            g = s.gather[: 2 * k]
-            np.take(state, in_flat[off : off + 2 * k], axis=0, out=g)
-            top = state[ob : ob + k]
-            bot = state[ob + k : ob + 2 * k]
-            np.add(g[:k], g[k:], out=bot)  # totals
-            np.add(bot, 1, out=top)
-            np.right_shift(top, 1, out=top)  # ceil(t/2)
-            np.right_shift(bot, 1, out=bot)  # floor(t/2)
-            return
-        size = p * k
-        g = s.gather[:size]
-        np.take(state, in_flat[off : off + size], axis=0, out=g)
-        vals = g.reshape(p, k, -1)
-        tot = s.totals[:k]
-        vals.sum(axis=0, out=tot)
-        offsets = self._offsets.get(p)
-        if offsets is None:
-            offsets = np.arange(p, dtype=np.int64)[:, None, None]
-            self._offsets[p] = offsets
-        out = state[ob : ob + size].reshape(p, k, -1)
-        # out[j] = (tot - j + p - 1) // p, computed without temporaries.
-        np.subtract(tot[None, :, :], offsets, out=out)
-        np.add(out, p - 1, out=out)
-        np.floor_divide(out, p, out=out)
 
     # -- bit-sliced evaluation ----------------------------------------------
 
@@ -513,7 +551,7 @@ class PlanExecutor:
         self, packed: np.ndarray, layer_times: np.ndarray | None = None
     ) -> np.ndarray:
         self.batches += 1
-        s = self._bit_scratch(packed.shape[1])
+        s = self.pool.bit_scratch(self._bitplan, packed.shape[1])
         return self._bitplan.run_packed(
             packed, s.state, s.gather, s.tmp, layer_times=layer_times
         )
@@ -564,7 +602,7 @@ class PlanExecutor:
                 max_workers=workers,
                 mp_context=ctx,
                 initializer=_worker_init,
-                initargs=(self.plan.to_arrays(), self.plan.name),
+                initargs=(self.plan.to_arrays(), self.plan.name, self.semantics.name),
             )
         except (ImportError, OSError):  # pragma: no cover - no process support
             return None
@@ -593,9 +631,11 @@ class PlanExecutor:
 _WORKER_EXECUTOR: PlanExecutor | None = None
 
 
-def _worker_init(plan_arrays: dict, name: str) -> None:
+def _worker_init(plan_arrays: dict, name: str, semantics: str = "count") -> None:
     global _WORKER_EXECUTOR
-    _WORKER_EXECUTOR = PlanExecutor(ExecutionPlan.from_arrays(plan_arrays, name=name))
+    _WORKER_EXECUTOR = PlanExecutor(
+        ExecutionPlan.from_arrays(plan_arrays, name=name), semantics=semantics
+    )
 
 
 def _eval_shard(x: np.ndarray) -> np.ndarray:

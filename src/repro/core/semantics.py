@@ -1,0 +1,308 @@
+"""Pluggable per-balancer semantics for the flat plan executor.
+
+The paper's three views of one network — quiescent token counts,
+descending comparator sorting, and asynchronous mod-``p`` token routing —
+are isomorphic walks over the same wiring (paper §1, Figure 2).  Before
+this module each view owned its own network walker; now a single
+:class:`~repro.core.plan.ExecutionPlan` sweep is parameterized by a small
+kernel object:
+
+``CountSemantics``
+    The quiescent-count transfer ``out[j] = ceil((T - j) / p)``: the
+    branchless width-2 shift kernel plus the general in-place
+    floor-divide kernel (the PR-4 kernels, moved here verbatim).
+``SortSemantics``
+    Descending compare-exchange: width-2 balancers become a branchless
+    ``np.maximum`` / ``np.minimum`` pair, general ``p``-comparators an
+    in-place ascending sort read out in reverse.  The evaluation dtype is
+    the *input's* dtype — sorting floats or int8 0-1 vectors through the
+    int64 count kernels would corrupt them, so the executor's scratch
+    pool keys buffers by ``(batch, dtype)``.
+``TokenSemantics``
+    The asynchronous balancer stepped to quiescence in batch: each
+    balancer's state is its arrival count, token ``i`` leaves on port
+    ``i mod p``, so a total of ``T`` arrivals decomposes into
+    ``T // p`` full rounds plus a residue ``T mod p`` spread over the
+    first ports — ``out[j] = T // p + (j < T mod p)``.  Numerically
+    identical to ``CountSemantics`` (that identity *is* the paper's
+    quiescence argument, and the differential suite pins it), but
+    computed as explicit mod-``p`` state so the kernel is the batched
+    form of :class:`~repro.sim.token_sim.TokenSimulator`'s hop rule.
+
+Every semantics also carries the per-balancer **override sweep** used for
+:class:`repro.faults.FaultyNetwork` mutants, whose behavior (e.g. a stuck
+routing bit) is not expressible in the structural IR the plan compiler
+consumes.  Overridden networks never take the flat-plan fast path; the
+sweeps here are the single implementation all simulators share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SEMANTICS",
+    "Semantics",
+    "CountSemantics",
+    "SortSemantics",
+    "TokenSemantics",
+    "get_semantics",
+]
+
+#: Execution semantics a :class:`~repro.core.plan.PlanExecutor` can run.
+SEMANTICS = ("count", "sort", "token")
+
+
+class Semantics:
+    """One balancer transfer function, vectorized over plan segments.
+
+    Subclasses implement :meth:`segment` — evaluate one ``(layer, width)``
+    segment of ``k`` balancers of width ``p`` in place — plus
+    :meth:`prepare` (input casting policy) and :meth:`apply_overridden`
+    (the per-balancer fault sweep).  Instances are stateless singletons
+    shared by every executor; the only mutable member is the tiny
+    per-width offset-column cache.
+
+    Kernel gathers use ``np.take(..., mode="clip")``: the default
+    ``mode="raise"`` spends a full extra pass bounds-checking the index
+    array (~3x the gather cost at plan scale), and every plan index is
+    already validated once at lowering/deserialization time
+    (:meth:`~repro.core.plan.ExecutionPlan._validate`).
+    """
+
+    #: Registry name; also stamped into spans, cache keys and stats.
+    name = "semantics"
+
+    def __init__(self) -> None:
+        # Per-width position column (p, 1, 1), shared across executors.
+        self._offsets: dict[int, np.ndarray] = {}
+
+    def _offset_col(self, p: int) -> np.ndarray:
+        col = self._offsets.get(p)
+        if col is None:
+            col = np.arange(p, dtype=np.int64)[:, None, None]
+            self._offsets[p] = col
+        return col
+
+    def prepare(self, x: np.ndarray) -> np.ndarray:
+        """Cast a validated ``(B, w)`` batch to the evaluation dtype."""
+        return np.ascontiguousarray(x, dtype=np.int64)
+
+    def segment(self, state, scratch, in_flat, p: int, k: int, off: int, ob: int) -> None:
+        raise NotImplementedError
+
+    def apply_overridden(self, net, x: np.ndarray, overrides: dict) -> np.ndarray:
+        raise NotImplementedError
+
+
+class CountSemantics(Semantics):
+    """Quiescent-count transfer (the original plan kernels)."""
+
+    name = "count"
+
+    def segment(self, state, scratch, in_flat, p: int, k: int, off: int, ob: int) -> None:
+        if p == 2:
+            g = scratch.gather[: 2 * k]
+            np.take(state, in_flat[off : off + 2 * k], axis=0, out=g, mode="clip")
+            top = state[ob : ob + k]
+            bot = state[ob + k : ob + 2 * k]
+            np.add(g[:k], g[k:], out=bot)  # totals
+            np.add(bot, 1, out=top)
+            np.right_shift(top, 1, out=top)  # ceil(t/2)
+            np.right_shift(bot, 1, out=bot)  # floor(t/2)
+            return
+        size = p * k
+        g = scratch.gather[:size]
+        np.take(state, in_flat[off : off + size], axis=0, out=g, mode="clip")
+        vals = g.reshape(p, k, -1)
+        tot = scratch.totals[:k]
+        vals.sum(axis=0, out=tot)
+        out = state[ob : ob + size].reshape(p, k, -1)
+        # out[j] = (tot - j + p - 1) // p, computed without temporaries.
+        np.subtract(tot[None, :, :], self._offset_col(p), out=out)
+        np.add(out, p - 1, out=out)
+        np.floor_divide(out, p, out=out)
+
+    def apply_overridden(self, net, x: np.ndarray, overrides: dict) -> np.ndarray:
+        """Per-balancer batched count sweep honoring semantic overrides."""
+        batch = x.shape[0]
+        in_idx, out_idx = net.io_arrays()
+        _, in_concat, out_concat, bounds = net.wire_arrays()
+        blist = bounds.tolist()
+        state = np.zeros((net.num_wires, batch), dtype=np.int64)
+        state[in_idx] = x.T
+        for b in net.balancers:
+            lo, hi = blist[b.index], blist[b.index + 1]
+            totals = state[in_concat[lo:hi]].sum(axis=0)
+            ov = overrides.get(b.index)
+            if ov is not None:
+                state[out_concat[lo:hi]] = ov.apply_counts(totals, b.width)
+            else:
+                j = np.arange(b.width, dtype=np.int64)[:, None]
+                state[out_concat[lo:hi]] = (totals[None, :] - j + b.width - 1) // b.width
+        return state[out_idx].T
+
+
+#: Widest comparator evaluated with the branchless compare-exchange
+#: network; wider (rare) comparators fall back to ``np.sort``.
+_MAX_CE_WIDTH = 8
+
+_ce_pair_cache: dict[int, tuple[tuple[int, int], ...]] = {}
+
+
+def _ce_pairs(n: int) -> tuple[tuple[int, int], ...]:
+    """Batcher odd-even mergesort compare-exchange pairs for ``n`` rows.
+
+    Generated for the next power of two with out-of-range pairs dropped —
+    valid because virtual high-index elements are max-sentinels that no
+    compare-exchange can move (the standard padding argument), and pinned
+    by the exhaustive 0-1 check in the semantics test suite.  Optimal for
+    ``n <= 8`` (1, 3, 5, 9, 12, 16, 19 comparators).
+    """
+    cached = _ce_pair_cache.get(n)
+    if cached is not None:
+        return cached
+    m = 1
+    while m < n:
+        m *= 2
+    pairs: list[tuple[int, int]] = []
+    p = 1
+    while p < m:
+        k = p
+        while k >= 1:
+            for j in range(k % p, m - k, 2 * k):
+                for i in range(0, k):
+                    if (i + j) // (p * 2) == (i + j + k) // (p * 2) and i + j + k < n:
+                        pairs.append((i + j, i + j + k))
+            k //= 2
+        p *= 2
+    _ce_pair_cache[n] = out = tuple(pairs)
+    return out
+
+
+class SortSemantics(Semantics):
+    """Descending compare-exchange over the same segment tables."""
+
+    name = "sort"
+
+    def prepare(self, x: np.ndarray) -> np.ndarray:
+        # Comparators are dtype-generic: evaluate in the caller's dtype.
+        return np.ascontiguousarray(x)
+
+    def segment(self, state, scratch, in_flat, p: int, k: int, off: int, ob: int) -> None:
+        size = p * k
+        g = scratch.gather[:size]
+        np.take(state, in_flat[off : off + size], axis=0, out=g, mode="clip")
+        if p == 2 and scratch.numeric:
+            # Branchless width-2 min/max: largest value on the top wire.
+            np.maximum(g[:k], g[k:], out=state[ob : ob + k])
+            np.minimum(g[:k], g[k:], out=state[ob + k : ob + 2 * k])
+            return
+        vals = g.reshape(p, k, -1)
+        out = state[ob : ob + size].reshape(p, k, -1)
+        if scratch.numeric and p <= _MAX_CE_WIDTH:
+            # Branchless Batcher network over the p gathered row planes:
+            # each compare-exchange is one np.maximum + one np.minimum, with
+            # buffer rotation instead of a copy-back (max lands in the spare
+            # buffer, min overwrites one operand in place, the dead operand
+            # becomes the next spare).  Orders of magnitude cheaper than
+            # np.sort along the strided balancer axis.  Max-first CE pairs
+            # on an ascending network yield the descending convention.
+            rows = [vals[j] for j in range(p)]
+            tmp = scratch.totals[:k]
+            for i, j in _ce_pairs(p):
+                a, b = rows[i], rows[j]
+                np.maximum(a, b, out=tmp)
+                np.minimum(a, b, out=a)
+                rows[i], rows[j], tmp = tmp, a, b
+            for j in range(p):
+                out[j][...] = rows[j]
+            return
+        # Non-numeric dtypes / very wide comparators: sort ascending in
+        # place, read out reversed (dtype-safe, unlike negation).
+        vals.sort(axis=0)
+        out[...] = vals[::-1]
+
+    def apply_overridden(self, net, values: np.ndarray, overrides: dict) -> np.ndarray:
+        """Per-balancer batched comparator sweep honoring overrides.
+
+        A stuck comparator does not compare at all: values pass through in
+        arrival order (the value-semantics projection of a dead routing
+        bit — token-level stuckness has no conservation-respecting
+        analogue over distinct values).
+        """
+        state = np.zeros((net.num_wires, values.shape[0]), dtype=values.dtype)
+        state[list(net.inputs)] = values.T
+        for b in net.balancers:
+            vals = state[list(b.inputs)]  # (p, B)
+            if b.index in overrides:
+                state[list(b.outputs)] = vals  # broken comparator: no exchange
+            else:
+                state[list(b.outputs)] = np.sort(vals, axis=0)[::-1]
+        return state[list(net.outputs)].T
+
+
+class TokenSemantics(Semantics):
+    """Batched mod-``p`` token routing, stepped to quiescence per layer.
+
+    Port ``j`` of a balancer that saw ``T`` arrivals from a fresh state
+    received ``T // p`` full round-robin rounds plus one residue token iff
+    ``j < T mod p``.  Same numbers as :class:`CountSemantics` — by the
+    schedule-independence of quiescent states — via the token-routing
+    decomposition instead of the ceiling identity.
+    """
+
+    name = "token"
+
+    def segment(self, state, scratch, in_flat, p: int, k: int, off: int, ob: int) -> None:
+        size = p * k
+        g = scratch.gather[:size]
+        np.take(state, in_flat[off : off + size], axis=0, out=g, mode="clip")
+        if p == 2:
+            top = state[ob : ob + k]
+            bot = state[ob + k : ob + 2 * k]
+            np.add(g[:k], g[k:], out=bot)  # totals
+            np.bitwise_and(bot, 1, out=top)  # residue: 1 token iff T odd
+            np.right_shift(bot, 1, out=bot)  # full rounds
+            np.add(top, bot, out=top)  # port 0 = rounds + residue
+            return
+        vals = g.reshape(p, k, -1)
+        tot = scratch.totals[:k]
+        vals.sum(axis=0, out=tot)
+        # The gather rows are dead after the totals reduction: reuse row 0
+        # as the residue buffer (T mod p) so the kernel allocates nothing.
+        rem = g[:k]
+        np.remainder(tot, p, out=rem)
+        np.floor_divide(tot, p, out=tot)  # tot now holds the full rounds
+        out = state[ob : ob + size].reshape(p, k, -1)
+        # out[j] = rounds + (j < rem): clip(rem - j, 0, 1) is the indicator.
+        np.subtract(rem[None, :, :], self._offset_col(p), out=out)
+        np.clip(out, 0, 1, out=out)
+        np.add(out, tot[None, :, :], out=out)
+
+    def apply_overridden(self, net, x: np.ndarray, overrides: dict) -> np.ndarray:
+        """Token-routing override sweep.
+
+        A stuck balancer routes *every* arriving token to its stuck port
+        (:meth:`repro.faults.mutator.StuckOverride.apply_counts`), and a
+        pristine balancer drained from a fresh state lands on the
+        quiescent counts — exactly the count sweep, shared verbatim.
+        """
+        return _COUNT.apply_overridden(net, x, overrides)
+
+
+_COUNT = CountSemantics()
+_SORT = SortSemantics()
+_TOKEN = TokenSemantics()
+
+_REGISTRY: dict[str, Semantics] = {s.name: s for s in (_COUNT, _SORT, _TOKEN)}
+
+
+def get_semantics(name: str) -> Semantics:
+    """The shared singleton for ``name`` (one of :data:`SEMANTICS`)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown semantics {name!r}; choose from {SEMANTICS}"
+        ) from None

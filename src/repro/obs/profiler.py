@@ -10,8 +10,12 @@ metrics into per-layer and per-balancer tables:
 * ``contention`` — the discrete-event
   :class:`~repro.sim.ContentionSimulator`; hot spots are balancer visits
   and the time processes spent queued at each balancer;
-* ``counts`` — the vectorized :func:`~repro.sim.propagate_counts` batch
-  evaluator; hot spots are per-layer wall-clock times of the numpy sweep.
+* ``counts`` — the vectorized plan-executor batch evaluator; hot spots are
+  per-layer wall-clock times of the numpy sweep.  ``semantics=`` selects
+  which of the three plan kernels runs: ``count``
+  (:func:`~repro.sim.propagate_counts`), ``sort``
+  (:func:`~repro.sim.evaluate_comparators`), or ``token``
+  (:func:`~repro.sim.quiescent_counts`).
 
 The result carries everything the CLI needs: table rows for
 :func:`repro.analysis.format_table`, a JSON payload for
@@ -39,6 +43,9 @@ __all__ = ["ProfileReport", "profile_network", "WORKLOADS"]
 
 WORKLOADS = ("tokens", "contention", "counts")
 
+#: Metric namespace (``sim.<ns>.*``) each plan semantics reports under.
+_SEM_NAMESPACE = {"count": "counts", "sort": "sort", "token": "token_quiescent"}
+
 
 @dataclass
 class ProfileReport:
@@ -52,6 +59,7 @@ class ProfileReport:
     registry: MetricsRegistry
     tracer: Tracer
     metric_rows: list[dict] = field(default_factory=list)
+    semantics: str = "count"
 
     def layer_table(self) -> str:
         """Per-layer hot-spot table (aligned plain text)."""
@@ -71,6 +79,7 @@ class ProfileReport:
         return {
             "network": self.network,
             "workload": self.workload,
+            "semantics": self.semantics,
             "summary": self.summary,
             "layers": self.layer_rows,
             "balancers": self.balancer_rows,
@@ -112,10 +121,15 @@ def profile_network(
     batch: int = 64,
     workers: int | None = None,
     seed: int = 0,
+    semantics: str = "count",
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
 ) -> ProfileReport:
     """Profile ``build()`` (or an existing network) under ``workload``.
+
+    ``semantics`` selects the plan kernel the ``counts`` workload drives
+    (``count`` / ``sort`` / ``token``); the token-stepping and contention
+    workloads are count-only.
 
     Runs inside :func:`repro.obs.capture`, so the process-global registry
     and tracer are swapped for fresh ones and restored afterwards; the
@@ -127,6 +141,15 @@ def profile_network(
 
     if workload not in WORKLOADS:
         raise ValueError(f"unknown workload {workload!r}; choose from {WORKLOADS}")
+    if semantics not in _SEM_NAMESPACE:
+        raise ValueError(
+            f"unknown semantics {semantics!r}; choose from {tuple(_SEM_NAMESPACE)}"
+        )
+    if semantics != "count" and workload != "counts":
+        raise ValueError(
+            f"semantics={semantics!r} only applies to the 'counts' (vectorized "
+            f"plan) workload, not {workload!r}"
+        )
 
     with capture(registry, tracer) as (reg, tr):
         with tr.span("profile.build") as build_info:
@@ -140,13 +163,13 @@ def profile_network(
         t0 = time.perf_counter()
         workload_summary = _run_workload(
             net, workload, tokens=tokens, scheduler=scheduler, procs=procs, ops=ops,
-            batch=batch, workers=workers, seed=seed,
+            batch=batch, workers=workers, seed=seed, semantics=semantics,
         )
         workload_s = time.perf_counter() - t0
 
     build_ev = next((e for e in tr.events("profile.build")), None)
     compile_ev = next((e for e in tr.events("profile.compile")), None)
-    layer_rows, balancer_rows = _hotspot_rows(net, workload, reg)
+    layer_rows, balancer_rows = _hotspot_rows(net, workload, reg, semantics=semantics)
 
     summary = {
         "build_s": build_ev.fields["dur_s"] if build_ev else None,
@@ -175,11 +198,13 @@ def profile_network(
         registry=reg,
         tracer=tr,
         metric_rows=reg.as_rows(),
+        semantics=semantics,
     )
 
 
 def _run_workload(
-    net, workload: str, *, tokens, scheduler, procs, ops, batch, workers, seed
+    net, workload: str, *, tokens, scheduler, procs, ops, batch, workers, seed,
+    semantics="count",
 ) -> dict:
     """Drive one workload; returns its contribution to the summary dict."""
     if workload == "tokens":
@@ -208,19 +233,30 @@ def _run_workload(
             "p95_latency": round(stats.latency_percentile(95), 6),
             "mean_wait": round(stats.mean_wait, 6),
         }
-    # workload == "counts"
-    from ..sim.count_sim import propagate_counts
-
+    # workload == "counts": the vectorized plan sweep, in any semantics
     rng = np.random.default_rng(seed)
     x = rng.integers(0, 100, size=(batch, net.width))
-    propagate_counts(net, x, workers=workers)
-    out = {"batch": int(batch)}
-    if workers is not None:
+    if semantics == "sort":
+        from ..sim.sort_sim import evaluate_comparators
+
+        evaluate_comparators(net, x)
+    elif semantics == "token":
+        from ..sim.token_sim import quiescent_counts
+
+        quiescent_counts(net, x)
+    else:
+        from ..sim.count_sim import propagate_counts
+
+        propagate_counts(net, x, workers=workers)
+    out = {"batch": int(batch), "semantics": semantics}
+    if workers is not None and semantics == "count":
         out["workers"] = int(workers)
     return out
 
 
-def _hotspot_rows(net, workload: str, reg: MetricsRegistry) -> tuple[list[dict], list[dict]]:
+def _hotspot_rows(
+    net, workload: str, reg: MetricsRegistry, semantics: str = "count"
+) -> tuple[list[dict], list[dict]]:
     """Fold captured per-balancer/per-layer vectors into table rows."""
     layers = net.layers()
     layer_of = {b.index: d for d, layer in enumerate(layers) for b in layer}
@@ -232,12 +268,15 @@ def _hotspot_rows(net, workload: str, reg: MetricsRegistry) -> tuple[list[dict],
         visits = _vector_values(reg, "sim.contention.balancer_visits", net.size)
         waits = _vector_values(reg, "sim.contention.balancer_wait", net.size)
     else:  # counts: every balancer sees the whole batch, vectorized per layer
-        batches = reg.get("sim.counts.vectors")
+        ns = _SEM_NAMESPACE[semantics]
+        batches = reg.get(f"sim.{ns}.vectors")
         per_balancer = batches.value if batches is not None else 0  # type: ignore[union-attr]
         visits = np.full(net.size, per_balancer)
         waits = None
     layer_seconds = (
-        _vector_values(reg, "sim.counts.layer_seconds", max(net.depth, 1))
+        _vector_values(
+            reg, f"sim.{_SEM_NAMESPACE[semantics]}.layer_seconds", max(net.depth, 1)
+        )
         if workload == "counts"
         else None
     )

@@ -11,7 +11,14 @@ from .sort_sim import (
     sorted_outputs,
     sorts_descending,
 )
-from .token_sim import RunResult, Token, TokenSimulator, fetch_and_increment_values, run_tokens
+from .token_sim import (
+    RunResult,
+    Token,
+    TokenSimulator,
+    fetch_and_increment_values,
+    quiescent_counts,
+    run_tokens,
+)
 from .schedulers import SCHEDULERS, get_scheduler
 from .concurrent import (
     ContentionSimulator,
@@ -35,6 +42,7 @@ __all__ = [
     "Token",
     "TokenSimulator",
     "fetch_and_increment_values",
+    "quiescent_counts",
     "run_tokens",
     "SCHEDULERS",
     "get_scheduler",

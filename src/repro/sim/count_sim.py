@@ -24,8 +24,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.network import Network
-from ..core.plan import PlanExecutor, plan_executor
+from ..core.plan import plan_executor
+from ..core.semantics import get_semantics
 from ..obs import runtime as _obs
+from ._instrument import record_batch_metrics, run_instrumented
 
 __all__ = [
     "balancer_outputs",
@@ -67,86 +69,22 @@ def propagate_counts(net: Network, x: np.ndarray, workers: int | None = None) ->
 
     overrides = getattr(net, "fault_overrides", None)
     if overrides:
-        out = _propagate_overridden(net, x, overrides)
+        # Mutant networks (e.g. stuck balancers) take the per-balancer
+        # override sweep in CountSemantics; pristine nets never reach it.
+        out = get_semantics("count").apply_overridden(net, x, overrides)
         return out[0] if single else out
 
     ex = plan_executor(net)
     if workers is not None and int(workers) > 1:
         out = ex.run_parallel(x, int(workers))
         if _obs.enabled:
-            _record_batch_metrics(x.shape[0])
+            record_batch_metrics("counts", x.shape[0])
         return out[0] if single else out
     if _obs.enabled:
-        out = _propagate_instrumented(net, ex, x)
+        out = run_instrumented(net, ex, x, "counts", event="count_layer")
     else:
         out = ex.run(x)
     return out[0] if single else out
-
-
-def _record_batch_metrics(batch: int) -> None:
-    from ..obs.metrics import default_registry
-
-    reg = default_registry()
-    reg.counter("sim.counts.batches").inc()
-    reg.counter("sim.counts.vectors").inc(batch)
-    reg.histogram("sim.counts.batch_size").observe(batch)
-
-
-def _propagate_instrumented(net: Network, ex: PlanExecutor, x: np.ndarray) -> np.ndarray:
-    """The same plan sweep as the fast path, with per-layer timing.
-
-    Only reached while :mod:`repro.obs` is enabled; the arithmetic is
-    identical to the un-instrumented branch, so outputs are byte-identical
-    either way — instrumentation observes, it never participates.
-    """
-    from ..obs.metrics import default_registry
-    from ..obs.tracer import default_tracer
-
-    plan = ex.plan
-    batch = x.shape[0]
-    _record_batch_metrics(batch)
-    if plan.depth == 0:
-        return ex.run(x)
-    times = np.zeros(plan.depth, dtype=np.float64)
-    out = ex.run(x, layer_times=times)
-    reg = default_registry()
-    tracer = default_tracer()
-    layer_time = reg.vector("sim.counts.layer_seconds", plan.depth, dtype=np.float64)
-    groups = plan.layer_segment_counts()
-    for d in range(plan.depth):
-        dt = float(times[d])
-        layer_time.inc(d, dt)
-        tracer.record(
-            "count_layer", network=net.name, layer=d, groups=int(groups[d]), batch=batch,
-            dur_s=round(dt, 9),
-        )
-    return out
-
-
-def _propagate_overridden(net: Network, x: np.ndarray, overrides: dict) -> np.ndarray:
-    """Per-balancer batched sweep honoring semantic fault overrides.
-
-    Used for :class:`repro.faults.FaultyNetwork` mutants (e.g. stuck
-    balancers) whose behavior is not expressible in the structural IR the
-    layer compiler consumes.  Off the hot path by construction — pristine
-    networks never reach it.
-    """
-    batch = x.shape[0]
-    in_idx, out_idx = net.io_arrays()
-    _, in_concat, out_concat, bounds = net.wire_arrays()
-    blist = bounds.tolist()
-    state = np.zeros((net.num_wires, batch), dtype=np.int64)
-    state[in_idx] = x.T
-    for b in net.balancers:
-        lo, hi = blist[b.index], blist[b.index + 1]
-        totals = state[in_concat[lo:hi]].sum(axis=0)
-        ov = overrides.get(b.index)
-        if ov is not None:
-            state[out_concat[lo:hi]] = ov.apply_counts(totals, b.width)
-        else:
-            j = np.arange(b.width, dtype=np.int64)[:, None]
-            state[out_concat[lo:hi]] = (totals[None, :] - j + b.width - 1) // b.width
-    return state[out_idx].T
 
 
 def propagate_counts_reference(net: Network, x: np.ndarray) -> np.ndarray:

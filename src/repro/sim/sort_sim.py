@@ -6,17 +6,24 @@ receives ``p`` values and emits them with the *largest on output position 0*
 (matching the balancer convention that the top wire carries the excess
 tokens), i.e. comparators sort descending within themselves.
 
-Evaluation is batched: a ``(B, w)`` array of ``B`` independent input vectors
-is swept through the layer-compiled network with one gather / ``np.sort`` /
-scatter per width group per layer — no Python-level loop over balancers.
+Evaluation lowers onto the flat :class:`~repro.core.plan.ExecutionPlan`
+substrate with ``semantics="sort"`` — the same memoized plan, scratch-buffer
+pool, and segment sweep the counting path uses, so repeated calls on one
+network allocate nothing beyond the output array (width-2 comparators run a
+branchless ``np.maximum``/``np.minimum`` kernel).  Fault-mutant networks
+(semantic overrides) take the per-balancer override sweep in
+:class:`~repro.core.semantics.SortSemantics` instead.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..core.compiled import compile_network
 from ..core.network import Network
+from ..core.plan import plan_executor
+from ..core.semantics import get_semantics
+from ..obs import runtime as _obs
+from ._instrument import run_instrumented
 
 __all__ = [
     "evaluate_comparators",
@@ -43,43 +50,15 @@ def evaluate_comparators(net: Network, values: np.ndarray) -> np.ndarray:
 
     overrides = getattr(net, "fault_overrides", None)
     if overrides:
-        out = _evaluate_overridden(net, values, overrides)
+        out = get_semantics("sort").apply_overridden(net, values, overrides)
         return out[0] if single else out
 
-    comp = compile_network(net)
-    batch = values.shape[0]
-    state = np.zeros((comp.num_wires, batch), dtype=values.dtype)
-    state[comp.input_idx] = values.T
-
-    for layer in comp.layers:
-        for group in layer:
-            vals = state[group.in_idx]  # (k, p, B)
-            # Descending along the balancer axis: largest value on top wire.
-            # (np.sort ascending then reverse is dtype-safe, unlike negation.)
-            state[group.out_idx] = np.sort(vals, axis=1)[:, ::-1]
-
-    out = state[comp.output_idx].T
+    ex = plan_executor(net, semantics="sort")
+    if _obs.enabled:
+        out = run_instrumented(net, ex, values, "sort")
+    else:
+        out = ex.run(values)
     return out[0] if single else out
-
-
-def _evaluate_overridden(net: Network, values: np.ndarray, overrides: dict) -> np.ndarray:
-    """Per-balancer batched sweep honoring semantic fault overrides.
-
-    A stuck comparator does not compare at all: values pass through in
-    arrival order (the value-semantics projection of a dead routing bit —
-    token-level stuckness has no conservation-respecting analogue over
-    distinct values).  Only :class:`repro.faults.FaultyNetwork` mutants
-    reach this path.
-    """
-    state = np.zeros((net.num_wires, values.shape[0]), dtype=values.dtype)
-    state[list(net.inputs)] = values.T
-    for b in net.balancers:
-        vals = state[list(b.inputs)]  # (p, B)
-        if b.index in overrides:
-            state[list(b.outputs)] = vals  # broken comparator: no exchange
-        else:
-            state[list(b.outputs)] = np.sort(vals, axis=0)[::-1]
-    return state[list(net.outputs)].T
 
 
 def evaluate_comparators_reference(net: Network, values: np.ndarray) -> np.ndarray:

@@ -163,7 +163,7 @@ class TestExecutor:
         ex = PlanExecutor(lower_network(net), max_pooled=2)
         for batch in (1, 2, 3):  # 3 evicts 1 (LRU)
             ex.run(_random_batch(net, batch, batch))
-        assert sorted(ex._pool) == [2, 3]
+        assert sorted(b for b, _ in ex.pool._pool) == [2, 3]
         ex.run(_random_batch(net, 1, 9))  # re-allocates batch 1
         assert ex.buffer_allocs == 4
 

@@ -148,7 +148,7 @@ class TestMaintenance:
         # `repro cache stats` prints exactly these keys; keep them stable.
         s = PlanCache(tmp_path).stats()
         assert set(s) == {
-            "root", "entries", "bytes", "variants", "backends",
+            "root", "entries", "bytes", "variants", "backends", "semantics",
             "hits", "misses", "stores", "corrupt",
         }
 

@@ -1,0 +1,320 @@
+"""Differential conformance of the three plan-executor semantics.
+
+This PR deleted the legacy per-layer walkers from ``sim/sort_sim`` and
+``sim/count_sim`` and lowered all three network views — quiescent counts,
+descending comparator sort, batched token state — onto the one
+:class:`~repro.core.plan.ExecutionPlan` substrate.  Their behaviour is
+pinned here instead: the walkers live on as *inline oracles* over the
+compiled per-layer groups, and hypothesis drives arbitrary irregular
+networks (mixed widths, partial layers, zero-layer degenerates) plus the
+paper's K/L/R families and the ``searched`` variant through both, asserting
+byte-identical outputs.  Fault-override sweeps, the compare-exchange
+kernel, backend composition, the sort-verifier kill matrix, and the
+steady-state allocation guarantee are covered alongside, so a regression in
+any semantics kernel fails here before it can reach a bench or a verifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Network, NetworkBuilder
+from repro.core.compiled import compile_network
+from repro.core.plan import plan_executor
+from repro.core.semantics import _MAX_CE_WIDTH, _ce_pairs, get_semantics
+from repro.faults.harness import run_conformance, verifiers_for_backend
+from repro.faults.mutator import stuck_balancer
+from repro.networks import k_network, l_network, r_network
+from repro.sim import (
+    evaluate_comparators,
+    propagate_counts,
+    propagate_counts_reference,
+    quiescent_counts,
+)
+from repro.sim.token_sim import TokenSimulator
+
+
+# ---------------------------------------------------------------------------
+# Inline legacy oracles: the deleted per-layer walkers, verbatim semantics.
+# ---------------------------------------------------------------------------
+
+
+def legacy_count_walker(net: Network, x: np.ndarray) -> np.ndarray:
+    """Pre-substrate quiescent-count walker: one gather / floor-divide /
+    scatter per width group per layer over the compiled net."""
+    comp = compile_network(net)
+    x = np.atleast_2d(np.asarray(x, dtype=np.int64))
+    state = np.zeros((comp.num_wires, x.shape[0]), dtype=np.int64)
+    state[comp.input_idx] = x.T
+    for layer in comp.layers:
+        for group in layer:
+            totals = state[group.in_idx].sum(axis=1)  # (k, B)
+            q, r = np.divmod(totals, group.width)
+            j = np.arange(group.width)[None, :, None]
+            state[group.out_idx] = q[:, None, :] + (j < r[:, None, :])
+    return state[comp.output_idx].T
+
+
+def legacy_sort_walker(net: Network, values: np.ndarray) -> np.ndarray:
+    """Pre-substrate comparator walker: ``np.sort`` per width group,
+    descending along the balancer axis."""
+    comp = compile_network(net)
+    values = np.atleast_2d(np.asarray(values))
+    state = np.zeros((comp.num_wires, values.shape[0]), dtype=values.dtype)
+    state[comp.input_idx] = values.T
+    for layer in comp.layers:
+        for group in layer:
+            state[group.out_idx] = np.sort(state[group.in_idx], axis=1)[:, ::-1]
+    return state[comp.output_idx].T
+
+
+def reference_with_overrides(net: Network, values: np.ndarray) -> np.ndarray:
+    """Per-balancer comparator oracle honoring ``fault_overrides``: a stuck
+    balancer does not compare — values pass through unsorted."""
+    overrides = getattr(net, "fault_overrides", None) or {}
+    state: dict[int, object] = dict(zip(net.inputs, values))
+    for b in net.balancers:
+        ins = [state[w] for w in b.inputs]
+        outs = ins if b.index in overrides else sorted(ins, reverse=True)
+        state.update(zip(b.outputs, outs))
+    return np.array([state[w] for w in net.outputs], dtype=np.asarray(values).dtype)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategy: arbitrary irregular layered networks (mixed balancer
+# widths, partially-balanced layers, zero-layer degenerates).
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_networks(draw, max_width: int = 10, max_layers: int = 5) -> Network:
+    width = draw(st.integers(min_value=2, max_value=max_width))
+    n_layers = draw(st.integers(min_value=0, max_value=max_layers))
+    b = NetworkBuilder(width)
+    wires = list(b.inputs)
+    for _ in range(n_layers):
+        perm = draw(st.permutations(list(range(width))))
+        pos = 0
+        new_wires = list(wires)
+        while pos + 1 < width:
+            size = draw(st.integers(min_value=2, max_value=min(4, width - pos)))
+            group = [wires[perm[pos + k]] for k in range(size)]
+            outs = b.balancer(group)
+            for k in range(size):
+                new_wires[perm[pos + k]] = outs[k]
+            pos += size
+            if draw(st.booleans()):
+                break  # leave the rest of this layer unbalanced
+        wires = new_wires
+    return b.finish(wires, name="fuzz")
+
+
+FAMILY_NETS = [
+    pytest.param(lambda: k_network([2, 2, 2]), id="K(2,2,2)"),
+    pytest.param(lambda: k_network([3, 2]), id="K(3,2)"),
+    pytest.param(lambda: k_network([2, 3], variant="searched"), id="K(2,3)[searched]"),
+    pytest.param(lambda: l_network([2, 2, 2]), id="L(2,2,2)"),
+    pytest.param(lambda: r_network(3, 4), id="R(3,4)"),
+]
+
+
+# ---------------------------------------------------------------------------
+# The compare-exchange kernel itself
+# ---------------------------------------------------------------------------
+
+
+class TestCEKernel:
+    def test_ce_pairs_sort_by_zero_one_principle(self):
+        """Exhaustive 0-1 proof of the Batcher pair generator, past the
+        kernel's width ceiling so the fallback boundary is covered too."""
+        for n in range(2, _MAX_CE_WIDTH + 3):
+            pairs = _ce_pairs(n)
+            for m in range(2**n):
+                v = [(m >> i) & 1 for i in range(n)]
+                for i, j in pairs:
+                    if v[i] < v[j]:
+                        v[i], v[j] = v[j], v[i]
+                assert v == sorted(v, reverse=True), (n, m)
+
+    def test_ce_pair_counts_are_optimal_for_small_widths(self):
+        # Known-optimal comparator counts for n <= 8 (Knuth §5.3.4).
+        assert [len(_ce_pairs(n)) for n in range(2, 9)] == [1, 3, 5, 9, 12, 16, 19]
+
+    @pytest.mark.parametrize("p", range(3, _MAX_CE_WIDTH + 3))
+    @pytest.mark.parametrize("dtype", [np.int64, np.int8, np.uint16, np.float64])
+    def test_single_balancer_matches_descending_sort(self, p, dtype):
+        """One p-balancer, every dtype class: the CE path (p <= ceiling) and
+        the np.sort fallback (wider) must agree with a descending sort."""
+        b = NetworkBuilder(p)
+        net = b.finish(list(b.balancer(list(b.inputs))), name=f"b{p}")
+        rng = np.random.default_rng(p)
+        x = rng.integers(0, 100, size=(64, p)).astype(dtype)
+        out = evaluate_comparators(net, x)
+        want = np.sort(x, axis=1)[:, ::-1]
+        assert out.dtype == x.dtype
+        assert out.tobytes() == np.ascontiguousarray(want).tobytes()
+
+
+# ---------------------------------------------------------------------------
+# Plan path == legacy walkers, byte-identical
+# ---------------------------------------------------------------------------
+
+
+class TestDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(random_networks(), st.data())
+    def test_irregular_networks_all_semantics(self, net, data):
+        x = np.array(
+            data.draw(
+                st.lists(st.integers(0, 30), min_size=net.width, max_size=net.width)
+            ),
+            dtype=np.int64,
+        )
+        assert propagate_counts(net, x).tobytes() == legacy_count_walker(net, x)[0].tobytes()
+        assert quiescent_counts(net, x).tobytes() == legacy_count_walker(net, x)[0].tobytes()
+        vals = np.array(
+            data.draw(
+                st.lists(st.integers(-50, 50), min_size=net.width, max_size=net.width)
+            )
+        )
+        assert evaluate_comparators(net, vals).tobytes() == legacy_sort_walker(net, vals)[0].tobytes()
+
+    @pytest.mark.parametrize("build", FAMILY_NETS)
+    def test_families_batch_byte_identity(self, build):
+        net = build()
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 64, size=(32, net.width))
+        assert propagate_counts(net, x).tobytes() == legacy_count_walker(net, x).tobytes()
+        assert quiescent_counts(net, x).tobytes() == legacy_count_walker(net, x).tobytes()
+        vals = rng.integers(-1000, 1000, size=(32, net.width))
+        assert evaluate_comparators(net, vals).tobytes() == legacy_sort_walker(net, vals).tobytes()
+
+    @pytest.mark.parametrize("build", FAMILY_NETS)
+    def test_token_semantics_matches_token_simulator(self, build):
+        """The batched quiescent path must land exactly where the
+        step-granular scheduler simulation lands."""
+        net = build()
+        counts = np.zeros(net.width, dtype=np.int64)
+        counts[: max(net.width // 2, 1)] = 3
+        sim = TokenSimulator(net, seed=0)
+        sim.inject(counts)
+        want = sim.run("random").output_counts
+        assert list(quiescent_counts(net, counts)) == list(want)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_networks(max_width=6, max_layers=3), st.data())
+    def test_fault_overrides_take_the_override_sweep(self, net, data):
+        """Stuck mutants route through ``Semantics.apply_overridden``; pin
+        the sort sweep against a per-balancer oracle and the count sweep
+        against conservation + the stuck-port invariant."""
+        if net.size == 0:
+            return
+        idx = data.draw(st.integers(0, net.size - 1))
+        port = data.draw(st.integers(0, net.balancers[idx].width - 1))
+        faulty = stuck_balancer(net, idx, port)
+        vals = np.array(
+            data.draw(
+                st.lists(st.integers(-20, 20), min_size=net.width, max_size=net.width)
+            )
+        )
+        assert list(evaluate_comparators(faulty, vals)) == list(
+            reference_with_overrides(faulty, vals)
+        )
+        x = np.array(
+            data.draw(
+                st.lists(st.integers(0, 9), min_size=net.width, max_size=net.width)
+            ),
+            dtype=np.int64,
+        )
+        out = propagate_counts(faulty, x)
+        assert int(out.sum()) == int(x.sum())  # overrides still conserve
+        assert out.tobytes() == quiescent_counts(faulty, x).tobytes()
+
+    def test_reference_oracles_still_agree(self):
+        """Belt and braces: the per-balancer references shipped in sim/*
+        agree with the inline walkers on a family net."""
+        net = k_network([2, 3])
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            x = rng.integers(0, 40, size=net.width)
+            assert list(propagate_counts_reference(net, x)) == list(
+                legacy_count_walker(net, x)[0]
+            )
+
+
+# ---------------------------------------------------------------------------
+# Backend composition
+# ---------------------------------------------------------------------------
+
+
+class TestBackends:
+    def test_bitsliced_sort_matches_int64_on_zero_one(self):
+        net = k_network([2, 2, 2])
+        rng = np.random.default_rng(2)
+        zo = (rng.random((128, net.width)) < rng.random((128, 1))).astype(np.int64)
+        lanes = plan_executor(net, backend="int64", semantics="sort").run(zo)
+        packed = plan_executor(net, backend="bitsliced", semantics="sort").run(zo)
+        assert lanes.tobytes() == packed.tobytes()
+        assert lanes.tobytes() == legacy_sort_walker(net, zo).tobytes()
+
+    def test_bitsliced_token_is_rejected(self):
+        net = k_network([2, 2])
+        with pytest.raises(ValueError, match="bitsliced"):
+            plan_executor(net, backend="bitsliced", semantics="token")
+
+    def test_semantics_share_one_scratch_pool_per_backend(self):
+        net = k_network([2, 2])
+        exc = plan_executor(net, semantics="count")
+        exs = plan_executor(net, semantics="sort")
+        ext = plan_executor(net, semantics="token")
+        assert exc.pool is exs.pool is ext.pool
+        assert exc is not exs
+
+
+# ---------------------------------------------------------------------------
+# The sort-semantics verifier still kills mutants
+# ---------------------------------------------------------------------------
+
+
+class TestKillMatrix:
+    def test_sort_verifier_alone_leaves_no_escapes(self):
+        """The 0-1 sorting verifier, pinned to the int64 plan path, must
+        kill every live mutant of the comparator-visible fault classes."""
+        sorting = {"sorting": verifiers_for_backend("int64")["sorting"]}
+        matrix = run_conformance(
+            networks=[k_network([2, 2])],
+            faults=("stuck", "drop", "flip", "swap_outputs"),
+            verifiers=sorting,
+            seed=0,
+            sites_per_fault=3,
+            backend="int64",
+        )
+        assert matrix.trials, "no mutants injected"
+        assert matrix.complete(), [t.as_dict() for t in matrix.escapes()]
+        killed = sum(matrix.cell(f, "sorting")[0] for f in matrix.faults)
+        assert killed > 0
+
+
+# ---------------------------------------------------------------------------
+# Steady-state allocation guarantee (mirrors the serve buffer-reuse test)
+# ---------------------------------------------------------------------------
+
+
+class TestSteadyStateAllocation:
+    def test_single_vector_sort_path_reuses_buffers(self):
+        """Repeated single-vector ``evaluate_comparators`` calls must hit
+        the memoized plan executor: after one warmup, zero new scratch
+        allocations and one pool reuse per call."""
+        net = k_network([2, 2, 2])
+        vec = np.arange(net.width)[::-1].copy()
+        evaluate_comparators(net, vec)  # warm: lowering + scratch alloc
+        ex = plan_executor(net, semantics="sort")
+        allocs_after_warmup = ex.buffer_allocs
+        reuses_before = ex.buffer_reuses
+        for shift in range(5):
+            evaluate_comparators(net, np.roll(vec, shift))
+        assert ex.buffer_allocs == allocs_after_warmup, "steady state allocated"
+        assert ex.buffer_reuses == reuses_before + 5
